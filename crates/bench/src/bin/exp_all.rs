@@ -1,0 +1,4 @@
+//! Print every experiment table (the measured content of EXPERIMENTS.md).
+fn main() {
+    println!("{}", cloudless_bench::experiments::all());
+}

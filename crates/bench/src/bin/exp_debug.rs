@@ -1,0 +1,4 @@
+//! Print the debug experiment table.
+fn main() {
+    println!("{}", cloudless_bench::experiments::e9_debug::run());
+}

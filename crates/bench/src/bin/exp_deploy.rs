@@ -1,0 +1,4 @@
+//! Print the deploy experiment table.
+fn main() {
+    println!("{}", cloudless_bench::experiments::e1_deploy::run());
+}

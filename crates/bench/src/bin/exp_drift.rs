@@ -1,0 +1,4 @@
+//! Print the drift experiment table.
+fn main() {
+    println!("{}", cloudless_bench::experiments::e5_drift::run());
+}

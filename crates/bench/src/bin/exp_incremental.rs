@@ -1,0 +1,4 @@
+//! Print the incremental experiment table.
+fn main() {
+    println!("{}", cloudless_bench::experiments::e2_incremental::run());
+}

@@ -1,0 +1,4 @@
+//! Print the locks experiment table.
+fn main() {
+    println!("{}", cloudless_bench::experiments::e3_locks::run());
+}

@@ -1,0 +1,4 @@
+//! Print the policy experiment table.
+fn main() {
+    println!("{}", cloudless_bench::experiments::e8_policy::run());
+}

@@ -1,0 +1,4 @@
+//! Print the port experiment table.
+fn main() {
+    println!("{}", cloudless_bench::experiments::e7_port::run());
+}

@@ -1,0 +1,4 @@
+//! Print the rollback experiment table.
+fn main() {
+    println!("{}", cloudless_bench::experiments::e4_rollback::run());
+}

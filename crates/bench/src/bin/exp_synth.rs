@@ -1,0 +1,4 @@
+//! Print the synth experiment table.
+fn main() {
+    println!("{}", cloudless_bench::experiments::e10_synth::run());
+}

@@ -1,0 +1,4 @@
+//! Print the validate experiment table.
+fn main() {
+    println!("{}", cloudless_bench::experiments::e6_validate::run());
+}

@@ -1,0 +1,173 @@
+//! E10 — synthesis validity: unguided baseline vs. the cloudless pipeline
+//! (§3.1).
+//!
+//! Claim: "existing LLM-based tools frequently generate invalid IaC code,
+//! even for small-scale templates involving widely used resources … a
+//! potential solution is to decompose the infrastructure into its component
+//! elements … type-guided … retrieval augmented."
+//!
+//! Modes (ablation):
+//!
+//! * **unguided** — no dependency closure, 30% hallucination, single shot;
+//! * **unguided + loop** — same generator, but validated and regenerated;
+//! * **guided** — type-guided closure, no noise, single shot;
+//! * **guided + retrieval** — plus conventions mined from a corpus.
+
+use cloudless::cloud::Catalog;
+use cloudless::synth::{synthesize, unguided_baseline, Intent, SynthConfig, WantedResource};
+use cloudless::validate::SpecMiner;
+
+use crate::table::{f, pct, Table};
+
+const RUNS: u64 = 30;
+
+fn intents() -> Vec<(&'static str, Intent)> {
+    vec![
+        (
+            "azure VM pair",
+            Intent::new(vec![WantedResource::new("azure_virtual_machine", 2, "web")])
+                .in_region("westeurope"),
+        ),
+        (
+            "aws subnet",
+            Intent::new(vec![WantedResource::new("aws_subnet", 1, "app")]),
+        ),
+        (
+            "web app (vm+db+bucket)",
+            Intent::new(vec![
+                WantedResource::new("aws_virtual_machine", 3, "web"),
+                WantedResource::new("aws_db_instance", 1, "db"),
+                WantedResource::new("aws_s3_bucket", 1, "assets"),
+            ]),
+        ),
+    ]
+}
+
+fn corpus() -> SpecMiner {
+    let mut miner = SpecMiner::with_min_support(4);
+    for i in 0..6 {
+        miner.observe(&super::manifest_of(&format!(
+            r#"resource "aws_virtual_machine" "w" {{ name = "w{i}" instance_type = "t3.micro" }}"#
+        )));
+    }
+    miner
+}
+
+struct ModeResult {
+    valid: usize,
+    mean_attempts: f64,
+}
+
+fn run_mode(intent: &Intent, catalog: &Catalog, mode: &str, miner: &SpecMiner) -> ModeResult {
+    let mut valid = 0;
+    let mut attempts = 0usize;
+    for seed in 0..RUNS {
+        let report = match mode {
+            "unguided" => unguided_baseline(intent, catalog, 0.3, seed),
+            "unguided+loop" => synthesize(
+                intent,
+                catalog,
+                None,
+                &SynthConfig {
+                    dependency_closure: false,
+                    feedback_loop: true,
+                    max_attempts: 10,
+                    noise: 0.3,
+                    seed,
+                },
+            ),
+            "guided" => synthesize(
+                intent,
+                catalog,
+                None,
+                &SynthConfig {
+                    seed,
+                    ..SynthConfig::default()
+                },
+            ),
+            "guided+retrieval" => synthesize(
+                intent,
+                catalog,
+                Some(miner),
+                &SynthConfig {
+                    seed,
+                    ..SynthConfig::default()
+                },
+            ),
+            other => panic!("unknown mode {other}"),
+        };
+        if report.valid {
+            valid += 1;
+        }
+        attempts += report.attempts;
+    }
+    ModeResult {
+        valid,
+        mean_attempts: attempts as f64 / RUNS as f64,
+    }
+}
+
+pub fn run() -> String {
+    let catalog = Catalog::standard();
+    let miner = corpus();
+    let mut out = String::new();
+    let mut t = Table::new(
+        "E10 — synthesis validity over 30 seeds per (intent, mode)",
+        &["intent", "mode", "valid", "mean attempts"],
+    );
+    for (name, intent) in intents() {
+        for mode in ["unguided", "unguided+loop", "guided", "guided+retrieval"] {
+            let r = run_mode(&intent, &catalog, mode, &miner);
+            t.row(vec![
+                name.to_string(),
+                mode.to_string(),
+                pct(r.valid as f64 / RUNS as f64),
+                f(r.mean_attempts),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\n(the unguided baseline models LLM hallucination at 30%: misspelled\n\
+         attributes, cross-provider regions, dropped requirements, hardcoded\n\
+         dependency ids. 'unguided+loop' shows validation-in-the-loop alone\n\
+         already rescues most programs at the cost of retries; the guided\n\
+         pipeline is right the first time.)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guided_always_valid_unguided_mostly_not() {
+        let catalog = Catalog::standard();
+        let miner = corpus();
+        for (_, intent) in intents() {
+            let guided = run_mode(&intent, &catalog, "guided", &miner);
+            assert_eq!(guided.valid as u64, RUNS, "guided is always valid");
+            assert_eq!(guided.mean_attempts, 1.0);
+        }
+        // the hardest intent: multi-resource with dependencies
+        let (_, hard) = intents().pop().unwrap();
+        let unguided = run_mode(&hard, &catalog, "unguided", &miner);
+        assert!(
+            (unguided.valid as u64) < RUNS / 2,
+            "unguided validity should be low, got {}/{RUNS}",
+            unguided.valid
+        );
+    }
+
+    #[test]
+    fn feedback_loop_recovers_most_failures() {
+        let catalog = Catalog::standard();
+        let miner = corpus();
+        let (_, intent) = intents().swap_remove(1); // aws subnet
+        let one_shot = run_mode(&intent, &catalog, "unguided", &miner);
+        let with_loop = run_mode(&intent, &catalog, "unguided+loop", &miner);
+        assert!(with_loop.valid >= one_shot.valid);
+        assert!(with_loop.mean_attempts >= 1.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! E6 — compile-time validation vs. deploy-time surprises (§3.2).
+//!
+//! Claim: "a seemingly correct IaC program (i.e., one that compiles
+//! successfully) may still cause deployment errors … these surprises should
+//! be eliminated at compile time via stronger, cloud-level validation."
+//!
+//! A corpus of programs is generated per fault class (40 each, parameter-
+//! randomized, plus 40 clean ones). Each program is validated at every
+//! level; faults that escape validation are deployed to measure the real
+//! cost of finding them the hard way: the virtual time until the cloud
+//! reports the failure (the paper's "DevOps engineering cost and time").
+
+use std::collections::BTreeMap;
+
+use cloudless::cloud::CloudConfig;
+use cloudless::deploy::resolver::DataResolver;
+use cloudless::deploy::{diff, Executor, Plan, Strategy};
+use cloudless::state::Snapshot;
+use cloudless::types::SimDuration;
+use cloudless::validate::{validate, ValidationLevel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::table::{pct, Table};
+use crate::SEED;
+
+pub const FAULT_CLASSES: [&str; 8] = [
+    "clean",
+    "wrong-type-ref",
+    "vm-nic-region",
+    "password-flag",
+    "peering-overlap",
+    "subnet-range",
+    "bad-region",
+    "misspelled-attr",
+];
+
+/// Generate one program of the given class, parameter-randomized by `rng`.
+pub fn program(class: &str, rng: &mut StdRng) -> String {
+    let r1 = rng.gen_range(0..250);
+    let r2 = rng.gen_range(0..250);
+    let size = ["Standard_D2s", "Standard_D4s", "Standard_D8s"][rng.gen_range(0..3)];
+    match class {
+        "clean" => format!(
+            r#"
+resource "azure_resource_group" "rg" {{
+  name     = "rg-{r1}"
+  location = "westeurope"
+}}
+resource "azure_network_interface" "nic" {{
+  name     = "nic-{r1}"
+  location = "westeurope"
+}}
+resource "azure_virtual_machine" "vm" {{
+  name     = "vm-{r1}"
+  location = "westeurope"
+  size     = "{size}"
+  nic_ids  = [azure_network_interface.nic.id]
+}}
+"#
+        ),
+        "wrong-type-ref" => format!(
+            r#"
+resource "azure_storage_account" "sa" {{
+  name           = "store{r1}"
+  resource_group = azure_resource_group.rg.id
+}}
+resource "azure_resource_group" "rg" {{
+  name     = "rg-{r1}"
+  location = "westeurope"
+}}
+resource "azure_virtual_machine" "vm" {{
+  name     = "vm-{r1}"
+  location = "westeurope"
+  nic_ids  = [azure_storage_account.sa.id]
+}}
+"#
+        ),
+        "vm-nic-region" => format!(
+            r#"
+resource "azure_network_interface" "nic" {{
+  name     = "nic-{r1}"
+  location = "westeurope"
+}}
+resource "azure_virtual_machine" "vm" {{
+  name     = "vm-{r1}"
+  location = "eastus"
+  size     = "{size}"
+  nic_ids  = [azure_network_interface.nic.id]
+}}
+"#
+        ),
+        "password-flag" => format!(
+            r#"
+resource "azure_network_interface" "nic" {{
+  name     = "nic-{r1}"
+  location = "westeurope"
+}}
+resource "azure_virtual_machine" "vm" {{
+  name           = "vm-{r1}"
+  location       = "westeurope"
+  nic_ids        = [azure_network_interface.nic.id]
+  admin_password = "hunter{r2}"
+}}
+"#
+        ),
+        "peering-overlap" => format!(
+            r#"
+resource "azure_resource_group" "rg" {{
+  name     = "rg-{r1}"
+  location = "westeurope"
+}}
+resource "azure_virtual_network" "a" {{
+  name           = "vnet-a-{r1}"
+  resource_group = azure_resource_group.rg.id
+  address_space  = "10.{r1}.0.0/17"
+}}
+resource "azure_virtual_network" "b" {{
+  name           = "vnet-b-{r1}"
+  resource_group = azure_resource_group.rg.id
+  address_space  = "10.{r1}.64.0/18"
+}}
+resource "azure_vnet_peering" "p" {{
+  vnet_id        = azure_virtual_network.a.id
+  remote_vnet_id = azure_virtual_network.b.id
+}}
+"#
+        ),
+        "subnet-range" => format!(
+            r#"
+resource "aws_vpc" "v" {{ cidr_block = "10.{r1}.0.0/16" }}
+resource "aws_subnet" "s" {{
+  vpc_id     = aws_vpc.v.id
+  cidr_block = "192.168.{r2}.0/24"
+}}
+"#
+        ),
+        "bad-region" => format!(
+            r#"
+resource "azure_network_interface" "nic" {{
+  name     = "nic-{r1}"
+  location = "us-east-1"
+}}
+"#
+        ),
+        "misspelled-attr" => format!(
+            r#"
+resource "aws_vpc" "v" {{ cidr_blok = "10.{r1}.0.0/16" }}
+"#
+        ),
+        other => panic!("unknown class {other}"),
+    }
+}
+
+struct ClassResult {
+    /// First level that catches each program.
+    caught: BTreeMap<&'static str, usize>,
+    /// Programs that escape even the full (cloud-rules) validator.
+    escaped: usize,
+    /// Baseline column: deploying every program the way a syntax-only
+    /// pipeline would — failures observed and virtual time burnt before
+    /// the cloud surfaced the first error.
+    baseline_deploy_failures: usize,
+    baseline_wasted: SimDuration,
+}
+
+const PER_CLASS: usize = 40;
+
+fn measure_class(class: &str) -> ClassResult {
+    let catalog = cloudless::cloud::Catalog::standard();
+    let data = DataResolver::new();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut caught: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut escaped = 0usize;
+    let mut baseline_deploy_failures = 0usize;
+    let mut baseline_wasted = SimDuration::ZERO;
+    for _ in 0..PER_CLASS {
+        let src = program(class, &mut rng);
+        let manifest = super::manifest_of(&src);
+        let mut first_catch = None;
+        for level in [
+            ValidationLevel::Schema,
+            ValidationLevel::Semantic,
+            ValidationLevel::CloudRules,
+        ] {
+            let report = validate(&manifest, &catalog, level, None);
+            if !report.ok() {
+                first_catch = Some(level.name());
+                break;
+            }
+        }
+        match first_catch {
+            Some(level) => *caught.entry(level).or_insert(0) += 1,
+            None => escaped += 1,
+        }
+        // the syntax-only baseline deploys everything; measure what that
+        // costs (schema-level faults are rejected by the API front door at
+        // zero virtual cost, deeper faults burn provisioning time)
+        let mut cloud = super::experiment_cloud(CloudConfig::exact(), SEED);
+        let mut state = Snapshot::new();
+        let plan = Plan::build(diff(&manifest, &state, &catalog, &data), &state, &catalog);
+        let exec = Executor::new(Strategy::TerraformWalk { parallelism: 10 }, &data);
+        let report = exec.apply(&plan, &mut cloud, &mut state);
+        if !report.all_ok() {
+            baseline_deploy_failures += 1;
+            baseline_wasted += report.makespan();
+        }
+    }
+    ClassResult {
+        caught,
+        escaped,
+        baseline_deploy_failures,
+        baseline_wasted,
+    }
+}
+
+pub fn run() -> String {
+    let mut t = Table::new(
+        "E6 — where each fault class is caught (40 programs per class)",
+        &[
+            "fault class",
+            "schema",
+            "semantic-types",
+            "cloud-rules",
+            "escapes validator",
+            "baseline: deploy-failures",
+            "baseline: time wasted",
+        ],
+    );
+    let mut total_wasted = SimDuration::ZERO;
+    let mut total_baseline_failures = 0;
+    for class in FAULT_CLASSES {
+        let r = measure_class(class);
+        let at = |lvl: &str| *r.caught.get(lvl).unwrap_or(&0);
+        t.row(vec![
+            class.to_string(),
+            pct(at("schema") as f64 / PER_CLASS as f64),
+            pct(at("semantic-types") as f64 / PER_CLASS as f64),
+            pct(at("cloud-rules") as f64 / PER_CLASS as f64),
+            r.escaped.to_string(),
+            r.baseline_deploy_failures.to_string(),
+            r.baseline_wasted.to_string(),
+        ]);
+        total_wasted += r.baseline_wasted;
+        total_baseline_failures += r.baseline_deploy_failures;
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\n(percentages are the fraction caught *first* at that level. The\n\
+         baseline columns show what a syntax-only pipeline pays for the same\n\
+         corpus: {total_baseline_failures} deploy-time failures burning {total_wasted} of virtual\n\
+         provisioning time before the error surfaced — all avoided at compile\n\
+         time by the full validator, which lets nothing escape.)\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fault_class_is_caught_somewhere() {
+        for class in FAULT_CLASSES {
+            if class == "clean" {
+                continue;
+            }
+            let r = measure_class(class);
+            let total: usize = r.caught.values().sum();
+            assert_eq!(
+                total, PER_CLASS,
+                "{class}: every program must be caught at compile time"
+            );
+            assert_eq!(r.escaped, 0, "{class}: nothing escapes the full validator");
+        }
+    }
+
+    #[test]
+    fn clean_programs_pass_everything() {
+        let r = measure_class("clean");
+        assert!(r.caught.is_empty());
+        assert_eq!(r.escaped, PER_CLASS);
+        assert_eq!(r.baseline_deploy_failures, 0);
+    }
+
+    #[test]
+    fn classes_land_at_the_expected_level() {
+        let schema = measure_class("misspelled-attr");
+        assert_eq!(schema.caught["schema"], PER_CLASS);
+        let semantic = measure_class("wrong-type-ref");
+        assert_eq!(semantic.caught["semantic-types"], PER_CLASS);
+        let rules = measure_class("vm-nic-region");
+        assert_eq!(rules.caught["cloud-rules"], PER_CLASS);
+    }
+}

@@ -1,0 +1,264 @@
+//! Seeded workload generators: HCL programs with controlled dependency
+//! topologies and sizes.
+//!
+//! Everything is generated as *source text* so the experiments exercise the
+//! full pipeline (lex → parse → expand → validate → plan → apply), not a
+//! shortcut.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dependency chain of alternating subnet-ish resources:
+/// `vpc ← subnet ← nic ← …` repeated. Length `n` (n ≥ 1).
+pub fn chain(n: usize) -> String {
+    let mut out = String::from("resource \"aws_vpc\" \"n0\" { cidr_block = \"10.0.0.0/8\" }\n");
+    for i in 1..n {
+        // alternate NICs and VMs chained via depends_on to keep the chain
+        // type-correct while exercising different latencies
+        let (rtype, attrs) = match i % 3 {
+            0 => ("aws_security_group", format!("name = \"sg-{i}\"")),
+            1 => ("aws_network_interface", format!("name = \"nic-{i}\"")),
+            _ => ("aws_virtual_machine", format!("name = \"vm-{i}\"")),
+        };
+        let _ = writeln!(
+            out,
+            "resource \"{rtype}\" \"n{i}\" {{\n  {attrs}\n  depends_on = [{}.n{}]\n}}",
+            prev_type(i),
+            i - 1
+        );
+    }
+    out
+}
+
+fn prev_type(i: usize) -> &'static str {
+    if i == 1 {
+        return "aws_vpc";
+    }
+    match (i - 1) % 3 {
+        0 => "aws_security_group",
+        1 => "aws_network_interface",
+        _ => "aws_virtual_machine",
+    }
+}
+
+/// `n` fully independent resources (maximum parallelism).
+pub fn wide(n: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "resource \"aws_s3_bucket\" \"b\" {{\n  count  = {n}\n  bucket = \"wide-${{count.index}}\"\n}}"
+    );
+    out
+}
+
+/// A diamond: one root VPC, `width` parallel subnet→VM branches, one
+/// load balancer joining everything.
+pub fn diamond(width: usize) -> String {
+    let mut out = String::from("resource \"aws_vpc\" \"root\" { cidr_block = \"10.0.0.0/8\" }\n");
+    for i in 0..width {
+        let _ = writeln!(
+            out,
+            "resource \"aws_subnet\" \"s{i}\" {{\n  vpc_id     = aws_vpc.root.id\n  cidr_block = \"10.{}.{}.0/24\"\n}}",
+            i / 250,
+            i % 250
+        );
+        let _ = writeln!(
+            out,
+            "resource \"aws_virtual_machine\" \"v{i}\" {{\n  name      = \"v-{i}\"\n  subnet_id = aws_subnet.s{i}.id\n}}"
+        );
+    }
+    let targets: Vec<String> = (0..width)
+        .map(|i| format!("aws_virtual_machine.v{i}.id"))
+        .collect();
+    let _ = writeln!(
+        out,
+        "resource \"aws_load_balancer\" \"join\" {{\n  name       = \"join\"\n  target_ids = [{}]\n}}",
+        targets.join(", ")
+    );
+    out
+}
+
+/// A realistic 3-tier web application: network fabric, web fleet, database
+/// tier, storage, plus a slow VPN gateway on the side — heterogeneous
+/// latencies with real cross-tier dependencies.
+pub fn webapp(web_fleet: usize) -> String {
+    format!(
+        r#"
+resource "aws_vpc" "main" {{ cidr_block = "10.0.0.0/16" }}
+resource "aws_internet_gateway" "igw" {{ vpc_id = aws_vpc.main.id }}
+resource "aws_subnet" "public" {{
+  vpc_id     = aws_vpc.main.id
+  cidr_block = "10.0.1.0/24"
+}}
+resource "aws_subnet" "private" {{
+  vpc_id     = aws_vpc.main.id
+  cidr_block = "10.0.2.0/24"
+}}
+resource "aws_route_table" "rt" {{
+  vpc_id     = aws_vpc.main.id
+  depends_on = [aws_internet_gateway.igw]
+}}
+resource "aws_security_group" "web" {{
+  name   = "web-sg"
+  vpc_id = aws_vpc.main.id
+  ingress {{
+    port     = 443
+    protocol = "tcp"
+  }}
+}}
+resource "aws_virtual_machine" "web" {{
+  count     = {web_fleet}
+  name      = "web-${{count.index}}"
+  subnet_id = aws_subnet.public.id
+  depends_on = [aws_security_group.web]
+}}
+resource "aws_db_instance" "db" {{
+  name      = "appdb"
+  engine    = "postgres"
+  subnet_id = aws_subnet.private.id
+}}
+resource "aws_load_balancer" "lb" {{
+  name       = "app-lb"
+  subnet_ids = [aws_subnet.public.id]
+  depends_on = [aws_virtual_machine.web]
+}}
+resource "aws_s3_bucket" "assets" {{ bucket = "app-assets" }}
+resource "aws_vpn_gateway" "corp" {{
+  vpc_id = aws_vpc.main.id
+  name   = "corp-link"
+}}
+"#
+    )
+}
+
+/// A random layered DAG of `n` resources: each resource depends on up to 3
+/// earlier ones, types drawn with heterogeneous latencies.
+pub fn random_dag(n: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::from("resource \"aws_vpc\" \"r0\" { cidr_block = \"10.0.0.0/8\" }\n");
+    let types = [
+        ("aws_s3_bucket", "bucket"),
+        ("aws_security_group", "name"),
+        ("aws_network_interface", "name"),
+        ("aws_virtual_machine", "name"),
+        ("aws_db_instance", "name"),
+    ];
+    let mut type_of = vec!["aws_vpc"; n];
+    for i in 1..n {
+        let (rtype, name_attr) = types[rng.gen_range(0..types.len())];
+        type_of[i] = rtype;
+        let deps = rng.gen_range(0..=3.min(i));
+        let mut dep_list: Vec<String> = (0..deps)
+            .map(|_| {
+                let d = rng.gen_range(0..i);
+                format!("{}.r{d}", type_of[d])
+            })
+            .collect();
+        dep_list.sort();
+        dep_list.dedup();
+        let extra = if rtype == "aws_db_instance" {
+            "\n  engine = \"postgres\""
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "resource \"{rtype}\" \"r{i}\" {{\n  {name_attr} = \"r-{i}\"{extra}\n  depends_on = [{}]\n}}",
+            dep_list.join(", ")
+        );
+    }
+    out
+}
+
+/// A ClickOps-style flat fleet for porting experiments: `groups` replica
+/// groups of `replicas` VMs each, plus shared fabric, built directly as
+/// cloud records.
+pub fn clickops_fleet(
+    cloud: &mut cloudless::cloud::Cloud,
+    groups: usize,
+    replicas: usize,
+) -> Vec<cloudless::cloud::ResourceRecord> {
+    use cloudless::cloud::{ApiOp, ApiRequest, OpOutcome};
+    use cloudless::types::value::attrs;
+    use cloudless::types::{Region, ResourceTypeName, Value};
+
+    let mut create = |rtype: &str, a: cloudless::types::Attrs| -> String {
+        let done = cloud
+            .submit_and_settle(ApiRequest::new(
+                ApiOp::Create {
+                    rtype: ResourceTypeName::new(rtype),
+                    region: Region::new("us-east-1"),
+                    attrs: a,
+                },
+                "clickops",
+            ))
+            .expect("create accepted");
+        match done.outcome {
+            OpOutcome::Created { id, .. } => id.to_string(),
+            other => panic!("clickops create failed: {other:?}"),
+        }
+    };
+    let vpc = create(
+        "aws_vpc",
+        attrs([("cidr_block", Value::from("10.0.0.0/16"))]),
+    );
+    let subnet = create(
+        "aws_subnet",
+        attrs([
+            ("vpc_id", Value::from(vpc.as_str())),
+            ("cidr_block", Value::from("10.0.1.0/24")),
+        ]),
+    );
+    for g in 0..groups {
+        for r in 0..replicas {
+            create(
+                "aws_virtual_machine",
+                attrs([
+                    ("name", Value::from(format!("svc{g}-{r}"))),
+                    ("instance_type", Value::from("t3.micro")),
+                    ("subnet_id", Value::from(subnet.as_str())),
+                ]),
+            );
+        }
+    }
+    cloud.records().values().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudless::deploy::resolver::DataResolver;
+    use cloudless::hcl::program::{expand, ModuleLibrary, Program};
+    use std::collections::BTreeMap;
+
+    fn expands(src: &str) -> usize {
+        let p =
+            Program::from_file(cloudless::hcl::parse(src, "w").expect("parse")).expect("analyze");
+        expand(
+            &p,
+            &BTreeMap::new(),
+            &ModuleLibrary::new(),
+            &DataResolver::new(),
+        )
+        .expect("expand")
+        .instances
+        .len()
+    }
+
+    #[test]
+    fn generators_produce_valid_programs() {
+        assert_eq!(expands(&chain(10)), 10);
+        assert_eq!(expands(&wide(25)), 25);
+        assert_eq!(expands(&diamond(5)), 1 + 5 * 2 + 1);
+        assert!(expands(&webapp(4)) >= 13);
+        assert_eq!(expands(&random_dag(40, 7)), 40);
+    }
+
+    #[test]
+    fn random_dag_is_deterministic() {
+        assert_eq!(random_dag(30, 1), random_dag(30, 1));
+        assert_ne!(random_dag(30, 1), random_dag(30, 2));
+    }
+}

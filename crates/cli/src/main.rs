@@ -1,0 +1,324 @@
+//! `cloudless` — the CLI over the cloudless engine and its simulated
+//! multi-cloud.
+//!
+//! A *session directory* holds the persistent world: the golden state
+//! (`state.json`) and the simulated cloud's live resources
+//! (`cloud.json`). Commands mirror the Figure 1(b) lifecycle:
+//!
+//! ```text
+//! cloudless init      <dir>                 # create a session
+//! cloudless validate  <file.tf>             # compile-time checks only
+//! cloudless plan      <dir> <file.tf>       # show what would change
+//! cloudless apply     <dir> <file.tf>       # converge (validate→plan→apply)
+//! cloudless destroy   <dir>                 # tear everything down
+//! cloudless state     <dir>                 # list managed resources
+//! cloudless drift     <dir>                 # scan for out-of-band changes
+//! cloudless import    <dir> [--modules]     # port live cloud → IaC program
+//! cloudless rogue     <dir> <addr> <k> <v>  # simulate an out-of-band edit
+//! ```
+//!
+//! Everything is deterministic and offline: the "cloud" is the discrete-
+//! event simulator, so `apply` reports *virtual* provisioning times.
+
+mod session;
+
+use std::process::ExitCode;
+
+use cloudless::{Cloudless, Config, ConvergeError};
+
+use session::Session;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = args.iter().map(String::as_str);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest: Vec<&str> = args.collect();
+    let result = match command {
+        "init" => cmd_init(&rest),
+        "validate" => cmd_validate(&rest),
+        "plan" => cmd_plan(&rest),
+        "apply" => cmd_apply(&rest),
+        "destroy" => cmd_destroy(&rest),
+        "state" => cmd_state(&rest),
+        "drift" => cmd_drift(&rest),
+        "import" => cmd_import(&rest),
+        "rogue" => cmd_rogue(&rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: cloudless <command> [args]
+
+commands:
+  init      <dir>                      create a session directory
+  validate  <file.tf>                  run compile-time validation only
+  plan      <dir> <file.tf> [--target <addr>]   show the execution plan
+  apply     <dir> <file.tf> [--target <addr>]   validate, plan and apply
+  destroy   <dir>                      destroy all managed resources
+  state     <dir>                      list managed resources
+  drift     <dir>                      scan the cloud for drift
+  import    <dir> [--modules]          port live cloud resources to IaC
+  rogue     <dir> <addr> <key> <val>   simulate an out-of-band change";
+
+fn want<'a>(rest: &'a [&str], i: usize, what: &str) -> Result<&'a str, String> {
+    rest.get(i)
+        .copied()
+        .ok_or_else(|| format!("missing {what}\n{USAGE}"))
+}
+
+fn read_program(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn cmd_init(rest: &[&str]) -> Result<(), String> {
+    let dir = want(rest, 0, "session directory")?;
+    Session::init(dir)?;
+    println!("session initialized in {dir}");
+    println!("next: edit a .tf file and run `cloudless apply {dir} main.tf`");
+    Ok(())
+}
+
+fn cmd_validate(rest: &[&str]) -> Result<(), String> {
+    let file = want(rest, 0, "program file")?;
+    let source = read_program(file)?;
+    let engine = Cloudless::new(Config::default());
+    let manifest = engine
+        .load(&source)
+        .map_err(|d| format!("program rejected:\n{d}"))?;
+    let report = engine.validate(&manifest);
+    if report.diagnostics.is_empty() {
+        println!(
+            "ok: {} resource instance(s), no findings",
+            manifest.instances.len()
+        );
+    } else {
+        println!("{}", report.diagnostics);
+    }
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!("{} validation error(s)", report.error_count()))
+    }
+}
+
+fn parse_targets(rest: &[&str]) -> Result<Vec<cloudless::types::ResourceAddr>, String> {
+    let mut targets = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if *arg == "--target" {
+            let addr = it
+                .next()
+                .ok_or("--target needs a resource address")?
+                .parse()
+                .map_err(|e| format!("bad --target address: {e}"))?;
+            targets.push(addr);
+        }
+    }
+    Ok(targets)
+}
+
+fn cmd_plan(rest: &[&str]) -> Result<(), String> {
+    let dir = want(rest, 0, "session directory")?;
+    let file = want(rest, 1, "program file")?;
+    let targets = parse_targets(rest)?;
+    let source = read_program(file)?;
+    let session = Session::load(dir)?;
+    let engine = session.engine()?;
+    let manifest = engine
+        .load(&source)
+        .map_err(|d| format!("program rejected:\n{d}"))?;
+    let report = engine.validate(&manifest);
+    if !report.ok() {
+        return Err(format!("validation failed:\n{}", report.diagnostics));
+    }
+    let (plan, text) = engine.plan(&manifest);
+    if targets.is_empty() {
+        print!("{text}");
+    } else {
+        let (restricted, dropped) = plan.restrict_to(&targets);
+        for (_, node) in restricted.graph.iter() {
+            println!("{:>3} {}", node.change.action.symbol(), node.change.addr);
+        }
+        println!("({dropped} change(s) outside the target closure suppressed)");
+    }
+    Ok(())
+}
+
+fn cmd_apply(rest: &[&str]) -> Result<(), String> {
+    let dir = want(rest, 0, "session directory")?;
+    let file = want(rest, 1, "program file")?;
+    let targets = parse_targets(rest)?;
+    let source = read_program(file)?;
+    let session = Session::load(dir)?;
+    let mut engine = session.engine()?;
+    match engine.converge_targeted(&source, &targets) {
+        Ok(outcome) => {
+            print!("{}", outcome.plan_text);
+            println!(
+                "apply ({}): {} op(s), virtual makespan {}",
+                outcome.apply.strategy,
+                outcome.apply.ops_submitted,
+                outcome.apply.makespan()
+            );
+            for ex in &outcome.explanations {
+                print!("{}", ex.render());
+            }
+            session.save(&engine)?;
+            if outcome.apply.all_ok() {
+                println!(
+                    "state: {} resource(s) under management",
+                    engine.state().len()
+                );
+                Ok(())
+            } else {
+                Err(format!("{} resource(s) failed", outcome.apply.failures()))
+            }
+        }
+        Err(ConvergeError::Frontend(d)) => Err(format!("program rejected:\n{d}")),
+        Err(ConvergeError::Validation(r)) => Err(format!("validation failed:\n{}", r.diagnostics)),
+        Err(ConvergeError::PolicyDenied(actions)) => {
+            let mut msg = String::from("plan denied by policy:");
+            for a in actions {
+                msg.push_str(&format!("\n  {a:?}"));
+            }
+            Err(msg)
+        }
+    }
+}
+
+fn cmd_destroy(rest: &[&str]) -> Result<(), String> {
+    let dir = want(rest, 0, "session directory")?;
+    let session = Session::load(dir)?;
+    let mut engine = session.engine()?;
+    let before = engine.state().len();
+    let outcome = engine
+        .converge("")
+        .map_err(|e| format!("destroy failed: {e}"))?;
+    session.save(&engine)?;
+    if outcome.apply.all_ok() {
+        println!(
+            "destroyed {before} resource(s) in {} (virtual)",
+            outcome.apply.makespan()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "{} resource(s) failed to destroy",
+            outcome.apply.failures()
+        ))
+    }
+}
+
+fn cmd_state(rest: &[&str]) -> Result<(), String> {
+    let dir = want(rest, 0, "session directory")?;
+    let session = Session::load(dir)?;
+    let engine = session.engine()?;
+    if engine.state().is_empty() {
+        println!("(no resources under management)");
+        return Ok(());
+    }
+    for (addr, rec) in &engine.state().resources {
+        println!("{addr:<50} {:<16} {}", rec.id.to_string(), rec.region);
+    }
+    Ok(())
+}
+
+fn cmd_drift(rest: &[&str]) -> Result<(), String> {
+    let dir = want(rest, 0, "session directory")?;
+    let session = Session::load(dir)?;
+    let mut engine = session.engine()?;
+    let scanner = cloudless::diagnose::Scanner::new();
+    let state = engine.state().clone();
+    let report = scanner.scan(engine.cloud_mut(), &state);
+    if report.events.is_empty() {
+        println!("no drift detected ({} API calls)", report.api_calls);
+    } else {
+        for ev in &report.events {
+            let target = ev
+                .addr
+                .as_ref()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| ev.id.to_string());
+            println!("{:?}: {target}", ev.kind);
+        }
+        println!(
+            "{} drift event(s); run `cloudless apply` to reconcile ({} API calls)",
+            report.events.len(),
+            report.api_calls
+        );
+    }
+    session.save(&engine)?;
+    Ok(())
+}
+
+fn cmd_import(rest: &[&str]) -> Result<(), String> {
+    let dir = want(rest, 0, "session directory")?;
+    let with_modules = rest.contains(&"--modules");
+    let session = Session::load(dir)?;
+    let engine = session.engine()?;
+    let records: Vec<_> = engine.cloud().export_records().values().cloned().collect();
+    if records.is_empty() {
+        println!("(the cloud is empty — nothing to import)");
+        return Ok(());
+    }
+    let catalog = engine.cloud().catalog().clone();
+    if with_modules {
+        let port = cloudless::port::extract_modules(&records, &catalog);
+        println!("# root module ({} module call(s))", port.module_calls);
+        print!("{}", cloudless::hcl::render_file(&port.file));
+        for i in 1..=port.module_defs {
+            let key = format!("modules/stack_{i}");
+            if let Some(src) = port.modules.get(&key) {
+                println!("\n# --- {key}/main.tf ---");
+                print!("{src}");
+            }
+        }
+    } else {
+        let port = cloudless::port::optimized_port(&records, &catalog);
+        print!("{}", cloudless::hcl::render_file(&port.file));
+    }
+    Ok(())
+}
+
+fn cmd_rogue(rest: &[&str]) -> Result<(), String> {
+    let dir = want(rest, 0, "session directory")?;
+    let addr: cloudless::types::ResourceAddr = want(rest, 1, "resource address")?
+        .parse()
+        .map_err(|e| format!("bad address: {e}"))?;
+    let key = want(rest, 2, "attribute name")?;
+    let value = want(rest, 3, "attribute value")?;
+    let session = Session::load(dir)?;
+    let mut engine = session.engine()?;
+    let id = engine
+        .state()
+        .get(&addr)
+        .ok_or_else(|| format!("{addr} is not under management"))?
+        .id
+        .clone();
+    engine
+        .cloud_mut()
+        .out_of_band_update(
+            "rogue-cli",
+            &id,
+            [(key.to_owned(), cloudless::types::Value::from(value))].into(),
+        )
+        .map_err(|e| e.to_string())?;
+    session.save(&engine)?;
+    println!("mutated {addr} ({id}) out of band: {key} = {value:?}");
+    println!("run `cloudless drift {dir}` to see it detected");
+    Ok(())
+}

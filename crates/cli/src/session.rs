@@ -1,0 +1,81 @@
+//! Session persistence: the CLI's world lives in two JSON files.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use cloudless::cloud::{CloudConfig, ResourceRecord};
+use cloudless::state::Snapshot;
+use cloudless::types::ResourceId;
+use cloudless::{Cloudless, Config};
+
+/// A session directory: `state.json` (golden state) + `cloud.json` (live
+/// simulated resources).
+pub struct Session {
+    dir: PathBuf,
+}
+
+impl Session {
+    pub fn init(dir: &str) -> Result<Session, String> {
+        let path = PathBuf::from(dir);
+        std::fs::create_dir_all(&path).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        let s = Session { dir: path };
+        if s.state_path().exists() {
+            return Err(format!("{dir} already holds a session"));
+        }
+        std::fs::write(s.state_path(), Snapshot::new().to_json()).map_err(|e| e.to_string())?;
+        std::fs::write(s.cloud_path(), "{}").map_err(|e| e.to_string())?;
+        // starter program for the quickstart path
+        let starter = s.dir.join("main.tf");
+        if !starter.exists() {
+            std::fs::write(
+                &starter,
+                "resource \"aws_vpc\" \"main\" {\n  cidr_block = \"10.0.0.0/16\"\n}\n",
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        Ok(s)
+    }
+
+    pub fn load(dir: &str) -> Result<Session, String> {
+        let path = PathBuf::from(dir);
+        let s = Session { dir: path };
+        if !s.state_path().exists() {
+            return Err(format!(
+                "{dir} is not a session (run `cloudless init {dir}` first)"
+            ));
+        }
+        Ok(s)
+    }
+
+    fn state_path(&self) -> PathBuf {
+        self.dir.join("state.json")
+    }
+
+    fn cloud_path(&self) -> PathBuf {
+        self.dir.join("cloud.json")
+    }
+
+    /// Reconstruct the engine from the persisted world.
+    pub fn engine(&self) -> Result<Cloudless, String> {
+        let state_text = std::fs::read_to_string(self.state_path()).map_err(|e| e.to_string())?;
+        let state =
+            Snapshot::from_json(&state_text).map_err(|e| format!("state.json corrupt: {e}"))?;
+        let cloud_text = std::fs::read_to_string(self.cloud_path()).map_err(|e| e.to_string())?;
+        let records: BTreeMap<ResourceId, ResourceRecord> =
+            serde_json::from_str(&cloud_text).map_err(|e| format!("cloud.json corrupt: {e}"))?;
+        let config = Config {
+            cloud: CloudConfig::exact(),
+            ..Config::default()
+        };
+        Ok(Cloudless::with_session(config, state, records))
+    }
+
+    /// Persist the engine's world back to disk.
+    pub fn save(&self, engine: &Cloudless) -> Result<(), String> {
+        std::fs::write(self.state_path(), engine.state().to_json()).map_err(|e| e.to_string())?;
+        let records = engine.cloud().export_records();
+        let json = serde_json::to_string_pretty(records).map_err(|e| e.to_string())?;
+        std::fs::write(self.cloud_path(), json).map_err(|e| e.to_string())?;
+        Ok(())
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end tests of the `cloudless` binary: every command, against a
+//! temp session directory.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_cloudless")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+struct TempSession {
+    dir: PathBuf,
+}
+
+impl TempSession {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("cloudless-cli-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempSession { dir }
+    }
+
+    fn path(&self) -> &str {
+        self.dir.to_str().expect("utf8 tmp path")
+    }
+
+    fn write(&self, name: &str, contents: &str) -> String {
+        let p = self.dir.join(name);
+        std::fs::write(&p, contents).expect("write program");
+        p.to_str().unwrap().to_owned()
+    }
+}
+
+impl Drop for TempSession {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+const PROGRAM: &str = r#"
+resource "aws_vpc" "main" { cidr_block = "10.0.0.0/16" }
+resource "aws_subnet" "app" {
+  vpc_id     = aws_vpc.main.id
+  cidr_block = "10.0.1.0/24"
+}
+"#;
+
+#[test]
+fn full_session_lifecycle() {
+    let t = TempSession::new("lifecycle");
+    // init
+    let out = run(&["init", t.path()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // plan before apply shows creates
+    let tf = t.write("infra.tf", PROGRAM);
+    let out = run(&["plan", t.path(), &tf]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("2 to add"));
+
+    // apply
+    let out = run(&["apply", t.path(), &tf]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("2 resource(s) under management"));
+
+    // state lists both
+    let out = run(&["state", t.path()]);
+    assert!(stdout(&out).contains("aws_vpc.main"));
+    assert!(stdout(&out).contains("aws_subnet.app"));
+
+    // re-apply is a no-op
+    let out = run(&["apply", t.path(), &tf]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("0 to add, 0 to change, 0 to destroy"));
+
+    // drift: clean
+    let out = run(&["drift", t.path()]);
+    assert!(stdout(&out).contains("no drift detected"));
+
+    // rogue mutation → drift detected
+    let out = run(&["rogue", t.path(), "aws_vpc.main", "name", "oops"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = run(&["drift", t.path()]);
+    assert!(
+        stdout(&out).contains("Modified: aws_vpc.main"),
+        "{}",
+        stdout(&out)
+    );
+
+    // import produces a program that mentions both resources
+    let out = run(&["import", t.path()]);
+    let imported = stdout(&out);
+    assert!(imported.contains("aws_vpc"));
+    assert!(imported.contains("aws_subnet"));
+    assert!(imported.contains(".id"), "references recovered: {imported}");
+
+    // destroy
+    let out = run(&["destroy", t.path()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = run(&["state", t.path()]);
+    assert!(stdout(&out).contains("no resources under management"));
+}
+
+#[test]
+fn validate_catches_cloud_rules_without_a_session() {
+    let t = TempSession::new("validate");
+    std::fs::create_dir_all(&t.dir).unwrap();
+    let tf = t.write(
+        "bad.tf",
+        r#"
+resource "azure_network_interface" "n" {
+  name     = "n"
+  location = "westeurope"
+}
+resource "azure_virtual_machine" "vm" {
+  name     = "vm"
+  location = "eastus"
+  nic_ids  = [azure_network_interface.n.id]
+}
+"#,
+    );
+    let out = run(&["validate", &tf]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("VAL301"), "{}", stdout(&out));
+
+    let good = t.write("good.tf", PROGRAM);
+    let out = run(&["validate", &good]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("no findings"));
+}
+
+#[test]
+fn apply_refuses_invalid_program_and_session_survives() {
+    let t = TempSession::new("invalid");
+    run(&["init", t.path()]);
+    let bad = t.write(
+        "bad.tf",
+        r#"resource "aws_vpc" "v" { cidr_block = "nope" }"#,
+    );
+    let out = run(&["apply", t.path(), &bad]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("validation failed"));
+    // the session is still usable
+    let good = t.write("good.tf", PROGRAM);
+    let out = run(&["apply", t.path(), &good]);
+    assert!(out.status.success(), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_command_and_missing_args_fail_gracefully() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+
+    let out = run(&["apply"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("missing"));
+
+    let out = run(&["state", "/nonexistent/definitely-not-a-session"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("not a session"));
+}
+
+#[test]
+fn state_persists_across_invocations() {
+    let t = TempSession::new("persist");
+    run(&["init", t.path()]);
+    let tf = t.write("infra.tf", PROGRAM);
+    run(&["apply", t.path(), &tf]);
+    // a fresh process sees the same world (ids survive the restart)
+    let out1 = stdout(&run(&["state", t.path()]));
+    let out2 = stdout(&run(&["state", t.path()]));
+    assert_eq!(out1, out2);
+    assert!(out1.contains("aws-"), "cloud ids persisted: {out1}");
+}
+
+#[test]
+fn targeted_apply_touches_only_the_closure() {
+    let t = TempSession::new("target");
+    run(&["init", t.path()]);
+    let tf = t.write(
+        "infra.tf",
+        r#"
+resource "aws_vpc" "main" { cidr_block = "10.0.0.0/16" }
+resource "aws_subnet" "app" {
+  vpc_id     = aws_vpc.main.id
+  cidr_block = "10.0.1.0/24"
+}
+resource "aws_s3_bucket" "extra" { bucket = "extra" }
+"#,
+    );
+    // plan --target shows the closure only
+    let out = run(&["plan", t.path(), &tf, "--target", "aws_subnet.app"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("aws_vpc.main"), "{text}");
+    assert!(text.contains("aws_subnet.app"));
+    assert!(!text.contains("aws_s3_bucket.extra"));
+    assert!(text.contains("1 change(s) outside the target closure suppressed"));
+
+    // targeted apply creates 2 of 3 resources
+    let out = run(&["apply", t.path(), &tf, "--target", "aws_subnet.app"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("2 resource(s) under management"));
+    // a follow-up full apply completes the rest
+    let out = run(&["apply", t.path(), &tf]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("3 resource(s) under management"));
+}

@@ -1,0 +1,182 @@
+//! The cloud activity log.
+//!
+//! §3.5: "Cloudless computing should support drift detection natively within
+//! its own stack, by an observability component that relies on cloud
+//! activity logs to detect 'drift events'." Every control-plane mutation —
+//! whether performed by the IaC engine or by an out-of-band script — appends
+//! an [`ActivityEvent`]. The log is append-only and supports cheap cursor
+//! reads (`events_since`), which is what makes log-native drift detection
+//! dramatically cheaper than full API scans (experiment E5).
+
+use cloudless_types::{Region, ResourceId, ResourceTypeName, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Who performed an operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Principal(pub String);
+
+impl Principal {
+    pub fn new(name: impl Into<String>) -> Self {
+        Principal(name.into())
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for Principal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// What kind of mutation happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActivityKind {
+    Created,
+    Updated,
+    Deleted,
+    /// A mutation attempt that failed at the cloud level.
+    Failed,
+}
+
+impl std::fmt::Display for ActivityKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ActivityKind::Created => "Created",
+            ActivityKind::Updated => "Updated",
+            ActivityKind::Deleted => "Deleted",
+            ActivityKind::Failed => "Failed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One entry of the activity log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityEvent {
+    /// Monotonic sequence number (the log cursor).
+    pub seq: u64,
+    pub at: SimTime,
+    pub kind: ActivityKind,
+    pub principal: Principal,
+    pub rtype: ResourceTypeName,
+    pub region: Region,
+    /// Id of the affected resource (absent for failed creates).
+    pub id: Option<ResourceId>,
+    /// Names of the attributes that changed (for updates).
+    pub changed_attrs: Vec<String>,
+}
+
+/// Append-only activity log with cursor reads.
+#[derive(Debug, Clone, Default)]
+pub struct ActivityLog {
+    events: Vec<ActivityEvent>,
+}
+
+impl ActivityLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event, assigning its sequence number.
+    #[allow(clippy::too_many_arguments)] // one parameter per log field, deliberately
+    pub fn append(
+        &mut self,
+        at: SimTime,
+        kind: ActivityKind,
+        principal: Principal,
+        rtype: ResourceTypeName,
+        region: Region,
+        id: Option<ResourceId>,
+        changed_attrs: Vec<String>,
+    ) -> u64 {
+        let seq = self.events.len() as u64;
+        self.events.push(ActivityEvent {
+            seq,
+            at,
+            kind,
+            principal,
+            rtype,
+            region,
+            id,
+            changed_attrs,
+        });
+        seq
+    }
+
+    /// All events.
+    pub fn all(&self) -> &[ActivityEvent] {
+        &self.events
+    }
+
+    /// Events with `seq >= cursor` — the cheap incremental read drift
+    /// watchers use. Returns the slice and the next cursor.
+    pub fn events_since(&self, cursor: u64) -> (&[ActivityEvent], u64) {
+        let start = (cursor as usize).min(self.events.len());
+        (&self.events[start..], self.events.len() as u64)
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(log: &mut ActivityLog, t: u64) -> u64 {
+        log.append(
+            SimTime(t),
+            ActivityKind::Created,
+            Principal::new("iac"),
+            ResourceTypeName::new("aws_vpc"),
+            Region::new("us-east-1"),
+            Some(ResourceId::new(format!("vpc-{t}"))),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic() {
+        let mut log = ActivityLog::new();
+        assert_eq!(ev(&mut log, 1), 0);
+        assert_eq!(ev(&mut log, 2), 1);
+        assert_eq!(ev(&mut log, 3), 2);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn cursor_reads_are_incremental() {
+        let mut log = ActivityLog::new();
+        ev(&mut log, 1);
+        ev(&mut log, 2);
+        let (batch, cursor) = log.events_since(0);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(cursor, 2);
+        // nothing new
+        let (batch, cursor2) = log.events_since(cursor);
+        assert!(batch.is_empty());
+        assert_eq!(cursor2, 2);
+        // new event arrives
+        ev(&mut log, 3);
+        let (batch, cursor3) = log.events_since(cursor2);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].seq, 2);
+        assert_eq!(cursor3, 3);
+    }
+
+    #[test]
+    fn cursor_beyond_end_is_safe() {
+        let log = ActivityLog::new();
+        let (batch, cursor) = log.events_since(99);
+        assert!(batch.is_empty());
+        assert_eq!(cursor, 0);
+    }
+}

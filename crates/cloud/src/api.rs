@@ -1,0 +1,280 @@
+//! The cloud control-plane API surface.
+//!
+//! Requests are submitted to [`crate::Cloud`] and complete asynchronously in
+//! virtual time. Failures carry *provider-style opaque messages* on purpose:
+//! the paper's §3.5 complaint — "error messages … can make it difficult for
+//! users to understand the exact IaC resources involved" — is reproduced
+//! faithfully here, and `cloudless-diagnose` is the component that undoes
+//! the damage.
+
+use std::fmt;
+
+use cloudless_types::{Attrs, Provider, Region, ResourceId, ResourceTypeName, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an in-flight API operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpId(pub u64);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op-{}", self.0)
+    }
+}
+
+/// The operation kinds of the control plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ApiOp {
+    /// Provision a new resource.
+    Create {
+        rtype: ResourceTypeName,
+        region: Region,
+        attrs: Attrs,
+    },
+    /// Update attributes of an existing resource in place.
+    Update { id: ResourceId, attrs: Attrs },
+    /// Destroy a resource.
+    Delete { id: ResourceId },
+    /// Read one resource's live state.
+    Read { id: ResourceId },
+    /// List all live resource ids of one provider (paginated reads are
+    /// modeled as one op per `page_size` results by the caller).
+    List { provider: Provider },
+}
+
+impl ApiOp {
+    /// Short verb for logs and tables.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            ApiOp::Create { .. } => "create",
+            ApiOp::Update { .. } => "update",
+            ApiOp::Delete { .. } => "delete",
+            ApiOp::Read { .. } => "read",
+            ApiOp::List { .. } => "list",
+        }
+    }
+
+    /// Whether this op only reads state.
+    pub fn is_read(&self) -> bool {
+        matches!(self, ApiOp::Read { .. } | ApiOp::List { .. })
+    }
+}
+
+/// A request: an operation plus the principal performing it (for the
+/// activity log).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiRequest {
+    pub op: ApiOp,
+    /// Who issued the call (IaC engine, DevOps team name, legacy script…).
+    pub principal: String,
+}
+
+impl ApiRequest {
+    pub fn new(op: ApiOp, principal: impl Into<String>) -> Self {
+        ApiRequest {
+            op,
+            principal: principal.into(),
+        }
+    }
+}
+
+/// Errors rejected synchronously at submission (malformed requests — the
+/// cloud's front door).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ApiError {
+    /// The resource type is not in the catalog.
+    UnknownType(ResourceTypeName),
+    /// The region does not exist for that provider.
+    UnknownRegion { provider: Provider, region: Region },
+    /// Target resource id does not exist.
+    NotFound(ResourceId),
+    /// A supplied attribute is not in the schema, has the wrong kind, or is
+    /// computed (user cannot set it).
+    BadAttribute {
+        rtype: ResourceTypeName,
+        message: String,
+    },
+    /// A required attribute is missing.
+    MissingAttribute {
+        rtype: ResourceTypeName,
+        name: String,
+    },
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::UnknownType(t) => write!(f, "InvalidParameter: resource type '{t}' is not supported in this API version"),
+            ApiError::UnknownRegion { provider, region } => write!(
+                f,
+                "InvalidLocation: the location '{region}' is not available for subscription (provider {provider})"
+            ),
+            ApiError::NotFound(id) => write!(f, "ResourceNotFound: the resource '{id}' was not found"),
+            ApiError::BadAttribute { rtype, message } => {
+                write!(f, "InvalidParameter: error in '{rtype}' payload: {message}")
+            }
+            ApiError::MissingAttribute { rtype, name } => write!(
+                f,
+                "InvalidParameter: required property '{name}' missing for type '{rtype}'"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// Asynchronous provisioning failure, reported at op completion — the
+/// "error out during deployment" class of §3.2.
+///
+/// `message` is deliberately opaque provider-speak; `code` is a stable
+/// machine-readable token the diagnosis engine keys on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudError {
+    pub code: String,
+    pub message: String,
+    /// Whether retrying the same request might succeed (throttling, internal
+    /// error) as opposed to a deterministic constraint violation.
+    pub retryable: bool,
+}
+
+impl CloudError {
+    pub fn constraint(code: &str, message: impl Into<String>) -> Self {
+        CloudError {
+            code: code.to_owned(),
+            message: message.into(),
+            retryable: false,
+        }
+    }
+
+    pub fn transient(code: &str, message: impl Into<String>) -> Self {
+        CloudError {
+            code: code.to_owned(),
+            message: message.into(),
+            retryable: true,
+        }
+    }
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+/// The outcome of a completed operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpOutcome {
+    /// Create succeeded; the new resource's id and its full attribute set
+    /// (including computed attributes).
+    Created { id: ResourceId, attrs: Attrs },
+    /// Update succeeded; full new attribute set.
+    Updated { id: ResourceId, attrs: Attrs },
+    /// Delete succeeded.
+    Deleted { id: ResourceId },
+    /// Read result.
+    ReadOk {
+        id: ResourceId,
+        attrs: Attrs,
+        rtype: ResourceTypeName,
+        region: Region,
+    },
+    /// List result.
+    Listed { ids: Vec<ResourceId> },
+    /// The operation failed at the cloud level.
+    Failed(CloudError),
+}
+
+impl OpOutcome {
+    /// Whether the op succeeded.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, OpOutcome::Failed(_))
+    }
+
+    /// The error, if failed.
+    pub fn error(&self) -> Option<&CloudError> {
+        match self {
+            OpOutcome::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A completed operation, handed back by [`crate::Cloud::step`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpCompletion {
+    pub op_id: OpId,
+    /// Virtual time the operation finished.
+    pub at: SimTime,
+    /// Virtual time the operation was submitted (for queueing analysis).
+    pub submitted_at: SimTime,
+    pub outcome: OpOutcome,
+}
+
+impl OpCompletion {
+    /// Total time from submit to completion (queueing + provisioning).
+    pub fn turnaround(&self) -> cloudless_types::SimDuration {
+        self.at.since(self.submitted_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn api_error_messages_are_provider_opaque() {
+        let e = ApiError::UnknownRegion {
+            provider: Provider::Azure,
+            region: Region::new("mars-1"),
+        };
+        let msg = e.to_string();
+        // opaque style: no IaC address, no file/line
+        assert!(msg.contains("InvalidLocation"));
+        assert!(!msg.contains(".tf"));
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let ok = OpOutcome::Deleted {
+            id: ResourceId::new("x"),
+        };
+        assert!(ok.is_ok());
+        assert!(ok.error().is_none());
+        let bad = OpOutcome::Failed(CloudError::constraint("NicRegionMismatch", "boom"));
+        assert!(!bad.is_ok());
+        assert_eq!(bad.error().unwrap().code, "NicRegionMismatch");
+        assert!(!bad.error().unwrap().retryable);
+        assert!(CloudError::transient("Throttled", "x").retryable);
+    }
+
+    #[test]
+    fn op_verbs_and_reads() {
+        let read = ApiOp::Read {
+            id: ResourceId::new("a"),
+        };
+        assert_eq!(read.verb(), "read");
+        assert!(read.is_read());
+        let create = ApiOp::Create {
+            rtype: ResourceTypeName::new("aws_vpc"),
+            region: Region::new("us-east-1"),
+            attrs: Attrs::new(),
+        };
+        assert_eq!(create.verb(), "create");
+        assert!(!create.is_read());
+    }
+
+    #[test]
+    fn completion_turnaround() {
+        let c = OpCompletion {
+            op_id: OpId(1),
+            at: SimTime(1500),
+            submitted_at: SimTime(500),
+            outcome: OpOutcome::Deleted {
+                id: ResourceId::new("x"),
+            },
+        };
+        assert_eq!(c.turnaround().millis(), 1000);
+    }
+}

@@ -1,0 +1,189 @@
+//! Latency and rate-limit models for the control plane.
+//!
+//! §3.3 lists exactly these as the domain constraints a deployment scheduler
+//! must respect: "cloud API rate limiting, estimated deployment times for
+//! various cloud resources, retries in case of resource hanging or failure".
+//!
+//! * [`LatencyModel`] turns a schema's mean latency into a jittered sample
+//!   (deterministic under the engine's seeded RNG).
+//! * [`TokenBucket`] models per-provider API rate limits in virtual time:
+//!   each submitted op consumes a token; when the bucket is dry, the op's
+//!   *start* is delayed until the refill makes a token available — exactly
+//!   how Azure Resource Manager throttling behaves from the caller's
+//!   perspective.
+
+use cloudless_types::{SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Jitter model applied to mean latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Multiplicative jitter half-width: a sample is drawn uniformly from
+    /// `mean * [1 - jitter, 1 + jitter]`. Zero makes latencies exact.
+    pub jitter: f64,
+    /// Reads are much faster than mutations: flat read latency.
+    pub read_latency: SimDuration,
+    /// Latency of one `List` page.
+    pub list_latency: SimDuration,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            jitter: 0.2,
+            read_latency: SimDuration::from_millis(350),
+            list_latency: SimDuration::from_millis(700),
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A model with no jitter (exact latencies) — used by tests that assert
+    /// precise makespans.
+    pub fn exact() -> Self {
+        LatencyModel {
+            jitter: 0.0,
+            ..LatencyModel::default()
+        }
+    }
+
+    /// Sample a concrete latency around `mean`.
+    pub fn sample(&self, mean: SimDuration, rng: &mut impl Rng) -> SimDuration {
+        if self.jitter == 0.0 {
+            return mean;
+        }
+        let factor = 1.0 + rng.gen_range(-self.jitter..=self.jitter);
+        mean.mul_f64(factor)
+    }
+}
+
+/// A token bucket in virtual time.
+///
+/// Unlike a wall-clock bucket, this one answers the question "if an op
+/// arrives at time `t`, when may it start?", which is what a discrete-event
+/// simulation needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenBucket {
+    /// Maximum burst size.
+    pub capacity: u32,
+    /// Tokens added per virtual second.
+    pub refill_per_sec: f64,
+    /// Fractional tokens currently available (at `updated_at`).
+    tokens: f64,
+    updated_at: SimTime,
+}
+
+impl TokenBucket {
+    pub fn new(capacity: u32, refill_per_sec: f64) -> Self {
+        TokenBucket {
+            capacity,
+            refill_per_sec,
+            tokens: capacity as f64,
+            updated_at: SimTime::ZERO,
+        }
+    }
+
+    /// An effectively unlimited bucket (rate limiting off).
+    pub fn unlimited() -> Self {
+        TokenBucket::new(u32::MAX, f64::MAX)
+    }
+
+    /// Whether this bucket never throttles.
+    pub fn is_unlimited(&self) -> bool {
+        self.capacity == u32::MAX
+    }
+
+    fn refill_to(&mut self, now: SimTime) {
+        if now <= self.updated_at {
+            return;
+        }
+        let dt = now.since(self.updated_at).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.refill_per_sec).min(self.capacity as f64);
+        self.updated_at = now;
+    }
+
+    /// Take one token at (or after) `now`; returns the time the token was
+    /// actually available — the admitted start time of the operation.
+    pub fn admit(&mut self, now: SimTime) -> SimTime {
+        if self.is_unlimited() {
+            return now;
+        }
+        // Earlier admissions may already have consumed tokens "into the
+        // future" (updated_at past `now`); refill counts from there.
+        let base = now.max(self.updated_at);
+        self.refill_to(base);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            return base.max(now);
+        }
+        // How long until one whole token accumulates?
+        let deficit = 1.0 - self.tokens;
+        let wait_ms = (deficit / self.refill_per_sec * 1000.0).ceil() as u64;
+        let start = base + SimDuration::from_millis(wait_ms.max(1));
+        self.refill_to(start);
+        self.tokens = (self.tokens - 1.0).max(0.0);
+        start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_model_has_no_jitter() {
+        let m = LatencyModel::exact();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mean = SimDuration::from_secs(30);
+        assert_eq!(m.sample(mean, &mut rng), mean);
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let m = LatencyModel::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mean = SimDuration::from_secs(100);
+        for _ in 0..200 {
+            let s = m.sample(mean, &mut rng).millis();
+            assert!((80_000..=120_000).contains(&s), "sample {s} out of band");
+        }
+    }
+
+    #[test]
+    fn bucket_burst_then_throttle() {
+        // 2-token bucket refilling 1 token/sec
+        let mut b = TokenBucket::new(2, 1.0);
+        let t0 = SimTime::ZERO;
+        assert_eq!(b.admit(t0), t0); // burst 1
+        assert_eq!(b.admit(t0), t0); // burst 2
+                                     // bucket empty: third op waits ~1s
+        let start3 = b.admit(t0);
+        assert_eq!(start3.millis(), 1000);
+        // fourth waits a further second
+        let start4 = b.admit(t0);
+        assert_eq!(start4.millis(), 2000);
+    }
+
+    #[test]
+    fn bucket_refills_while_idle() {
+        let mut b = TokenBucket::new(2, 1.0);
+        assert_eq!(b.admit(SimTime::ZERO).millis(), 0);
+        assert_eq!(b.admit(SimTime::ZERO).millis(), 0);
+        // after 5 idle seconds the bucket is full again (capped at capacity)
+        let t = SimTime(5_000);
+        assert_eq!(b.admit(t), t);
+        assert_eq!(b.admit(t), t);
+        assert_eq!(b.admit(t).millis(), 6_000);
+    }
+
+    #[test]
+    fn unlimited_bucket_never_delays() {
+        let mut b = TokenBucket::unlimited();
+        for i in 0..10_000u64 {
+            assert_eq!(b.admit(SimTime(i)).millis(), i);
+        }
+    }
+}

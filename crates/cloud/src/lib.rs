@@ -1,0 +1,43 @@
+//! A deterministic discrete-event simulator of a multi-cloud substrate.
+//!
+//! The paper's subject is management of *real* clouds (AWS/Azure/GCP) through
+//! their control-plane APIs. Reproducing its experiments requires a cloud
+//! that exhibits the behaviors every experiment depends on:
+//!
+//! * **dependency-ordered provisioning with long, heterogeneous latencies**
+//!   (§3.3: deployments "on the order of hours"; a VPN gateway takes ~40
+//!   minutes while a bucket takes seconds),
+//! * **API rate limiting** (§3.3, §3.5: "cloud API rate limiting" constrains
+//!   both deployment parallelism and drift scanning),
+//! * **cloud-side constraint checking that only fires at deploy time**
+//!   (§3.2: the Azure VM/NIC same-region rule "will error out during
+//!   deployment" with an opaque message),
+//! * **an activity log** (§3.5: drift detection should rely "on cloud
+//!   activity logs"), and
+//! * **out-of-band mutation** (§3.5: drift is change "outside of the control
+//!   of cloud IaC").
+//!
+//! [`Cloud`] provides all of these on a virtual clock: operations are
+//! submitted, take virtual time governed by a latency model and a per-
+//! provider token bucket, and complete (or fail) when the clock is advanced.
+//! Everything is seeded and deterministic, so experiments reproduce
+//! byte-for-byte.
+//!
+//! The [`catalog`] module defines the resource-type schemas — including the
+//! *semantic* attribute types (§3.2) that `cloudless-validate` uses to
+//! type-check references at compile time.
+
+pub mod activity;
+pub mod api;
+pub mod catalog;
+pub mod constraints;
+pub mod engine;
+pub mod faults;
+pub mod latency;
+
+pub use activity::{ActivityEvent, ActivityKind, Principal};
+pub use api::{ApiError, ApiOp, ApiRequest, CloudError, OpCompletion, OpId, OpOutcome};
+pub use catalog::{AttrKind, AttrSchema, Catalog, ResourceSchema, SemanticType};
+pub use engine::{ApiCallStats, Cloud, CloudConfig, RateLimit, ResourceRecord};
+pub use faults::FaultPlan;
+pub use latency::LatencyModel;

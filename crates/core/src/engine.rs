@@ -1,0 +1,852 @@
+//! The [`Cloudless`] engine: the Figure 1(b) lifecycle in one object.
+//!
+//! `converge(source)` runs the full pipeline — parse → expand → validate →
+//! plan → policy admission → lock → apply → checkpoint — and the
+//! surrounding methods cover the operate phase: refresh, drift watching,
+//! failure explanation, rollback.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cloudless_cloud::{ApiOp, ApiRequest, Cloud, CloudConfig, OpOutcome};
+use cloudless_deploy::diff::{diff, Action as DiffAction};
+use cloudless_deploy::resolver::DataResolver;
+use cloudless_deploy::{
+    full_refresh, plan_rollback, ApplyReport, Executor, Plan, RefreshReport, RollbackPlan,
+    RollbackStep, Strategy,
+};
+use cloudless_diagnose::{explain, DriftReport, Explanation, LogWatcher};
+use cloudless_hcl::program::{expand, Manifest, ModuleLibrary, Program};
+use cloudless_hcl::Diagnostics;
+use cloudless_policy::observe::PlanSummary;
+use cloudless_policy::{Action, Controller, CostModel, LifecyclePhase, Observation};
+use cloudless_state::{History, LockManager, LockScope, ResourceLockManager, Snapshot, StateStore};
+use cloudless_types::{Region, Value};
+use cloudless_validate::{validate, SpecMiner, ValidationLevel, ValidationReport};
+
+/// Engine configuration.
+pub struct Config {
+    pub cloud: CloudConfig,
+    pub seed: u64,
+    pub strategy: Strategy,
+    pub principal: String,
+    pub validation_level: ValidationLevel,
+    /// Variable inputs passed to programs.
+    pub inputs: BTreeMap<String, Value>,
+    /// Module sources for `module` blocks.
+    pub modules: ModuleLibrary,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cloud: CloudConfig::default(),
+            seed: 7,
+            strategy: Strategy::CriticalPath { max_in_flight: 64 },
+            principal: "cloudless-engine".to_owned(),
+            validation_level: ValidationLevel::CloudRules,
+            inputs: BTreeMap::new(),
+            modules: ModuleLibrary::new(),
+        }
+    }
+}
+
+/// Why `converge` refused or failed.
+#[derive(Debug)]
+pub enum ConvergeError {
+    /// The program does not parse/expand.
+    Frontend(Diagnostics),
+    /// Compile-time validation rejected the program.
+    Validation(ValidationReport),
+    /// A policy denied the plan.
+    PolicyDenied(Vec<Action>),
+}
+
+impl fmt::Display for ConvergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvergeError::Frontend(d) => write!(f, "program rejected:\n{d}"),
+            ConvergeError::Validation(r) => {
+                write!(
+                    f,
+                    "validation failed ({} errors):\n{}",
+                    r.error_count(),
+                    r.diagnostics
+                )
+            }
+            ConvergeError::PolicyDenied(actions) => {
+                write!(f, "plan denied by policy: {} denial(s)", actions.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConvergeError {}
+
+/// The result of a successful (possibly partially failed) converge.
+#[derive(Debug)]
+pub struct ConvergeOutcome {
+    pub manifest: Manifest,
+    pub validation: ValidationReport,
+    /// Rendered plan text (what a user reviews).
+    pub plan_text: String,
+    pub apply: ApplyReport,
+    /// Error translations for any failures (§3.5).
+    pub explanations: Vec<Explanation>,
+}
+
+/// The cloudless engine.
+pub struct Cloudless {
+    cloud: Cloud,
+    store: StateStore,
+    history: History,
+    data: DataResolver,
+    controller: Controller,
+    miner: SpecMiner,
+    locks: std::sync::Arc<ResourceLockManager>,
+    watcher: LogWatcher,
+    cost: CostModel,
+    config: Config,
+}
+
+impl Cloudless {
+    pub fn new(config: Config) -> Self {
+        let cloud = Cloud::new(config.cloud.clone(), config.seed);
+        let watcher = LogWatcher::new([config.principal.clone()]);
+        Cloudless {
+            cloud,
+            store: StateStore::new(),
+            history: History::new(),
+            data: DataResolver::new(),
+            controller: Controller::new(),
+            miner: SpecMiner::new(),
+            locks: ResourceLockManager::new(),
+            watcher,
+            cost: CostModel::new(),
+            config,
+        }
+    }
+
+    /// Rebuild an engine from persisted session data (CLI): the golden
+    /// state snapshot plus the cloud's live records.
+    pub fn with_session(
+        config: Config,
+        state: Snapshot,
+        records: BTreeMap<cloudless_types::ResourceId, cloudless_cloud::ResourceRecord>,
+    ) -> Self {
+        let mut engine = Cloudless::new(config);
+        engine.cloud.import_records(records);
+        engine.store = StateStore::from_snapshot(state);
+        engine
+    }
+
+    // ---------- accessors ----------
+
+    /// The simulated cloud (for experiment harnesses and tests).
+    pub fn cloud(&self) -> &Cloud {
+        &self.cloud
+    }
+
+    pub fn cloud_mut(&mut self) -> &mut Cloud {
+        &mut self.cloud
+    }
+
+    /// Current golden state.
+    pub fn state(&self) -> &Snapshot {
+        self.store.current()
+    }
+
+    /// The apply history (time machine).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The policy controller (register policies here).
+    pub fn controller_mut(&mut self) -> &mut Controller {
+        &mut self.controller
+    }
+
+    /// The convention miner (observes every successful apply).
+    pub fn miner(&self) -> &SpecMiner {
+        &self.miner
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Program outputs as of the last apply (deferred outputs are resolved
+    /// against the post-apply state).
+    pub fn outputs(&self) -> &BTreeMap<String, Value> {
+        &self.store.current().outputs
+    }
+
+    // ---------- develop / validate ----------
+
+    /// Parse and expand a program with the configured inputs/modules.
+    pub fn load(&self, source: &str) -> Result<Manifest, Diagnostics> {
+        let program = Program::from_file(cloudless_hcl::parse(source, "main.tf")?)?;
+        self.expand_program(&program)
+    }
+
+    fn expand_program(&self, program: &Program) -> Result<Manifest, Diagnostics> {
+        expand(
+            program,
+            &self.config.inputs,
+            &self.config.modules,
+            &self.data,
+        )
+    }
+
+    /// Compile-time validation at the configured level (§3.2).
+    pub fn validate(&self, manifest: &Manifest) -> ValidationReport {
+        validate(
+            manifest,
+            self.cloud.catalog(),
+            self.config.validation_level,
+            Some(&self.miner),
+        )
+    }
+
+    // ---------- plan / apply ----------
+
+    /// Compute the plan for a manifest against current state.
+    pub fn plan(&self, manifest: &Manifest) -> (Plan, String) {
+        let changes = diff(
+            manifest,
+            self.store.current(),
+            self.cloud.catalog(),
+            &self.data,
+        );
+        let text = cloudless_deploy::diff::render(&changes);
+        let plan = Plan::build(changes, self.store.current(), self.cloud.catalog());
+        (plan, text)
+    }
+
+    /// Summarize a plan for policy admission.
+    fn summarize(&self, manifest: &Manifest, plan: &Plan) -> PlanSummary {
+        let mut creates = 0;
+        let mut updates = 0;
+        let mut deletes = 0;
+        let mut replaces = 0;
+        for (_, node) in plan.graph.iter() {
+            match node.change.action {
+                DiffAction::Create => creates += 1,
+                DiffAction::Update { .. } => updates += 1,
+                DiffAction::Delete => deletes += 1,
+                DiffAction::Replace { .. } => replaces += 1,
+                DiffAction::NoOp => {}
+            }
+        }
+        let mut fleet: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for inst in &manifest.instances {
+            let region = inst
+                .attrs
+                .get("location")
+                .or_else(|| inst.attrs.get("region"))
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .or_else(|| {
+                    cloudless_types::Provider::from_type_prefix(inst.addr.rtype.provider_prefix())
+                        .map(|p| p.default_region().as_str().to_owned())
+                })
+                .unwrap_or_default();
+            *fleet
+                .entry((inst.addr.rtype.as_str().to_owned(), region))
+                .or_insert(0) += 1;
+        }
+        PlanSummary {
+            creates,
+            updates,
+            deletes,
+            replaces,
+            resulting_fleet: fleet.into_iter().map(|((t, r), n)| (t, r, n)).collect(),
+            monthly_cost: self.cost.manifest_monthly(manifest),
+        }
+    }
+
+    /// The full pipeline: validate → plan → policy admission → lock →
+    /// apply → checkpoint → learn conventions.
+    pub fn converge(&mut self, source: &str) -> Result<ConvergeOutcome, ConvergeError> {
+        self.converge_targeted(source, &[])
+    }
+
+    /// [`Cloudless::converge`] restricted to `targets` (plus their
+    /// dependencies) — `terraform apply -target` semantics. An empty target
+    /// list applies the whole plan.
+    pub fn converge_targeted(
+        &mut self,
+        source: &str,
+        targets: &[cloudless_types::ResourceAddr],
+    ) -> Result<ConvergeOutcome, ConvergeError> {
+        let manifest = self.load(source).map_err(ConvergeError::Frontend)?;
+        let validation = self.validate(&manifest);
+        if !validation.ok() {
+            return Err(ConvergeError::Validation(validation));
+        }
+        let (plan, plan_text) = self.plan(&manifest);
+        let (plan, plan_text) = if targets.is_empty() {
+            (plan, plan_text)
+        } else {
+            let (restricted, dropped) = plan.restrict_to(targets);
+            let mut text = String::new();
+            for (_, node) in restricted.graph.iter() {
+                text.push_str(&format!(
+                    "{:>3} {}\n",
+                    node.change.action.symbol(),
+                    node.change.addr
+                ));
+            }
+            text.push_str(&format!(
+                "({dropped} change(s) outside the target closure suppressed)\n"
+            ));
+            (restricted, text)
+        };
+
+        // §3.4 guardrail: a resource marked `prevent_destroy` may not be
+        // destroyed or replaced by a plan — surface it like a validation
+        // failure, before anything runs.
+        let mut guarded = cloudless_hcl::Diagnostics::new();
+        for (_, node) in plan.graph.iter() {
+            let is_destructive = matches!(
+                node.change.action,
+                DiffAction::Delete | DiffAction::Replace { .. }
+            );
+            let protected = node
+                .change
+                .desired
+                .as_ref()
+                .map(|d| d.lifecycle.prevent_destroy)
+                .unwrap_or(false);
+            if is_destructive && protected {
+                let (file, span) = node
+                    .change
+                    .desired
+                    .as_ref()
+                    .map(|d| (d.file.clone(), d.span))
+                    .unwrap_or_default();
+                guarded.push(
+                    cloudless_hcl::Diagnostic::error(
+                        "LIF001",
+                        &file,
+                        span,
+                        format!(
+                            "{} would be {} but has prevent_destroy set",
+                            node.change.addr,
+                            if matches!(node.change.action, DiffAction::Delete) {
+                                "destroyed"
+                            } else {
+                                "replaced"
+                            }
+                        ),
+                    )
+                    .with_suggestion(
+                        "remove prevent_destroy or avoid changing immutable attributes",
+                    ),
+                );
+            }
+        }
+        if !guarded.is_empty() {
+            return Err(ConvergeError::Validation(ValidationReport {
+                level: self.config.validation_level,
+                diagnostics: guarded,
+            }));
+        }
+
+        self.controller
+            .admits_plan(self.summarize(&manifest, &plan))
+            .map_err(ConvergeError::PolicyDenied)?;
+
+        // §3.4: lock exactly the touched resources, not the world.
+        let scope = LockScope::of(plan.lock_scope());
+        let _guard = self.locks.acquire(scope);
+
+        let mut state = self.store.current().clone();
+        let executor = Executor::new(self.config.strategy, &self.data);
+        let apply = executor.apply(&plan, &mut self.cloud, &mut state);
+
+        // finalize program outputs against the post-apply state (§2.1's
+        // user-visible results; deferred outputs resolve now that their
+        // resources exist)
+        state.outputs.clear();
+        for (name, out) in &manifest.outputs {
+            match out {
+                cloudless_hcl::program::OutputValue::Known(v) => {
+                    state.outputs.insert(name.clone(), v.clone());
+                }
+                cloudless_hcl::program::OutputValue::Deferred { expr, env, .. } => {
+                    let resolver = cloudless_deploy::resolver::StateResolver::new(&state)
+                        .with_data(&self.data);
+                    let scope = env.scope(&resolver);
+                    if let Ok(v) = cloudless_hcl::eval::eval(expr, &scope) {
+                        state.outputs.insert(name.clone(), v);
+                    }
+                    // unresolvable outputs (their resource failed to apply)
+                    // are simply absent
+                }
+            }
+        }
+
+        self.store.restore(state);
+
+        // checkpoint the new state with its source (time machine, §3.4)
+        self.history.checkpoint(
+            self.store.current().clone(),
+            self.cloud.now(),
+            &self.config.principal,
+            format!("apply via {}", apply.strategy),
+            source,
+        );
+
+        // observe conventions from successful applies (§3.2 mining)
+        if apply.all_ok() {
+            self.miner.observe(&manifest);
+        }
+
+        // translate failures (§3.5)
+        let explanations = apply
+            .errors()
+            .iter()
+            .filter_map(|(addr, err)| {
+                addr.parse()
+                    .ok()
+                    .map(|a: cloudless_types::ResourceAddr| explain(err, &a, &manifest))
+            })
+            .collect();
+
+        Ok(ConvergeOutcome {
+            manifest,
+            validation,
+            plan_text,
+            apply,
+            explanations,
+        })
+    }
+
+    // ---------- operate ----------
+
+    /// Full state refresh through the cloud API.
+    pub fn refresh(&mut self) -> RefreshReport {
+        let mut state = self.store.current().clone();
+        let report = full_refresh(&mut self.cloud, &mut state, &self.config.principal);
+        self.store.restore(state);
+        report
+    }
+
+    /// Poll the activity log for drift (§3.5) and feed events to the
+    /// controller (§3.6). Returns the raw report and any policy actions.
+    pub fn watch_drift(&mut self) -> (DriftReport, Vec<Action>) {
+        let report = self.watcher.poll(&self.cloud, self.store.current());
+        let mut actions = Vec::new();
+        for ev in &report.events {
+            actions.extend(
+                self.controller
+                    .feed(LifecyclePhase::Operate, &Observation::Drift(ev.clone())),
+            );
+        }
+        (report, actions)
+    }
+
+    /// Feed a metric observation to operate-phase policies.
+    pub fn observe_metric(&mut self, addr: &str, metric: &str, value: f64) -> Vec<Action> {
+        let Ok(addr) = addr.parse() else {
+            return vec![];
+        };
+        let obs = Observation::Metric {
+            addr,
+            metric: metric.to_owned(),
+            value,
+            at: self.cloud.now(),
+        };
+        self.controller.feed(LifecyclePhase::Operate, &obs)
+    }
+
+    // ---------- rollback (§3.4) ----------
+
+    /// Plan a rollback to a checkpoint serial. Refreshes first so that the
+    /// plan also reverses out-of-band modifications.
+    pub fn plan_rollback_to(&mut self, serial: u64) -> Option<RollbackPlan> {
+        let target = self.history.by_serial(serial)?.snapshot.clone();
+        self.refresh();
+        Some(plan_rollback(
+            self.store.current(),
+            &target,
+            self.cloud.catalog(),
+        ))
+    }
+
+    /// Execute a rollback plan step by step.
+    pub fn execute_rollback(&mut self, plan: &RollbackPlan) -> Result<(), String> {
+        let mut state = self.store.current().clone();
+        for step in &plan.steps {
+            match step {
+                RollbackStep::Revert { addr, attrs } => {
+                    let rec = state
+                        .get(addr)
+                        .ok_or_else(|| format!("{addr} missing from state"))?
+                        .clone();
+                    // nulls are kept: an explicit null *unsets* the drifted
+                    // attribute at the cloud level
+                    let attrs = attrs.clone();
+                    let done = self
+                        .cloud
+                        .submit_and_settle(ApiRequest::new(
+                            ApiOp::Update {
+                                id: rec.id.clone(),
+                                attrs,
+                            },
+                            &self.config.principal,
+                        ))
+                        .map_err(|e| e.to_string())?;
+                    match done.outcome {
+                        OpOutcome::Updated { attrs, .. } => {
+                            let mut rec = rec;
+                            rec.attrs = attrs;
+                            state.put(rec);
+                        }
+                        OpOutcome::Failed(e) => return Err(e.to_string()),
+                        _ => {}
+                    }
+                }
+                RollbackStep::Recreate { addr, attrs } | RollbackStep::Restore { addr, attrs } => {
+                    // destroy if present, then create from checkpoint attrs
+                    if let Some(rec) = state.get(addr).cloned() {
+                        let done = self
+                            .cloud
+                            .submit_and_settle(ApiRequest::new(
+                                ApiOp::Delete { id: rec.id },
+                                &self.config.principal,
+                            ))
+                            .map_err(|e| e.to_string())?;
+                        if let OpOutcome::Failed(e) = done.outcome {
+                            return Err(e.to_string());
+                        }
+                        state.remove(addr);
+                    }
+                    let region = attrs
+                        .get("location")
+                        .or_else(|| attrs.get("region"))
+                        .and_then(Value::as_str)
+                        .map(Region::new)
+                        .or_else(|| {
+                            cloudless_types::Provider::from_type_prefix(
+                                addr.rtype.provider_prefix(),
+                            )
+                            .map(|p| p.default_region())
+                        })
+                        .unwrap_or_else(|| Region::new("us-east-1"));
+                    let clean: cloudless_types::Attrs = attrs
+                        .iter()
+                        .filter(|(_, v)| !v.is_null())
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    let done = self
+                        .cloud
+                        .submit_and_settle(ApiRequest::new(
+                            ApiOp::Create {
+                                rtype: addr.rtype.clone(),
+                                region: region.clone(),
+                                attrs: clean,
+                            },
+                            &self.config.principal,
+                        ))
+                        .map_err(|e| e.to_string())?;
+                    match done.outcome {
+                        OpOutcome::Created { id, attrs } => {
+                            state.put(cloudless_state::DeployedResource {
+                                addr: addr.clone(),
+                                rtype: addr.rtype.clone(),
+                                id,
+                                region,
+                                attrs,
+                                depends_on: vec![],
+                                created_at: self.cloud.now(),
+                            });
+                        }
+                        OpOutcome::Failed(e) => return Err(e.to_string()),
+                        _ => {}
+                    }
+                }
+                RollbackStep::Destroy { addr } => {
+                    if let Some(rec) = state.get(addr).cloned() {
+                        let done = self
+                            .cloud
+                            .submit_and_settle(ApiRequest::new(
+                                ApiOp::Delete { id: rec.id },
+                                &self.config.principal,
+                            ))
+                            .map_err(|e| e.to_string())?;
+                        if let OpOutcome::Failed(e) = done.outcome {
+                            return Err(e.to_string());
+                        }
+                        state.remove(addr);
+                    }
+                }
+            }
+        }
+        self.store.restore(state);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudless_types::value::attrs;
+
+    fn engine() -> Cloudless {
+        Cloudless::new(Config {
+            cloud: CloudConfig::exact(),
+            ..Config::default()
+        })
+    }
+
+    const WEB: &str = r#"
+resource "aws_vpc" "main" { cidr_block = "10.0.0.0/16" }
+resource "aws_subnet" "app" {
+  vpc_id     = aws_vpc.main.id
+  cidr_block = "10.0.1.0/24"
+}
+resource "aws_virtual_machine" "web" {
+  count     = 2
+  name      = "web-${count.index}"
+  subnet_id = aws_subnet.app.id
+}
+"#;
+
+    #[test]
+    fn converge_full_lifecycle() {
+        let mut e = engine();
+        let out = e.converge(WEB).expect("converges");
+        assert!(out.apply.all_ok());
+        assert!(out.plan_text.contains("3 to add") || out.plan_text.contains("4 to add"));
+        assert_eq!(e.state().len(), 4);
+        assert_eq!(e.history().len(), 1);
+        // re-converge: empty plan, nothing applied
+        let again = e.converge(WEB).expect("idempotent");
+        assert_eq!(again.apply.ops_submitted, 0);
+    }
+
+    #[test]
+    fn converge_rejects_invalid_program_before_any_cloud_op() {
+        let mut e = engine();
+        let err = e
+            .converge(
+                r#"
+resource "azure_network_interface" "n" {
+  name     = "n"
+  location = "westeurope"
+}
+resource "azure_virtual_machine" "vm" {
+  name     = "vm"
+  location = "eastus"
+  nic_ids  = [azure_network_interface.n.id]
+}
+"#,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ConvergeError::Validation(_)));
+        assert_eq!(e.cloud().total_api_calls(), 0, "caught at compile time");
+    }
+
+    #[test]
+    fn policy_denies_over_budget_plan() {
+        let mut e = engine();
+        e.controller_mut()
+            .register(Box::new(cloudless_policy::BudgetPolicy {
+                monthly_budget: 50.0,
+            }));
+        // 2 VMs = $140/month > $50
+        let err = e.converge(WEB).unwrap_err();
+        assert!(matches!(err, ConvergeError::PolicyDenied(_)));
+        assert_eq!(e.state().len(), 0);
+    }
+
+    #[test]
+    fn drift_watch_and_policy_reaction() {
+        let mut e = engine();
+        e.controller_mut()
+            .register(Box::new(cloudless_policy::builtin::DriftResponsePolicy));
+        e.converge(WEB).expect("deploy");
+        let vpc_id = e
+            .state()
+            .get(&"aws_vpc.main".parse().unwrap())
+            .unwrap()
+            .id
+            .clone();
+        e.cloud_mut()
+            .out_of_band_update("legacy", &vpc_id, attrs([("name", Value::from("x"))]))
+            .unwrap();
+        let (report, actions) = e.watch_drift();
+        assert_eq!(report.events.len(), 1);
+        assert!(matches!(actions[0], Action::OverwriteDrift { .. }));
+    }
+
+    #[test]
+    fn rollback_round_trip() {
+        let mut e = engine();
+        e.converge(
+            r#"resource "aws_virtual_machine" "w" { name = "w" instance_type = "t3.micro" }"#,
+        )
+        .expect("v1");
+        let checkpoint = e.history().latest().unwrap().serial;
+        e.converge(
+            r#"resource "aws_virtual_machine" "w" { name = "w" instance_type = "m5.gigantic" }"#,
+        )
+        .expect("v2");
+        assert_eq!(
+            e.state()
+                .get(&"aws_virtual_machine.w".parse().unwrap())
+                .unwrap()
+                .attr("instance_type"),
+            Some(&Value::from("m5.gigantic"))
+        );
+        let plan = e.plan_rollback_to(checkpoint).expect("checkpoint exists");
+        assert_eq!(plan.reverts(), 1);
+        assert_eq!(plan.redeployments(), 0, "mutable change reverts in place");
+        e.execute_rollback(&plan).expect("rollback");
+        assert_eq!(
+            e.state()
+                .get(&"aws_virtual_machine.w".parse().unwrap())
+                .unwrap()
+                .attr("instance_type"),
+            Some(&Value::from("t3.micro"))
+        );
+    }
+
+    #[test]
+    fn failed_apply_produces_explanations() {
+        // pass validation by only breaking at the *cloud* level: use a
+        // quota breach, which compile-time validation cannot see because
+        // the quota is already consumed by live resources.
+        let mut config = Config {
+            cloud: CloudConfig::exact(),
+            validation_level: ValidationLevel::Schema,
+            ..Config::default()
+        };
+        config.cloud.quota_overrides.insert("aws_vpc".into(), 1);
+        let mut e = Cloudless::new(config);
+        e.converge(r#"resource "aws_vpc" "a" { cidr_block = "10.0.0.0/16" }"#)
+            .expect("first vpc fits quota");
+        let out = e
+            .converge(
+                r#"
+resource "aws_vpc" "a" { cidr_block = "10.0.0.0/16" }
+resource "aws_vpc" "b" { cidr_block = "10.1.0.0/16" }
+"#,
+            )
+            .expect("apply runs");
+        assert!(!out.apply.all_ok());
+        assert_eq!(out.explanations.len(), 1);
+        assert!(out.explanations[0].root_cause.contains("quota"));
+    }
+
+    #[test]
+    fn refresh_folds_drift_into_state() {
+        let mut e = engine();
+        e.converge(WEB).expect("deploy");
+        let vpc_id = e
+            .state()
+            .get(&"aws_vpc.main".parse().unwrap())
+            .unwrap()
+            .id
+            .clone();
+        e.cloud_mut()
+            .out_of_band_update("legacy", &vpc_id, attrs([("name", Value::from("renamed"))]))
+            .unwrap();
+        let report = e.refresh();
+        assert_eq!(report.updated.len(), 1);
+        assert_eq!(
+            e.state()
+                .get(&"aws_vpc.main".parse().unwrap())
+                .unwrap()
+                .attr("name"),
+            Some(&Value::from("renamed"))
+        );
+    }
+
+    #[test]
+    fn doc_example_compiles() {
+        // mirror of the lib.rs doc example
+        let mut engine = Cloudless::new(Config::default());
+        let outcome = engine
+            .converge(
+                r#"
+resource "aws_vpc" "main" { cidr_block = "10.0.0.0/16" }
+resource "aws_subnet" "app" {
+  vpc_id     = aws_vpc.main.id
+  cidr_block = "10.0.1.0/24"
+}
+"#,
+            )
+            .expect("deploys cleanly");
+        assert!(outcome.apply.all_ok());
+        assert_eq!(engine.state().len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod lifecycle_tests {
+    use super::*;
+
+    #[test]
+    fn outputs_resolve_after_apply() {
+        let mut e = Cloudless::new(Config {
+            cloud: CloudConfig::exact(),
+            ..Config::default()
+        });
+        let out = e
+            .converge(
+                r#"
+resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }
+output "vpc_id" { value = aws_vpc.v.id }
+output "static" { value = "hello" }
+"#,
+            )
+            .expect("converge");
+        assert!(out.apply.all_ok());
+        assert_eq!(e.outputs().get("static"), Some(&Value::from("hello")));
+        let vpc_id = e.outputs().get("vpc_id").expect("deferred output resolved");
+        assert_eq!(
+            vpc_id,
+            &Value::from(
+                e.state()
+                    .get(&"aws_vpc.v".parse().unwrap())
+                    .unwrap()
+                    .id
+                    .as_str()
+            )
+        );
+        // destroy clears outputs
+        e.converge("").expect("destroy");
+        assert!(e.outputs().is_empty());
+    }
+
+    #[test]
+    fn prevent_destroy_blocks_replace_and_destroy() {
+        let mut e = Cloudless::new(Config {
+            cloud: CloudConfig::exact(),
+            ..Config::default()
+        });
+        let guarded = |cidr: &str| {
+            format!(
+                "resource \"aws_vpc\" \"v\" {{\n  cidr_block = \"{cidr}\"\n  lifecycle {{\n    prevent_destroy = true\n  }}\n}}"
+            )
+        };
+        e.converge(&guarded("10.0.0.0/16")).expect("initial deploy");
+        // replacing (force_new cidr change) is blocked
+        let err = e.converge(&guarded("10.9.0.0/16")).unwrap_err();
+        match err {
+            ConvergeError::Validation(r) => {
+                assert!(r.diagnostics.items.iter().any(|d| d.code == "LIF001"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // nothing happened to the cloud
+        assert_eq!(e.cloud().records().len(), 1);
+        // in-place updates on the same resource are fine
+        let updated = "resource \"aws_vpc\" \"v\" {\n  cidr_block = \"10.0.0.0/16\"\n  name = \"renamed\"\n  lifecycle {\n    prevent_destroy = true\n  }\n}".to_string();
+        assert!(e.converge(&updated).expect("update ok").apply.all_ok());
+    }
+}

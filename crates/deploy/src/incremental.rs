@@ -1,0 +1,331 @@
+//! Incremental update planning via impact scopes.
+//!
+//! §3.3: "Our observation is that modifications to individual resources have
+//! a limited impact, affecting only a small subset of successor and
+//! predecessor nodes in the resource dependency graph. By identifying the
+//! 'impact scope' of a deployment change, we can confine the changes to a
+//! significantly smaller resource subgraph … This will reduce the overhead
+//! on resource state queries and redeployment."
+//!
+//! [`incremental_plan`] compares the *configurations* (not the cloud) of the
+//! previous and new manifests to find seed changes, computes the impact
+//! scope on the desired dependency graph, refreshes only that scope, diffs
+//! only inside it, and reports exactly how much work was avoided relative to
+//! the full-replan baseline.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cloudless_cloud::{Catalog, Cloud};
+use cloudless_graph::{Dag, ImpactScope, NodeId};
+use cloudless_hcl::eval::Resolver;
+use cloudless_hcl::program::Manifest;
+use cloudless_state::Snapshot;
+use cloudless_types::ResourceAddr;
+
+use crate::diff::{diff, PlannedChange};
+use crate::plan::Plan;
+use crate::refresh::{scoped_refresh, RefreshReport};
+
+/// What the incremental path saved vs. a full replan.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalStats {
+    /// Instances in the new manifest.
+    pub total_instances: usize,
+    /// Seed changes detected by config comparison.
+    pub seeds: usize,
+    /// Instances inside the impact scope (replanned).
+    pub replanned: usize,
+    /// Instances whose state was re-read.
+    pub refreshed: usize,
+    /// Instances skipped entirely (no refresh, no replan).
+    pub skipped: usize,
+}
+
+/// Build the desired-state dependency DAG of a manifest.
+pub fn desired_graph(manifest: &Manifest) -> (Dag<ResourceAddr>, BTreeMap<String, NodeId>) {
+    let mut dag = Dag::with_capacity(manifest.instances.len());
+    let mut index = BTreeMap::new();
+    for inst in &manifest.instances {
+        let id = dag.add_node(inst.addr.clone());
+        index.insert(inst.addr.to_string(), id);
+    }
+    for inst in &manifest.instances {
+        let to = index[&inst.addr.to_string()];
+        for dep in &inst.depends_on {
+            if let Some(&from) = index.get(&dep.to_string()) {
+                let _ = dag.add_edge(from, to);
+            }
+        }
+    }
+    (dag, index)
+}
+
+/// Find the seed set: instances whose *configuration* differs between the
+/// two manifests (attrs or deferred expressions), plus additions/removals.
+pub fn config_delta(old: &Manifest, new: &Manifest) -> BTreeSet<ResourceAddr> {
+    let mut seeds = BTreeSet::new();
+    let old_by_addr: BTreeMap<String, &cloudless_hcl::program::ResourceInstance> = old
+        .instances
+        .iter()
+        .map(|i| (i.addr.to_string(), i))
+        .collect();
+    let new_addrs: BTreeSet<String> = new.instances.iter().map(|i| i.addr.to_string()).collect();
+    for inst in &new.instances {
+        match old_by_addr.get(&inst.addr.to_string()) {
+            None => {
+                seeds.insert(inst.addr.clone());
+            }
+            Some(prev) => {
+                let same_known = prev.attrs == inst.attrs;
+                let same_deferred = prev.deferred.len() == inst.deferred.len()
+                    && prev
+                        .deferred
+                        .iter()
+                        .zip(&inst.deferred)
+                        .all(|(a, b)| a.name == b.name && a.expr == b.expr);
+                if !same_known || !same_deferred {
+                    seeds.insert(inst.addr.clone());
+                }
+            }
+        }
+    }
+    // removals seed, too (their dependents may reference them)
+    for (key, prev) in &old_by_addr {
+        if !new_addrs.contains(key) {
+            seeds.insert(prev.addr.clone());
+        }
+    }
+    seeds
+}
+
+/// The incremental plan: scoped refresh + scoped diff.
+pub struct IncrementalOutcome {
+    pub plan: Plan,
+    pub refresh: RefreshReport,
+    pub stats: IncrementalStats,
+}
+
+/// Plan an update of `new` relative to `old`, touching only the impact
+/// scope. The full-replan baseline is `full_refresh` + `diff` over
+/// everything; experiment E2 runs both and compares API calls, nodes
+/// visited and turnaround.
+pub fn incremental_plan(
+    old: &Manifest,
+    new: &Manifest,
+    state: &mut Snapshot,
+    cloud: &mut Cloud,
+    catalog: &Catalog,
+    data: &dyn Resolver,
+    principal: &str,
+) -> IncrementalOutcome {
+    let seeds = config_delta(old, new);
+    let (dag, index) = desired_graph(new);
+    let seed_nodes: Vec<NodeId> = seeds
+        .iter()
+        .filter_map(|a| index.get(&a.to_string()).copied())
+        .collect();
+    let scope = ImpactScope::compute(&dag, seed_nodes);
+
+    // Addresses to refresh: scope nodes that exist in state, plus removed
+    // resources (they are not in the new graph but must be re-read before
+    // deletion planning).
+    let mut refresh_set: BTreeSet<ResourceAddr> = scope
+        .replan
+        .iter()
+        .chain(scope.reread.iter())
+        .map(|&n| dag.node(n).clone())
+        .collect();
+    for s in &seeds {
+        if !index.contains_key(&s.to_string()) {
+            refresh_set.insert(s.clone()); // removal
+        }
+    }
+    let refresh = scoped_refresh(cloud, state, principal, refresh_set);
+
+    // Diff the whole manifest but keep only changes inside the scope (plus
+    // deletions of removed seeds) — outside the scope nothing can have
+    // changed by construction.
+    let scoped_addrs: BTreeSet<String> = scope
+        .replan
+        .iter()
+        .map(|&n| dag.node(n).to_string())
+        .chain(seeds.iter().map(|a| a.to_string()))
+        .collect();
+    let all_changes = diff(new, state, catalog, data);
+    let changes: Vec<PlannedChange> = all_changes
+        .into_iter()
+        .filter(|c| scoped_addrs.contains(&c.addr.to_string()) && !c.action.is_noop())
+        .collect();
+    let plan = Plan::build(changes, state, catalog);
+
+    let total = new.instances.len();
+    let stats = IncrementalStats {
+        total_instances: total,
+        seeds: seeds.len(),
+        replanned: scope.replan.len(),
+        refreshed: refresh.reads as usize,
+        skipped: total.saturating_sub(scope.replan.len() + scope.reread.len()),
+    };
+    IncrementalOutcome {
+        plan,
+        refresh,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Executor, Strategy};
+    use crate::resolver::DataResolver;
+    use cloudless_cloud::CloudConfig;
+    use cloudless_hcl::program::{expand, ModuleLibrary, Program};
+
+    fn manifest(src: &str) -> Manifest {
+        let p = Program::from_file(cloudless_hcl::parse(src, "main.tf").unwrap()).unwrap();
+        expand(
+            &p,
+            &BTreeMap::new(),
+            &ModuleLibrary::new(),
+            &DataResolver::new(),
+        )
+        .unwrap()
+    }
+
+    /// vpc → subnet → {vm0, vm1}; independent bucket fleet.
+    fn base_src(vm_type: &str) -> String {
+        format!(
+            r#"
+resource "aws_vpc" "v" {{ cidr_block = "10.0.0.0/16" }}
+resource "aws_subnet" "s" {{
+  vpc_id     = aws_vpc.v.id
+  cidr_block = "10.0.1.0/24"
+}}
+resource "aws_virtual_machine" "vm" {{
+  count         = 2
+  name          = "vm-${{count.index}}"
+  subnet_id     = aws_subnet.s.id
+  instance_type = "{vm_type}"
+}}
+resource "aws_s3_bucket" "b" {{
+  count  = 10
+  bucket = "bucket-${{count.index}}"
+}}
+"#
+        )
+    }
+
+    fn deployed() -> (Cloud, Snapshot, Manifest) {
+        let catalog = Catalog::standard();
+        let data = DataResolver::new();
+        let mut cloud = Cloud::new(CloudConfig::exact(), 7);
+        let mut state = Snapshot::new();
+        let m = manifest(&base_src("t3.micro"));
+        let plan = Plan::build(diff(&m, &state, &catalog, &data), &state, &catalog);
+        let exec = Executor::new(Strategy::TerraformWalk { parallelism: 10 }, &data);
+        assert!(exec.apply(&plan, &mut cloud, &mut state).all_ok());
+        (cloud, state, m)
+    }
+
+    #[test]
+    fn single_attr_change_touches_only_scope() {
+        let (mut cloud, mut state, old) = deployed();
+        let new = manifest(&base_src("t3.large"));
+        let catalog = Catalog::standard();
+        let data = DataResolver::new();
+        let reads_before = cloud.total_api_calls();
+        let out = incremental_plan(
+            &old, &new, &mut state, &mut cloud, &catalog, &data, "engine",
+        );
+        // 2 VMs changed; VMs have no dependents, their dep (subnet) is reread
+        assert_eq!(out.stats.seeds, 2);
+        assert_eq!(out.stats.replanned, 2);
+        // refresh read only 3 resources (2 VMs + 1 subnet), not all 14
+        assert_eq!(cloud.total_api_calls() - reads_before, 3);
+        assert_eq!(out.stats.skipped, 14 - 3);
+        // the produced plan updates exactly the 2 VMs
+        assert_eq!(out.plan.len(), 2);
+    }
+
+    #[test]
+    fn no_change_produces_empty_plan_and_no_reads() {
+        let (mut cloud, mut state, old) = deployed();
+        let new = manifest(&base_src("t3.micro"));
+        let catalog = Catalog::standard();
+        let data = DataResolver::new();
+        let reads_before = cloud.total_api_calls();
+        let out = incremental_plan(
+            &old, &new, &mut state, &mut cloud, &catalog, &data, "engine",
+        );
+        assert_eq!(out.stats.seeds, 0);
+        assert!(out.plan.is_empty());
+        assert_eq!(cloud.total_api_calls(), reads_before);
+    }
+
+    #[test]
+    fn removal_is_planned_as_delete() {
+        let (mut cloud, mut state, old) = deployed();
+        // drop the bucket fleet
+        let new = manifest(
+            r#"
+resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }
+resource "aws_subnet" "s" {
+  vpc_id     = aws_vpc.v.id
+  cidr_block = "10.0.1.0/24"
+}
+resource "aws_virtual_machine" "vm" {
+  count         = 2
+  name          = "vm-${count.index}"
+  subnet_id     = aws_subnet.s.id
+  instance_type = "t3.micro"
+}
+"#,
+        );
+        let catalog = Catalog::standard();
+        let data = DataResolver::new();
+        let out = incremental_plan(
+            &old, &new, &mut state, &mut cloud, &catalog, &data, "engine",
+        );
+        assert_eq!(out.plan.len(), 10, "10 buckets deleted");
+        assert!(out
+            .plan
+            .graph
+            .iter()
+            .all(|(_, n)| matches!(n.change.action, crate::diff::Action::Delete)));
+    }
+
+    #[test]
+    fn scope_includes_dependents_of_changed_resource() {
+        let (mut cloud, mut state, old) = deployed();
+        // change the subnet cidr (force_new): VMs depend on it → in scope
+        let new = manifest(&base_src("t3.micro").replace("10.0.1.0/24", "10.0.2.0/24"));
+        let catalog = Catalog::standard();
+        let data = DataResolver::new();
+        let out = incremental_plan(
+            &old, &new, &mut state, &mut cloud, &catalog, &data, "engine",
+        );
+        assert_eq!(out.stats.seeds, 1);
+        // subnet + 2 VMs replanned
+        assert_eq!(out.stats.replanned, 3);
+        // plan replaces the subnet and (due to force_new subnet_id) the VMs
+        assert_eq!(out.plan.len(), 3);
+    }
+
+    #[test]
+    fn incremental_apply_converges_to_full_apply() {
+        // applying the incremental plan yields the same end state a full
+        // replan would
+        let (mut cloud, mut state, old) = deployed();
+        let new = manifest(&base_src("t3.large"));
+        let catalog = Catalog::standard();
+        let data = DataResolver::new();
+        let out = incremental_plan(
+            &old, &new, &mut state, &mut cloud, &catalog, &data, "engine",
+        );
+        let exec = Executor::new(Strategy::TerraformWalk { parallelism: 10 }, &data);
+        assert!(exec.apply(&out.plan, &mut cloud, &mut state).all_ok());
+        // now a full diff must be all no-ops
+        let residual = diff(&new, &state, &catalog, &data);
+        assert!(residual.iter().all(|c| c.action.is_noop()));
+    }
+}

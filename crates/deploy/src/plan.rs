@@ -1,0 +1,418 @@
+//! The executable plan: a DAG of changes with duration estimates.
+//!
+//! §2.1: "an execution plan is created, which specifies what resources need
+//! to be updated in what dependency order." The plan is a [`Dag`] whose
+//! edges encode ordering constraints:
+//!
+//! * creates/updates/replaces run after the changes of resources they
+//!   depend on;
+//! * deletes run after the deletes of resources that depend on *them*
+//!   (reverse dependency order), derived from the `depends_on` recorded in
+//!   state at create time.
+//!
+//! Each node carries the catalog's duration estimate, which the
+//! critical-path executor uses as CPM weights (§3.3).
+
+use std::collections::BTreeMap;
+
+use cloudless_cloud::Catalog;
+use cloudless_graph::{Dag, NodeId};
+use cloudless_state::Snapshot;
+use cloudless_types::{ResourceAddr, SimDuration};
+
+use crate::diff::{Action, PlannedChange};
+
+/// One node of the executable plan.
+#[derive(Debug, Clone)]
+pub struct PlanNode {
+    pub change: PlannedChange,
+    /// Estimated execution time (from the catalog).
+    pub estimate: SimDuration,
+}
+
+/// The executable plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    pub graph: Dag<PlanNode>,
+    /// Index from address to node.
+    pub index: BTreeMap<String, NodeId>,
+}
+
+impl Plan {
+    /// Assemble a plan from diff output.
+    ///
+    /// `state` supplies recorded dependencies for delete ordering.
+    pub fn build(changes: Vec<PlannedChange>, state: &Snapshot, catalog: &Catalog) -> Plan {
+        let mut graph: Dag<PlanNode> = Dag::with_capacity(changes.len());
+        let mut index = BTreeMap::new();
+        let mut actionable = Vec::new();
+        for change in changes {
+            if change.action.is_noop() {
+                continue;
+            }
+            let estimate = estimate(&change, catalog);
+            let addr = change.addr.clone();
+            let id = graph.add_node(PlanNode { change, estimate });
+            index.insert(addr.to_string(), id);
+            actionable.push(id);
+        }
+        // Forward edges from desired-instance dependencies.
+        for &id in &actionable {
+            let node = graph.node(id).clone();
+            if let Some(desired) = &node.change.desired {
+                for dep in &desired.depends_on {
+                    if let Some(&dep_id) = index.get(&dep.to_string()) {
+                        // delete nodes never gate creates this way
+                        if !matches!(graph.node(dep_id).change.action, Action::Delete) {
+                            let _ = graph.add_edge(dep_id, id);
+                        }
+                    }
+                }
+            }
+        }
+        // Reverse edges for deletes: to delete X, first delete every planned
+        // deletion that depends on X (per state-recorded dependencies).
+        for &id in &actionable {
+            let node = graph.node(id).clone();
+            if !matches!(node.change.action, Action::Delete) {
+                continue;
+            }
+            if let Some(rec) = state.get(&node.change.addr) {
+                for dep in &rec.depends_on {
+                    if let Some(&dep_id) = index.get(&dep.to_string()) {
+                        if matches!(graph.node(dep_id).change.action, Action::Delete) {
+                            // this (dependent) delete must precede the
+                            // dependency's delete
+                            let _ = graph.add_edge(id, dep_id);
+                        }
+                    }
+                }
+            }
+        }
+        Plan { graph, index }
+    }
+
+    /// Number of actionable nodes.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Node for an address, if planned.
+    pub fn node_for(&self, addr: &ResourceAddr) -> Option<NodeId> {
+        self.index.get(&addr.to_string()).copied()
+    }
+
+    /// Sum of all node estimates (the serial-execution lower bound).
+    pub fn total_work(&self) -> SimDuration {
+        let total = self
+            .graph
+            .iter()
+            .map(|(_, n)| n.estimate.millis())
+            .sum::<u64>();
+        SimDuration::from_millis(total)
+    }
+
+    /// Lock scope covering every resource this plan touches (§3.4).
+    pub fn lock_scope(&self) -> Vec<ResourceAddr> {
+        self.graph
+            .iter()
+            .map(|(_, n)| n.change.addr.clone())
+            .collect()
+    }
+
+    /// Restrict the plan to the given targets plus everything they depend
+    /// on (`terraform apply -target` semantics). Nodes outside the closure
+    /// are dropped; returns the restricted plan and the number of nodes
+    /// removed.
+    pub fn restrict_to(&self, targets: &[ResourceAddr]) -> (Plan, usize) {
+        use std::collections::BTreeSet;
+        let mut keep: BTreeSet<cloudless_graph::NodeId> = BTreeSet::new();
+        let mut stack: Vec<cloudless_graph::NodeId> = Vec::new();
+        for t in targets {
+            // a block-level target (no instance key) selects every instance
+            for (id, node) in self.graph.iter() {
+                let a = &node.change.addr;
+                let hit = a == t
+                    || (t.key == cloudless_types::ResourceKey::None
+                        && a.rtype == t.rtype
+                        && a.name == t.name
+                        && a.module_path == t.module_path);
+                if hit {
+                    stack.push(id);
+                }
+            }
+        }
+        while let Some(n) = stack.pop() {
+            if keep.insert(n) {
+                stack.extend(self.graph.predecessors(n).iter().copied());
+            }
+        }
+        let mut changes = Vec::new();
+        for &id in &keep {
+            changes.push(self.graph.node(id).change.clone());
+        }
+        // preserve original node order for determinism
+        changes.sort_by_key(|c| self.index.get(&c.addr.to_string()).copied());
+        let dropped = self.len() - changes.len();
+        // rebuild edges: state-recorded deps are re-derived from the change
+        // set, so an empty snapshot suffices for forward edges; delete
+        // ordering among kept nodes is preserved via the same addresses
+        let rebuilt = Plan::from_changes_with_edges(changes, self);
+        (rebuilt, dropped)
+    }
+
+    /// Rebuild a plan from a subset of this plan's changes, copying the
+    /// edges that survive the restriction.
+    fn from_changes_with_edges(changes: Vec<PlannedChange>, original: &Plan) -> Plan {
+        let mut graph: Dag<PlanNode> = Dag::with_capacity(changes.len());
+        let mut index = BTreeMap::new();
+        for change in changes {
+            let old = original.index[&change.addr.to_string()];
+            let estimate = original.graph.node(old).estimate;
+            let addr = change.addr.clone();
+            let id = graph.add_node(PlanNode { change, estimate });
+            index.insert(addr.to_string(), id);
+        }
+        for (from, to) in original.graph.edges() {
+            let from_key = original.graph.node(from).change.addr.to_string();
+            let to_key = original.graph.node(to).change.addr.to_string();
+            if let (Some(&f), Some(&t)) = (index.get(&from_key), index.get(&to_key)) {
+                let _ = graph.add_edge(f, t);
+            }
+        }
+        Plan { graph, index }
+    }
+}
+
+fn estimate(change: &PlannedChange, catalog: &Catalog) -> SimDuration {
+    let schema = catalog.get(&change.addr.rtype);
+    match (&change.action, schema) {
+        (Action::Create, Some(s)) => s.create_latency,
+        (Action::Update { .. }, Some(s)) => s.update_latency,
+        (Action::Replace { .. }, Some(s)) => {
+            SimDuration::from_millis(s.delete_latency.millis() + s.create_latency.millis())
+        }
+        (Action::Delete, Some(s)) => s.delete_latency,
+        (_, None) => SimDuration::from_secs(10),
+        (Action::NoOp, _) => SimDuration::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::diff;
+    use crate::resolver::DataResolver;
+    use cloudless_hcl::program::{expand, Manifest, ModuleLibrary, Program};
+    use cloudless_state::DeployedResource;
+    use cloudless_types::value::attrs;
+    use cloudless_types::{Region, ResourceId, SimTime, Value};
+
+    fn manifest(src: &str) -> Manifest {
+        let p = Program::from_file(cloudless_hcl::parse(src, "main.tf").unwrap()).unwrap();
+        expand(
+            &p,
+            &BTreeMap::new(),
+            &ModuleLibrary::new(),
+            &DataResolver::new(),
+        )
+        .unwrap()
+    }
+
+    fn plan_for(src: &str, state: &Snapshot) -> Plan {
+        let catalog = Catalog::standard();
+        let changes = diff(&manifest(src), state, &catalog, &DataResolver::new());
+        Plan::build(changes, state, &catalog)
+    }
+
+    #[test]
+    fn creates_ordered_by_dependencies() {
+        let plan = plan_for(
+            r#"
+resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }
+resource "aws_subnet" "s" {
+  vpc_id     = aws_vpc.v.id
+  cidr_block = "10.0.1.0/24"
+}
+resource "aws_virtual_machine" "vm" {
+  name      = "web"
+  subnet_id = aws_subnet.s.id
+}
+"#,
+            &Snapshot::new(),
+        );
+        assert_eq!(plan.len(), 3);
+        let vpc = plan.node_for(&"aws_vpc.v".parse().unwrap()).unwrap();
+        let subnet = plan.node_for(&"aws_subnet.s".parse().unwrap()).unwrap();
+        let vm = plan
+            .node_for(&"aws_virtual_machine.vm".parse().unwrap())
+            .unwrap();
+        assert!(plan.graph.reaches(vpc, subnet));
+        assert!(plan.graph.reaches(subnet, vm));
+        assert!(!plan.graph.reaches(vm, vpc));
+    }
+
+    #[test]
+    fn noops_are_excluded() {
+        let mut state = Snapshot::new();
+        state.put(DeployedResource {
+            addr: "aws_vpc.v".parse().unwrap(),
+            rtype: "aws_vpc".into(),
+            id: ResourceId::new("vpc-1"),
+            region: Region::new("us-east-1"),
+            attrs: attrs([
+                ("cidr_block", Value::from("10.0.0.0/16")),
+                ("id", Value::from("vpc-1")),
+            ]),
+            depends_on: vec![],
+            created_at: SimTime::ZERO,
+        });
+        let plan = plan_for(
+            r#"resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }"#,
+            &state,
+        );
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn deletes_run_in_reverse_dependency_order() {
+        // state has vpc <- subnet, config is now empty: subnet's delete must
+        // precede vpc's delete.
+        let mut state = Snapshot::new();
+        state.put(DeployedResource {
+            addr: "aws_vpc.v".parse().unwrap(),
+            rtype: "aws_vpc".into(),
+            id: ResourceId::new("vpc-1"),
+            region: Region::new("us-east-1"),
+            attrs: attrs([("cidr_block", Value::from("10.0.0.0/16"))]),
+            depends_on: vec![],
+            created_at: SimTime::ZERO,
+        });
+        state.put(DeployedResource {
+            addr: "aws_subnet.s".parse().unwrap(),
+            rtype: "aws_subnet".into(),
+            id: ResourceId::new("sn-1"),
+            region: Region::new("us-east-1"),
+            attrs: attrs([("cidr_block", Value::from("10.0.1.0/24"))]),
+            depends_on: vec!["aws_vpc.v".parse().unwrap()],
+            created_at: SimTime::ZERO,
+        });
+        let plan = plan_for("", &state);
+        assert_eq!(plan.len(), 2);
+        let vpc = plan.node_for(&"aws_vpc.v".parse().unwrap()).unwrap();
+        let subnet = plan.node_for(&"aws_subnet.s".parse().unwrap()).unwrap();
+        assert!(plan.graph.reaches(subnet, vpc), "subnet delete first");
+    }
+
+    #[test]
+    fn estimates_come_from_catalog() {
+        let plan = plan_for(
+            r#"resource "azure_vpn_gateway" "g" {
+  name    = "g"
+  vnet_id = azure_virtual_network.n.id
+}
+resource "azure_virtual_network" "n" {
+  name           = "n"
+  resource_group = azure_resource_group.rg.id
+  address_space  = "10.0.0.0/16"
+}
+resource "azure_resource_group" "rg" {
+  name     = "rg"
+  location = "eastus"
+}
+"#,
+            &Snapshot::new(),
+        );
+        let g = plan
+            .node_for(&"azure_vpn_gateway.g".parse().unwrap())
+            .unwrap();
+        assert_eq!(plan.graph.node(g).estimate, SimDuration::from_mins(42));
+        // total work is the sum of all three
+        assert_eq!(
+            plan.total_work().millis(),
+            SimDuration::from_mins(42).millis() + 25_000 + 6_000
+        );
+    }
+
+    #[test]
+    fn restrict_to_keeps_target_and_dependencies() {
+        let plan = plan_for(
+            r#"
+resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }
+resource "aws_subnet" "s" {
+  vpc_id     = aws_vpc.v.id
+  cidr_block = "10.0.1.0/24"
+}
+resource "aws_virtual_machine" "vm" {
+  name      = "web"
+  subnet_id = aws_subnet.s.id
+}
+resource "aws_s3_bucket" "unrelated" { bucket = "x" }
+"#,
+            &Snapshot::new(),
+        );
+        assert_eq!(plan.len(), 4);
+        // target the subnet: vpc comes along, vm and bucket are dropped
+        let (restricted, dropped) = plan.restrict_to(&["aws_subnet.s".parse().unwrap()]);
+        assert_eq!(dropped, 2);
+        assert_eq!(restricted.len(), 2);
+        assert!(restricted.node_for(&"aws_vpc.v".parse().unwrap()).is_some());
+        assert!(restricted
+            .node_for(&"aws_subnet.s".parse().unwrap())
+            .is_some());
+        assert!(restricted
+            .node_for(&"aws_virtual_machine.vm".parse().unwrap())
+            .is_none());
+        // edges survive: vpc still precedes subnet
+        let vpc = restricted.node_for(&"aws_vpc.v".parse().unwrap()).unwrap();
+        let s = restricted
+            .node_for(&"aws_subnet.s".parse().unwrap())
+            .unwrap();
+        assert!(restricted.graph.reaches(vpc, s));
+    }
+
+    #[test]
+    fn restrict_to_block_target_selects_all_instances() {
+        let plan = plan_for(
+            r#"
+resource "aws_s3_bucket" "b" {
+  count  = 3
+  bucket = "b-${count.index}"
+}
+resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }
+"#,
+            &Snapshot::new(),
+        );
+        let (restricted, dropped) = plan.restrict_to(&["aws_s3_bucket.b".parse().unwrap()]);
+        assert_eq!(restricted.len(), 3);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn restrict_to_unknown_target_is_empty() {
+        let plan = plan_for(
+            r#"resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }"#,
+            &Snapshot::new(),
+        );
+        let (restricted, dropped) = plan.restrict_to(&["aws_vpc.ghost".parse().unwrap()]);
+        assert!(restricted.is_empty());
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn lock_scope_covers_plan() {
+        let plan = plan_for(
+            r#"
+resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }
+resource "aws_s3_bucket" "b" { bucket = "x" }
+"#,
+            &Snapshot::new(),
+        );
+        let scope = plan.lock_scope();
+        assert_eq!(scope.len(), 2);
+    }
+}

@@ -1,0 +1,188 @@
+//! State refresh: re-reading live cloud state into the snapshot.
+//!
+//! §3.3: "even a single resource update will trigger expensive queries on
+//! all cloud-level resource state and recomputation of the deployment plan
+//! from the ground up." [`full_refresh`] is that baseline — one `Read` per
+//! managed resource, every time. [`scoped_refresh`] reads only a subset (the
+//! impact scope computed by [`crate::incremental`]), which is where the
+//! API-call savings of incremental updates come from.
+
+use std::collections::BTreeSet;
+
+use cloudless_cloud::{ApiOp, ApiRequest, Cloud, OpOutcome};
+use cloudless_state::Snapshot;
+use cloudless_types::{ResourceAddr, SimDuration, SimTime};
+
+/// Outcome of a refresh pass.
+#[derive(Debug, Clone, Default)]
+pub struct RefreshReport {
+    /// Read API calls issued.
+    pub reads: u64,
+    /// Resources whose recorded attributes changed (live drift folded in).
+    pub updated: Vec<ResourceAddr>,
+    /// Resources that no longer exist in the cloud (deleted out of band).
+    pub missing: Vec<ResourceAddr>,
+    /// Virtual time the refresh took.
+    pub duration: SimDuration,
+}
+
+/// Refresh every resource in the snapshot (the Terraform-default baseline).
+pub fn full_refresh(cloud: &mut Cloud, state: &mut Snapshot, principal: &str) -> RefreshReport {
+    let addrs: Vec<ResourceAddr> = state.addrs();
+    refresh_addrs(cloud, state, principal, addrs.into_iter().collect())
+}
+
+/// Refresh only the given addresses (incremental path).
+pub fn scoped_refresh(
+    cloud: &mut Cloud,
+    state: &mut Snapshot,
+    principal: &str,
+    scope: BTreeSet<ResourceAddr>,
+) -> RefreshReport {
+    refresh_addrs(cloud, state, principal, scope)
+}
+
+fn refresh_addrs(
+    cloud: &mut Cloud,
+    state: &mut Snapshot,
+    principal: &str,
+    addrs: BTreeSet<ResourceAddr>,
+) -> RefreshReport {
+    let started: SimTime = cloud.now();
+    let mut report = RefreshReport::default();
+    let mut submitted = Vec::new();
+    for addr in addrs {
+        let Some(rec) = state.get(&addr) else {
+            continue;
+        };
+        match cloud.submit(ApiRequest::new(
+            ApiOp::Read { id: rec.id.clone() },
+            principal,
+        )) {
+            Ok(op) => {
+                report.reads += 1;
+                submitted.push((op, addr));
+            }
+            Err(_) => {
+                // id rejected at the front door — the resource is gone
+                report.missing.push(addr.clone());
+                state.remove(&addr);
+            }
+        }
+    }
+    let completions = cloud.run_until_idle();
+    for (op, addr) in submitted {
+        let Some(done) = completions.iter().find(|c| c.op_id == op) else {
+            continue;
+        };
+        match &done.outcome {
+            OpOutcome::ReadOk { attrs, .. } => {
+                if let Some(rec) = state.get(&addr) {
+                    if &rec.attrs != attrs {
+                        report.updated.push(addr.clone());
+                        let mut rec = rec.clone();
+                        rec.attrs = attrs.clone();
+                        state.put(rec);
+                    }
+                }
+            }
+            OpOutcome::Failed(e) if e.code == "ResourceNotFound" => {
+                report.missing.push(addr.clone());
+                state.remove(&addr);
+            }
+            _ => {}
+        }
+    }
+    report.duration = cloud.now().since(started);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::diff;
+    use crate::exec::{Executor, Strategy};
+    use crate::plan::Plan;
+    use crate::resolver::DataResolver;
+    use cloudless_cloud::{Catalog, CloudConfig};
+    use cloudless_hcl::program::{expand, ModuleLibrary, Program};
+    use cloudless_types::value::attrs;
+    use cloudless_types::Value;
+    use std::collections::BTreeMap;
+
+    fn build(src: &str) -> (Cloud, Snapshot) {
+        let catalog = Catalog::standard();
+        let data = DataResolver::new();
+        let mut cloud = Cloud::new(CloudConfig::exact(), 7);
+        let mut state = Snapshot::new();
+        let p = Program::from_file(cloudless_hcl::parse(src, "main.tf").unwrap()).unwrap();
+        let m = expand(&p, &BTreeMap::new(), &ModuleLibrary::new(), &data).unwrap();
+        let plan = Plan::build(diff(&m, &state, &catalog, &data), &state, &catalog);
+        let exec = Executor::new(Strategy::TerraformWalk { parallelism: 10 }, &data);
+        assert!(exec.apply(&plan, &mut cloud, &mut state).all_ok());
+        (cloud, state)
+    }
+
+    const SRC: &str = r#"
+resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }
+resource "aws_s3_bucket" "b" {
+  count  = 3
+  bucket = "bucket-${count.index}"
+}
+"#;
+
+    #[test]
+    fn clean_state_refresh_reports_nothing() {
+        let (mut cloud, mut state) = build(SRC);
+        let report = full_refresh(&mut cloud, &mut state, "refresher");
+        assert_eq!(report.reads, 4);
+        assert!(report.updated.is_empty());
+        assert!(report.missing.is_empty());
+        assert!(report.duration.millis() > 0);
+    }
+
+    #[test]
+    fn drifted_attrs_are_folded_in() {
+        let (mut cloud, mut state) = build(SRC);
+        let vpc = state.get(&"aws_vpc.v".parse().unwrap()).unwrap().id.clone();
+        cloud
+            .out_of_band_update("legacy", &vpc, attrs([("name", Value::from("renamed"))]))
+            .unwrap();
+        let report = full_refresh(&mut cloud, &mut state, "refresher");
+        assert_eq!(report.updated.len(), 1);
+        assert_eq!(report.updated[0].to_string(), "aws_vpc.v");
+        assert_eq!(
+            state
+                .get(&"aws_vpc.v".parse().unwrap())
+                .unwrap()
+                .attrs
+                .get("name"),
+            Some(&Value::from("renamed"))
+        );
+    }
+
+    #[test]
+    fn out_of_band_deletion_detected() {
+        let (mut cloud, mut state) = build(SRC);
+        let bucket = state
+            .get(&"aws_s3_bucket.b[1]".parse().unwrap())
+            .unwrap()
+            .id
+            .clone();
+        cloud.out_of_band_delete("legacy", &bucket).unwrap();
+        let report = full_refresh(&mut cloud, &mut state, "refresher");
+        assert_eq!(report.missing.len(), 1);
+        assert!(state.get(&"aws_s3_bucket.b[1]".parse().unwrap()).is_none());
+        assert_eq!(state.len(), 3);
+    }
+
+    #[test]
+    fn scoped_refresh_reads_only_scope() {
+        let (mut cloud, mut state) = build(SRC);
+        let before = cloud.total_api_calls();
+        let scope: BTreeSet<ResourceAddr> = ["aws_vpc.v".parse().unwrap()].into();
+        let report = scoped_refresh(&mut cloud, &mut state, "refresher", scope);
+        assert_eq!(report.reads, 1);
+        assert_eq!(cloud.total_api_calls() - before, 1);
+    }
+}

@@ -1,0 +1,382 @@
+//! Reversibility-aware rollback planning.
+//!
+//! §3.4: "resource modifications may not be reversible in the same manner in
+//! which they are performed. Simply applying a previous configuration
+//! doesn't always roll back the infrastructure to its intended previous
+//! state. … one viable solution is to identify resource modifications that
+//! are not easily reversible, and then destroy them with a new deployment
+//! from scratch. We want to minimize the amount of resource redeployment in
+//! the rollback process, and also guarantee a reliable identification of
+//! rollback plans before any updates are performed."
+//!
+//! [`plan_rollback`] diffs the *live* current state (refresh first!) against
+//! a checkpointed snapshot from the time machine and classifies each
+//! difference:
+//!
+//! * attribute drift on a surviving resource, no `force_new` attr involved →
+//!   [`RollbackStep::Revert`] (cheap in-place update);
+//! * `force_new` attribute changed, or the resource was created after the
+//!   checkpoint with a conflicting identity → destroy & recreate;
+//! * resource deleted since the checkpoint → recreate;
+//! * resource created since the checkpoint → destroy.
+//!
+//! The naive baseline ("apply the previous configuration") misses
+//! out-of-band modifications entirely — experiment E4 measures both the
+//! redeployment cost and the end-state correctness gap.
+
+use cloudless_cloud::Catalog;
+use cloudless_state::Snapshot;
+use cloudless_types::{Attrs, ResourceAddr};
+
+/// One step of a rollback plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RollbackStep {
+    /// Update these attributes in place back to checkpoint values.
+    Revert { addr: ResourceAddr, attrs: Attrs },
+    /// The resource must be destroyed and recreated from checkpoint values
+    /// (an irreversible attribute changed).
+    Recreate { addr: ResourceAddr, attrs: Attrs },
+    /// The resource was deleted after the checkpoint; create it again.
+    Restore { addr: ResourceAddr, attrs: Attrs },
+    /// The resource did not exist at the checkpoint; destroy it.
+    Destroy { addr: ResourceAddr },
+}
+
+impl RollbackStep {
+    pub fn addr(&self) -> &ResourceAddr {
+        match self {
+            RollbackStep::Revert { addr, .. }
+            | RollbackStep::Recreate { addr, .. }
+            | RollbackStep::Restore { addr, .. }
+            | RollbackStep::Destroy { addr } => addr,
+        }
+    }
+
+    /// Whether this step redeploys (destroys and/or creates) rather than
+    /// updating in place — the cost metric the paper wants minimized.
+    pub fn is_redeployment(&self) -> bool {
+        !matches!(self, RollbackStep::Revert { .. })
+    }
+}
+
+/// A complete rollback plan.
+#[derive(Debug, Clone, Default)]
+pub struct RollbackPlan {
+    pub steps: Vec<RollbackStep>,
+}
+
+impl RollbackPlan {
+    /// Number of resources redeployed (vs. reverted in place).
+    pub fn redeployments(&self) -> usize {
+        self.steps.iter().filter(|s| s.is_redeployment()).count()
+    }
+
+    /// Number of cheap in-place reverts.
+    pub fn reverts(&self) -> usize {
+        self.steps.len() - self.redeployments()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Attributes that are *managed* (exclude cloud-computed ones) — reverting
+/// computed attributes like `id` is neither possible nor meaningful.
+fn managed_attrs(catalog: &Catalog, addr: &ResourceAddr, attrs: &Attrs) -> Attrs {
+    match catalog.get(&addr.rtype) {
+        Some(schema) => attrs
+            .iter()
+            .filter(|(k, _)| schema.attr(k).map(|a| !a.computed).unwrap_or(true))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect(),
+        None => attrs.clone(),
+    }
+}
+
+/// Compute the minimal rollback plan from `current` (live, refreshed state)
+/// back to `checkpoint`.
+pub fn plan_rollback(current: &Snapshot, checkpoint: &Snapshot, catalog: &Catalog) -> RollbackPlan {
+    let mut steps = Vec::new();
+
+    for target in checkpoint.resources.values() {
+        match current.get(&target.addr) {
+            None => {
+                // deleted since checkpoint → recreate from target attrs
+                steps.push(RollbackStep::Restore {
+                    addr: target.addr.clone(),
+                    attrs: managed_attrs(catalog, &target.addr, &target.attrs),
+                });
+            }
+            Some(live) => {
+                // Compare managed attributes only.
+                let want = managed_attrs(catalog, &target.addr, &target.attrs);
+                let have = managed_attrs(catalog, &live.addr, &live.attrs);
+                if want == have && live.id == target.id {
+                    continue;
+                }
+                // identity changed (resource was replaced since checkpoint):
+                // in-place revert cannot restore the original identity-bound
+                // behavior, but attributes can still converge in place if no
+                // force_new attr differs.
+                let mut delta = Attrs::new();
+                let mut force_new = false;
+                let schema = catalog.get(&target.addr.rtype);
+                for (k, v) in &want {
+                    if have.get(k) != Some(v) {
+                        delta.insert(k.clone(), v.clone());
+                        if let Some(s) = schema {
+                            if s.attr(k).map(|a| a.force_new).unwrap_or(false) {
+                                force_new = true;
+                            }
+                        }
+                    }
+                }
+                // attrs present now but absent at checkpoint must be unset;
+                // we cannot "unset" via the update API, so that also forces
+                // recreate when the attr is force_new, otherwise set null
+                for k in have.keys() {
+                    if !want.contains_key(k) {
+                        delta.insert(k.clone(), cloudless_types::Value::Null);
+                        if let Some(s) = schema {
+                            if s.attr(k).map(|a| a.force_new).unwrap_or(false) {
+                                force_new = true;
+                            }
+                        }
+                    }
+                }
+                if delta.is_empty() {
+                    continue;
+                }
+                if force_new {
+                    steps.push(RollbackStep::Recreate {
+                        addr: target.addr.clone(),
+                        attrs: want,
+                    });
+                } else {
+                    steps.push(RollbackStep::Revert {
+                        addr: target.addr.clone(),
+                        attrs: delta,
+                    });
+                }
+            }
+        }
+    }
+
+    // Resources that exist now but not at the checkpoint → destroy.
+    for live in current.resources.values() {
+        if checkpoint.get(&live.addr).is_none() {
+            steps.push(RollbackStep::Destroy {
+                addr: live.addr.clone(),
+            });
+        }
+    }
+
+    RollbackPlan { steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudless_state::DeployedResource;
+    use cloudless_types::value::attrs;
+    use cloudless_types::{Region, ResourceId, SimTime, Value};
+
+    fn deployed(addr: &str, id: &str, a: Attrs) -> DeployedResource {
+        let addr: ResourceAddr = addr.parse().unwrap();
+        let mut full = a;
+        full.insert("id".into(), Value::from(id));
+        DeployedResource {
+            rtype: addr.rtype.clone(),
+            id: ResourceId::new(id),
+            region: Region::new("us-east-1"),
+            attrs: full,
+            depends_on: vec![],
+            created_at: SimTime::ZERO,
+            addr,
+        }
+    }
+
+    fn catalog() -> Catalog {
+        Catalog::standard()
+    }
+
+    #[test]
+    fn identical_states_need_no_rollback() {
+        let mut snap = Snapshot::new();
+        snap.put(deployed(
+            "aws_virtual_machine.w",
+            "vm-1",
+            attrs([("name", Value::from("w"))]),
+        ));
+        let plan = plan_rollback(&snap, &snap, &catalog());
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn mutable_drift_reverts_in_place() {
+        let mut checkpoint = Snapshot::new();
+        checkpoint.put(deployed(
+            "aws_virtual_machine.w",
+            "vm-1",
+            attrs([
+                ("name", Value::from("w")),
+                ("instance_type", Value::from("t3.micro")),
+            ]),
+        ));
+        let mut current = Snapshot::new();
+        current.put(deployed(
+            "aws_virtual_machine.w",
+            "vm-1",
+            attrs([
+                ("name", Value::from("w")),
+                ("instance_type", Value::from("m5.4xlarge")),
+            ]),
+        ));
+        let plan = plan_rollback(&current, &checkpoint, &catalog());
+        assert_eq!(plan.steps.len(), 1);
+        assert_eq!(plan.reverts(), 1);
+        assert_eq!(plan.redeployments(), 0);
+        match &plan.steps[0] {
+            RollbackStep::Revert { attrs, .. } => {
+                assert_eq!(attrs.get("instance_type"), Some(&Value::from("t3.micro")));
+                // unchanged attrs are not in the delta
+                assert!(!attrs.contains_key("name"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn force_new_drift_requires_recreate() {
+        let mut checkpoint = Snapshot::new();
+        checkpoint.put(deployed(
+            "aws_vpc.v",
+            "vpc-1",
+            attrs([("cidr_block", Value::from("10.0.0.0/16"))]),
+        ));
+        let mut current = Snapshot::new();
+        current.put(deployed(
+            "aws_vpc.v",
+            "vpc-1",
+            attrs([("cidr_block", Value::from("10.99.0.0/16"))]),
+        ));
+        let plan = plan_rollback(&current, &checkpoint, &catalog());
+        assert_eq!(plan.redeployments(), 1);
+        assert!(matches!(plan.steps[0], RollbackStep::Recreate { .. }));
+    }
+
+    #[test]
+    fn deleted_resource_is_restored() {
+        let mut checkpoint = Snapshot::new();
+        checkpoint.put(deployed(
+            "aws_s3_bucket.b",
+            "b-1",
+            attrs([("bucket", Value::from("logs"))]),
+        ));
+        let current = Snapshot::new();
+        let plan = plan_rollback(&current, &checkpoint, &catalog());
+        assert_eq!(plan.steps.len(), 1);
+        match &plan.steps[0] {
+            RollbackStep::Restore { attrs, .. } => {
+                assert_eq!(attrs.get("bucket"), Some(&Value::from("logs")));
+                // computed attrs are not replayed
+                assert!(!attrs.contains_key("id"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn created_resource_is_destroyed() {
+        let checkpoint = Snapshot::new();
+        let mut current = Snapshot::new();
+        current.put(deployed(
+            "aws_s3_bucket.new",
+            "b-9",
+            attrs([("bucket", Value::from("new"))]),
+        ));
+        let plan = plan_rollback(&current, &checkpoint, &catalog());
+        assert_eq!(plan.steps.len(), 1);
+        assert!(matches!(plan.steps[0], RollbackStep::Destroy { .. }));
+    }
+
+    #[test]
+    fn out_of_band_attr_not_in_checkpoint_is_unset() {
+        // The paper's example: custom settings added out of band are "often
+        // ignored by IaC workflow" — the cloudless planner nulls them out.
+        let mut checkpoint = Snapshot::new();
+        checkpoint.put(deployed(
+            "aws_virtual_machine.w",
+            "vm-1",
+            attrs([("name", Value::from("w"))]),
+        ));
+        let mut current = Snapshot::new();
+        current.put(deployed(
+            "aws_virtual_machine.w",
+            "vm-1",
+            attrs([
+                ("name", Value::from("w")),
+                ("user_data", Value::from("#!/bin/sh echo pwned")),
+            ]),
+        ));
+        let plan = plan_rollback(&current, &checkpoint, &catalog());
+        assert_eq!(plan.reverts(), 1);
+        match &plan.steps[0] {
+            RollbackStep::Revert { attrs, .. } => {
+                assert_eq!(attrs.get("user_data"), Some(&Value::Null));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_plan_minimizes_redeployments() {
+        let mut checkpoint = Snapshot::new();
+        checkpoint.put(deployed(
+            "aws_virtual_machine.a",
+            "vm-1",
+            attrs([
+                ("name", Value::from("a")),
+                ("instance_type", Value::from("t3.micro")),
+            ]),
+        ));
+        checkpoint.put(deployed(
+            "aws_vpc.v",
+            "vpc-1",
+            attrs([("cidr_block", Value::from("10.0.0.0/16"))]),
+        ));
+        checkpoint.put(deployed(
+            "aws_s3_bucket.gone",
+            "b-1",
+            attrs([("bucket", Value::from("gone"))]),
+        ));
+        let mut current = Snapshot::new();
+        // vm: mutable drift
+        current.put(deployed(
+            "aws_virtual_machine.a",
+            "vm-1",
+            attrs([
+                ("name", Value::from("a")),
+                ("instance_type", Value::from("m5.large")),
+            ]),
+        ));
+        // vpc: force_new drift
+        current.put(deployed(
+            "aws_vpc.v",
+            "vpc-1",
+            attrs([("cidr_block", Value::from("10.5.0.0/16"))]),
+        ));
+        // bucket deleted; extra created
+        current.put(deployed(
+            "aws_s3_bucket.extra",
+            "b-2",
+            attrs([("bucket", Value::from("extra"))]),
+        ));
+        let plan = plan_rollback(&current, &checkpoint, &catalog());
+        assert_eq!(plan.steps.len(), 4);
+        // only the vpc + restore + destroy are redeployments; vm is a revert
+        assert_eq!(plan.reverts(), 1);
+        assert_eq!(plan.redeployments(), 3);
+    }
+}

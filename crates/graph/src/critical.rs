@@ -1,0 +1,230 @@
+//! Weighted critical-path analysis.
+//!
+//! Paper §3.3: "resources on 'non-critical paths' could make way for
+//! 'critical paths' to expedite the completion of the deployment … such
+//! analyses would require taking into account domain-specific constraints
+//! that dictate how IaC deployments can or cannot be parallelized — e.g.,
+//! cloud API rate limiting, estimated deployment times for various cloud
+//! resources."
+//!
+//! Given per-node duration estimates (virtual milliseconds), this module
+//! computes the classic CPM quantities: earliest start/finish, latest
+//! start/finish under the makespan constraint, slack, and critical-path
+//! membership. The critical-path scheduler in `cloudless-deploy` uses the
+//! *negative slack* as a priority: when the rate limiter only admits `k`
+//! operations, the `k` nodes with least slack go first.
+
+use crate::dag::{Dag, NodeId};
+use crate::topo::{topo_sort, Cycle};
+
+/// Per-node CPM schedule quantities, all in the same (virtual-time) unit as
+/// the input weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeSchedule {
+    /// Estimated duration of the node itself.
+    pub duration: u64,
+    /// Earliest time the node can start (all predecessors finished).
+    pub earliest_start: u64,
+    /// `earliest_start + duration`.
+    pub earliest_finish: u64,
+    /// Latest time the node can start without extending the makespan.
+    pub latest_start: u64,
+    /// `latest_start + duration`.
+    pub latest_finish: u64,
+}
+
+impl NodeSchedule {
+    /// Scheduling freedom: zero for critical nodes.
+    pub fn slack(&self) -> u64 {
+        self.latest_start - self.earliest_start
+    }
+
+    /// Whether the node lies on a critical path.
+    pub fn is_critical(&self) -> bool {
+        self.slack() == 0
+    }
+}
+
+/// Result of a critical-path analysis over a weighted DAG.
+#[derive(Debug, Clone)]
+pub struct CriticalPathAnalysis {
+    /// Schedule per node, indexed by `NodeId::index()`.
+    pub schedule: Vec<NodeSchedule>,
+    /// The lower bound on makespan with unlimited parallelism.
+    pub makespan: u64,
+    /// One maximal critical path, in execution order.
+    pub critical_path: Vec<NodeId>,
+}
+
+impl CriticalPathAnalysis {
+    /// Analyze `dag` with `duration(node)` estimates.
+    pub fn compute<N>(
+        dag: &Dag<N>,
+        mut duration: impl FnMut(NodeId, &N) -> u64,
+    ) -> Result<Self, Cycle> {
+        let order = topo_sort(dag)?;
+        let durs: Vec<u64> = dag.iter().map(|(id, n)| duration(id, n)).collect();
+
+        // Forward pass: earliest start/finish.
+        let mut es = vec![0u64; dag.len()];
+        let mut ef = vec![0u64; dag.len()];
+        for &n in &order {
+            let i = n.index();
+            es[i] = dag
+                .predecessors(n)
+                .iter()
+                .map(|p| ef[p.index()])
+                .max()
+                .unwrap_or(0);
+            ef[i] = es[i] + durs[i];
+        }
+        let makespan = ef.iter().copied().max().unwrap_or(0);
+
+        // Backward pass: latest finish/start.
+        let mut lf = vec![makespan; dag.len()];
+        let mut ls = vec![0u64; dag.len()];
+        for &n in order.iter().rev() {
+            let i = n.index();
+            lf[i] = dag
+                .successors(n)
+                .iter()
+                .map(|s| ls[s.index()])
+                .min()
+                .unwrap_or(makespan);
+            ls[i] = lf[i] - durs[i];
+        }
+
+        let schedule: Vec<NodeSchedule> = (0..dag.len())
+            .map(|i| NodeSchedule {
+                duration: durs[i],
+                earliest_start: es[i],
+                earliest_finish: ef[i],
+                latest_start: ls[i],
+                latest_finish: lf[i],
+            })
+            .collect();
+
+        // Trace one critical path: start from a critical root, repeatedly
+        // follow a critical successor whose earliest start equals our
+        // earliest finish.
+        let mut critical_path = Vec::new();
+        let mut cur = order
+            .iter()
+            .copied()
+            .find(|n| schedule[n.index()].is_critical() && dag.in_degree(*n) == 0);
+        while let Some(n) = cur {
+            critical_path.push(n);
+            let fin = schedule[n.index()].earliest_finish;
+            cur = dag.successors(n).iter().copied().find(|s| {
+                schedule[s.index()].is_critical() && schedule[s.index()].earliest_start == fin
+            });
+        }
+
+        Ok(CriticalPathAnalysis {
+            schedule,
+            makespan,
+            critical_path,
+        })
+    }
+
+    /// Slack of a node (see [`NodeSchedule::slack`]).
+    pub fn slack(&self, n: NodeId) -> u64 {
+        self.schedule[n.index()].slack()
+    }
+
+    /// Whether a node is on some critical path.
+    pub fn is_critical(&self, n: NodeId) -> bool {
+        self.schedule[n.index()].is_critical()
+    }
+
+    /// Priority for ready-queue ordering: lower value = schedule sooner.
+    /// Ties broken by longer remaining work first is approximated by
+    /// `(slack, latest_start)`.
+    pub fn priority(&self, n: NodeId) -> (u64, u64) {
+        let s = &self.schedule[n.index()];
+        (s.slack(), s.latest_start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the classic two-branch graph:
+    ///   a(2) -> b(10) -> d(1)
+    ///   a(2) -> c(3)  -> d(1)
+    fn weighted_diamond() -> (Dag<u64>, [NodeId; 4]) {
+        let mut g = Dag::new();
+        let a = g.add_node(2u64);
+        let b = g.add_node(10u64);
+        let c = g.add_node(3u64);
+        let d = g.add_node(1u64);
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn makespan_is_longest_path() {
+        let (g, _) = weighted_diamond();
+        let cpa = CriticalPathAnalysis::compute(&g, |_, &d| d).unwrap();
+        assert_eq!(cpa.makespan, 2 + 10 + 1);
+    }
+
+    #[test]
+    fn critical_path_follows_heavy_branch() {
+        let (g, [a, b, _, d]) = weighted_diamond();
+        let cpa = CriticalPathAnalysis::compute(&g, |_, &w| w).unwrap();
+        assert_eq!(cpa.critical_path, vec![a, b, d]);
+        assert!(cpa.is_critical(a) && cpa.is_critical(b) && cpa.is_critical(d));
+    }
+
+    #[test]
+    fn slack_of_light_branch() {
+        let (g, [_, _, c, _]) = weighted_diamond();
+        let cpa = CriticalPathAnalysis::compute(&g, |_, &w| w).unwrap();
+        // c can start at 2 and must finish by 12 (d starts at 12): slack 7
+        assert_eq!(cpa.slack(c), 7);
+        assert!(!cpa.is_critical(c));
+    }
+
+    #[test]
+    fn priorities_order_critical_first() {
+        let (g, [_, b, c, _]) = weighted_diamond();
+        let cpa = CriticalPathAnalysis::compute(&g, |_, &w| w).unwrap();
+        assert!(cpa.priority(b) < cpa.priority(c));
+    }
+
+    #[test]
+    fn zero_duration_graph() {
+        let mut g: Dag<()> = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        let cpa = CriticalPathAnalysis::compute(&g, |_, _| 0).unwrap();
+        assert_eq!(cpa.makespan, 0);
+        // everything is (vacuously) critical
+        assert!(cpa.is_critical(a) && cpa.is_critical(b));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: Dag<()> = Dag::new();
+        let cpa = CriticalPathAnalysis::compute(&g, |_, _| 1).unwrap();
+        assert_eq!(cpa.makespan, 0);
+        assert!(cpa.critical_path.is_empty());
+    }
+
+    #[test]
+    fn independent_nodes_all_critical_only_if_longest() {
+        let mut g = Dag::new();
+        let long = g.add_node(10u64);
+        let short = g.add_node(2u64);
+        let cpa = CriticalPathAnalysis::compute(&g, |_, &w| w).unwrap();
+        assert_eq!(cpa.makespan, 10);
+        assert!(cpa.is_critical(long));
+        assert_eq!(cpa.slack(short), 8);
+    }
+}

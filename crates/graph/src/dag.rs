@@ -1,0 +1,325 @@
+//! The core DAG container.
+//!
+//! Nodes are appended and never removed (plans are built once and consumed);
+//! "removal" for incremental planning is expressed by *subgraph views*
+//! computed in [`crate::impact`]. Edges are rejected if they would create a
+//! cycle, so a [`Dag`] is acyclic by construction — every downstream
+//! algorithm can rely on that invariant instead of re-checking it.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node inside a [`Dag`]. Stable for the lifetime of the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Error returned when an edge insertion is rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdgeError {
+    /// The edge would create a cycle (`from` is reachable from `to`).
+    WouldCycle { from: NodeId, to: NodeId },
+    /// One of the endpoints does not exist.
+    UnknownNode(NodeId),
+}
+
+impl fmt::Display for EdgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeError::WouldCycle { from, to } => {
+                write!(f, "edge {from} -> {to} would create a dependency cycle")
+            }
+            EdgeError::UnknownNode(n) => write!(f, "unknown node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeError {}
+
+/// A directed acyclic graph with payloads of type `N`.
+///
+/// Edge direction follows *dependency order*: an edge `a -> b` means "b
+/// depends on a", i.e. `a` must be processed before `b`. This matches the
+/// deployment direction (the NIC is created before the VM that references
+/// it).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dag<N> {
+    nodes: Vec<N>,
+    /// Outgoing edges (dependents) per node, in insertion order.
+    succs: Vec<Vec<NodeId>>,
+    /// Incoming edges (dependencies) per node, in insertion order.
+    preds: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl<N> Default for Dag<N> {
+    fn default() -> Self {
+        Dag {
+            nodes: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+            edge_count: 0,
+        }
+    }
+}
+
+impl<N> Dag<N> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Dag {
+            nodes: Vec::with_capacity(n),
+            succs: Vec::with_capacity(n),
+            preds: Vec::with_capacity(n),
+            edge_count: 0,
+        }
+    }
+
+    /// Append a node and return its id.
+    pub fn add_node(&mut self, payload: N) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(payload);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Insert a dependency edge `from -> to` ("`to` depends on `from`").
+    ///
+    /// Duplicate edges are ignored (idempotent). Returns an error if either
+    /// endpoint is unknown or the edge would create a cycle.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), EdgeError> {
+        if from.index() >= self.nodes.len() {
+            return Err(EdgeError::UnknownNode(from));
+        }
+        if to.index() >= self.nodes.len() {
+            return Err(EdgeError::UnknownNode(to));
+        }
+        if from == to {
+            return Err(EdgeError::WouldCycle { from, to });
+        }
+        if self.succs[from.index()].contains(&to) {
+            return Ok(());
+        }
+        // Reject if `from` is reachable from `to` — that path plus this edge
+        // would close a cycle.
+        if self.reaches(to, from) {
+            return Err(EdgeError::WouldCycle { from, to });
+        }
+        self.succs[from.index()].push(to);
+        self.preds[to.index()].push(from);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Whether `target` is reachable from `start` following edges forward.
+    pub fn reaches(&self, start: NodeId, target: NodeId) -> bool {
+        if start == target {
+            return true;
+        }
+        let mut seen = HashSet::new();
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            for &s in &self.succs[n.index()] {
+                if s == target {
+                    return true;
+                }
+                if seen.insert(s) {
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Direct dependents of `id` (nodes that must run after it).
+    pub fn successors(&self, id: NodeId) -> &[NodeId] {
+        &self.succs[id.index()]
+    }
+
+    /// Direct dependencies of `id` (nodes that must run before it).
+    pub fn predecessors(&self, id: NodeId) -> &[NodeId] {
+        &self.preds[id.index()]
+    }
+
+    /// In-degree of `id`.
+    pub fn in_degree(&self, id: NodeId) -> usize {
+        self.preds[id.index()].len()
+    }
+
+    /// Out-degree of `id`.
+    pub fn out_degree(&self, id: NodeId) -> usize {
+        self.succs[id.index()].len()
+    }
+
+    /// All node ids in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All `(id, payload)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Nodes with no dependencies — the deployment frontier at time zero.
+    pub fn roots(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&n| self.in_degree(n) == 0)
+            .collect()
+    }
+
+    /// Nodes with no dependents — the "leaves" of the deployment.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&n| self.out_degree(n) == 0)
+            .collect()
+    }
+
+    /// All edges as `(from, to)` pairs, in deterministic order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.node_ids()
+            .flat_map(move |from| self.succs[from.index()].iter().map(move |&to| (from, to)))
+    }
+
+    /// Map payloads into a new DAG with identical topology.
+    pub fn map<M>(&self, mut f: impl FnMut(NodeId, &N) -> M) -> Dag<M> {
+        Dag {
+            nodes: self.iter().map(|(id, n)| f(id, n)).collect(),
+            succs: self.succs.clone(),
+            preds: self.preds.clone(),
+            edge_count: self.edge_count,
+        }
+    }
+
+    /// Find the first node whose payload satisfies `pred`.
+    pub fn find(&self, mut pred: impl FnMut(&N) -> bool) -> Option<NodeId> {
+        self.iter().find(|(_, n)| pred(n)).map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Dag<&'static str>, [NodeId; 4]) {
+        // a -> b -> d
+        // a -> c -> d
+        let mut g = Dag::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.roots(), vec![a]);
+        assert_eq!(g.leaves(), vec![d]);
+        assert_eq!(g.successors(a), &[b, c]);
+        assert_eq!(g.predecessors(d), &[b, c]);
+        assert_eq!(*g.node(b), "b");
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let (mut g, [a, _, _, d]) = diamond();
+        let err = g.add_edge(d, a).unwrap_err();
+        assert_eq!(err, EdgeError::WouldCycle { from: d, to: a });
+        // self-loop
+        assert!(matches!(
+            g.add_edge(a, a),
+            Err(EdgeError::WouldCycle { .. })
+        ));
+        // graph unchanged
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let (mut g, [a, ..]) = diamond();
+        let ghost = NodeId(99);
+        assert_eq!(g.add_edge(a, ghost), Err(EdgeError::UnknownNode(ghost)));
+        assert_eq!(g.add_edge(ghost, a), Err(EdgeError::UnknownNode(ghost)));
+    }
+
+    #[test]
+    fn duplicate_edge_is_idempotent() {
+        let (mut g, [a, b, ..]) = diamond();
+        g.add_edge(a, b).unwrap();
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.successors(a), &[b, NodeId(2)]);
+    }
+
+    #[test]
+    fn reachability() {
+        let (g, [a, b, c, d]) = diamond();
+        assert!(g.reaches(a, d));
+        assert!(g.reaches(b, d));
+        assert!(!g.reaches(b, c));
+        assert!(!g.reaches(d, a));
+        assert!(g.reaches(a, a));
+    }
+
+    #[test]
+    fn map_preserves_topology() {
+        let (g, [_, _, _, d]) = diamond();
+        let upper = g.map(|_, s| s.to_uppercase());
+        assert_eq!(upper.len(), 4);
+        assert_eq!(*upper.node(d), "D");
+        assert_eq!(upper.predecessors(d).len(), 2);
+    }
+
+    #[test]
+    fn edges_iteration_deterministic() {
+        let (g, [a, b, c, d]) = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(a, b), (a, c), (b, d), (c, d)]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Impact-scope analysis for incremental updates.
+//!
+//! Paper §3.3: "modifications to individual resources have a limited impact,
+//! affecting only a small subset of successor and predecessor nodes in the
+//! resource dependency graph. By identifying the 'impact scope' of a
+//! deployment change, we can confine the changes to a significantly smaller
+//! resource subgraph … This will reduce the overhead on resource state
+//! queries and redeployment."
+//!
+//! The impact scope of a change set is defined here as:
+//!
+//! * the changed nodes themselves,
+//! * all *descendants* (resources whose inputs may change — they must be
+//!   re-planned and possibly re-deployed), and
+//! * the *direct predecessors* of all of the above (their attributes must be
+//!   re-read to evaluate references, but they themselves need no changes).
+//!
+//! Everything outside the scope keeps its cached state: no refresh API call,
+//! no plan node, no lock.
+
+use std::collections::BTreeSet;
+
+use crate::dag::{Dag, NodeId};
+
+/// The computed impact scope of a change set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImpactScope {
+    /// Nodes that must be re-planned (changed nodes + descendants).
+    pub replan: BTreeSet<NodeId>,
+    /// Nodes whose live state must be re-read but that need no re-plan
+    /// (direct dependencies of `replan` nodes outside it).
+    pub reread: BTreeSet<NodeId>,
+}
+
+impl ImpactScope {
+    /// Compute the scope of `changed` within `dag`.
+    pub fn compute<N>(dag: &Dag<N>, changed: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut replan: BTreeSet<NodeId> = BTreeSet::new();
+        let mut stack: Vec<NodeId> = changed.into_iter().collect();
+        while let Some(n) = stack.pop() {
+            if replan.insert(n) {
+                stack.extend(dag.successors(n).iter().copied());
+            }
+        }
+        let mut reread = BTreeSet::new();
+        for &n in &replan {
+            for &p in dag.predecessors(n) {
+                if !replan.contains(&p) {
+                    reread.insert(p);
+                }
+            }
+        }
+        ImpactScope { replan, reread }
+    }
+
+    /// Total nodes touched in any way (replan + reread).
+    pub fn touched(&self) -> usize {
+        self.replan.len() + self.reread.len()
+    }
+
+    /// Whether `n` is entirely unaffected.
+    pub fn is_untouched(&self, n: NodeId) -> bool {
+        !self.replan.contains(&n) && !self.reread.contains(&n)
+    }
+}
+
+/// All transitive descendants of `start` (excluding `start` itself).
+pub fn descendants<N>(dag: &Dag<N>, start: NodeId) -> BTreeSet<NodeId> {
+    let mut out = BTreeSet::new();
+    let mut stack: Vec<NodeId> = dag.successors(start).to_vec();
+    while let Some(n) = stack.pop() {
+        if out.insert(n) {
+            stack.extend(dag.successors(n).iter().copied());
+        }
+    }
+    out
+}
+
+/// All transitive ancestors of `start` (excluding `start` itself).
+pub fn ancestors<N>(dag: &Dag<N>, start: NodeId) -> BTreeSet<NodeId> {
+    let mut out = BTreeSet::new();
+    let mut stack: Vec<NodeId> = dag.predecessors(start).to_vec();
+    while let Some(n) = stack.pop() {
+        if out.insert(n) {
+            stack.extend(dag.predecessors(n).iter().copied());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// vpc -> subnet -> nic -> vm
+    ///        subnet -> db
+    /// bucket (isolated)
+    fn infra() -> (Dag<&'static str>, [NodeId; 6]) {
+        let mut g = Dag::new();
+        let vpc = g.add_node("vpc");
+        let subnet = g.add_node("subnet");
+        let nic = g.add_node("nic");
+        let vm = g.add_node("vm");
+        let db = g.add_node("db");
+        let bucket = g.add_node("bucket");
+        g.add_edge(vpc, subnet).unwrap();
+        g.add_edge(subnet, nic).unwrap();
+        g.add_edge(nic, vm).unwrap();
+        g.add_edge(subnet, db).unwrap();
+        (g, [vpc, subnet, nic, vm, db, bucket])
+    }
+
+    #[test]
+    fn change_leaf_touches_only_leaf_and_parent() {
+        let (g, [_, _, nic, vm, _, bucket]) = infra();
+        let scope = ImpactScope::compute(&g, [vm]);
+        assert_eq!(scope.replan, BTreeSet::from([vm]));
+        assert_eq!(scope.reread, BTreeSet::from([nic]));
+        assert!(scope.is_untouched(bucket));
+        assert_eq!(scope.touched(), 2);
+    }
+
+    #[test]
+    fn change_mid_node_cascades_to_descendants() {
+        let (g, [vpc, subnet, nic, vm, db, bucket]) = infra();
+        let scope = ImpactScope::compute(&g, [subnet]);
+        assert_eq!(scope.replan, BTreeSet::from([subnet, nic, vm, db]));
+        assert_eq!(scope.reread, BTreeSet::from([vpc]));
+        assert!(scope.is_untouched(bucket));
+    }
+
+    #[test]
+    fn isolated_change_is_isolated() {
+        let (g, [vpc, subnet, nic, vm, db, bucket]) = infra();
+        let scope = ImpactScope::compute(&g, [bucket]);
+        assert_eq!(scope.replan, BTreeSet::from([bucket]));
+        assert!(scope.reread.is_empty());
+        for n in [vpc, subnet, nic, vm, db] {
+            assert!(scope.is_untouched(n));
+        }
+    }
+
+    #[test]
+    fn multiple_changes_union() {
+        let (g, [_, _, nic, vm, db, bucket]) = infra();
+        let scope = ImpactScope::compute(&g, [db, bucket]);
+        assert_eq!(scope.replan, BTreeSet::from([db, bucket]));
+        assert!(scope.is_untouched(vm));
+        assert!(scope.is_untouched(nic));
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let (g, [vpc, subnet, nic, vm, db, _]) = infra();
+        assert_eq!(descendants(&g, subnet), BTreeSet::from([nic, vm, db]));
+        assert_eq!(ancestors(&g, vm), BTreeSet::from([vpc, subnet, nic]));
+        assert!(descendants(&g, vm).is_empty());
+        assert!(ancestors(&g, vpc).is_empty());
+    }
+
+    #[test]
+    fn empty_change_set() {
+        let (g, _) = infra();
+        let scope = ImpactScope::compute(&g, []);
+        assert!(scope.replan.is_empty());
+        assert!(scope.reread.is_empty());
+        assert_eq!(scope.touched(), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Dependency-graph algorithms for IaC deployment planning.
+//!
+//! Paper §3.3: "The resource dependency graph is a DAG, with multiple
+//! 'parallel' subgraphs that can be deployed concurrently. Further, resources
+//! on 'non-critical paths' could make way for 'critical paths' to expedite
+//! the completion of the deployment." And for updates: "modifications to
+//! individual resources have a limited impact, affecting only a small subset
+//! of successor and predecessor nodes … By identifying the 'impact scope' of
+//! a deployment change, we can confine the changes to a significantly smaller
+//! resource subgraph."
+//!
+//! This crate provides the graph machinery both of those observations need:
+//!
+//! * [`Dag`] — an append-oriented directed acyclic graph with cycle
+//!   rejection at edge-insertion time and deterministic iteration order.
+//! * [`topo`] — topological orders and level (wave) schedules.
+//! * [`critical`] — weighted longest-path analysis: earliest/latest start
+//!   times, slack, critical-path membership and priorities.
+//! * [`impact`] — ancestor/descendant closures and the *impact scope* of a
+//!   change set.
+//!
+//! The graph is generic over its node payload so the same algorithms serve
+//! resource plans, module graphs and policy dependency tracking.
+
+pub mod critical;
+pub mod dag;
+pub mod impact;
+pub mod topo;
+
+pub use critical::{CriticalPathAnalysis, NodeSchedule};
+pub use dag::{Dag, EdgeError, NodeId};
+pub use impact::ImpactScope;
+pub use topo::{levels, topo_sort, Cycle};

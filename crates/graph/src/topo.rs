@@ -1,0 +1,167 @@
+//! Topological orders and level schedules.
+//!
+//! Terraform's "graph walk" is essentially a topological traversal with a
+//! fixed concurrency bound (paper §2.1/§3.3). [`topo_sort`] produces the
+//! canonical order; [`levels`] produces the *wave schedule* — maximal
+//! antichains of nodes whose dependencies are all satisfied — which is the
+//! upper bound on deployment parallelism the paper wants exploited.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::dag::{Dag, NodeId};
+
+/// Error: the graph contains a cycle (only possible for graphs constructed
+/// outside [`Dag`]'s guarded insertion; kept for defense in depth).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cycle {
+    /// Nodes that could not be ordered.
+    pub stuck: Vec<NodeId>,
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dependency cycle among {} node(s)", self.stuck.len())
+    }
+}
+
+impl std::error::Error for Cycle {}
+
+/// Kahn's algorithm. Ties are broken by node id, so the order is
+/// deterministic: among ready nodes, the earliest-declared resource goes
+/// first (matching the user's program order).
+pub fn topo_sort<N>(dag: &Dag<N>) -> Result<Vec<NodeId>, Cycle> {
+    let mut in_deg: Vec<usize> = dag.node_ids().map(|n| dag.in_degree(n)).collect();
+    // A BinaryHeap would give O(log n) pops, but plans are small enough that
+    // a sorted frontier keeps the code obvious; VecDeque + sort on insert
+    // preserves id order.
+    let mut ready: VecDeque<NodeId> = dag.node_ids().filter(|n| in_deg[n.index()] == 0).collect();
+    let mut order = Vec::with_capacity(dag.len());
+    while let Some(n) = ready.pop_front() {
+        order.push(n);
+        for &s in dag.successors(n) {
+            in_deg[s.index()] -= 1;
+            if in_deg[s.index()] == 0 {
+                // insert keeping ascending id order
+                let pos = ready.iter().position(|&r| r > s).unwrap_or(ready.len());
+                ready.insert(pos, s);
+            }
+        }
+    }
+    if order.len() == dag.len() {
+        Ok(order)
+    } else {
+        let stuck = dag.node_ids().filter(|n| in_deg[n.index()] > 0).collect();
+        Err(Cycle { stuck })
+    }
+}
+
+/// Level (wave) schedule: `levels()[k]` is the set of nodes whose longest
+/// dependency chain has length `k`. All nodes in one level can execute
+/// concurrently once the previous level completes.
+pub fn levels<N>(dag: &Dag<N>) -> Result<Vec<Vec<NodeId>>, Cycle> {
+    let order = topo_sort(dag)?;
+    let mut depth = vec![0usize; dag.len()];
+    let mut max_depth = 0;
+    for &n in &order {
+        for &p in dag.predecessors(n) {
+            depth[n.index()] = depth[n.index()].max(depth[p.index()] + 1);
+        }
+        max_depth = max_depth.max(depth[n.index()]);
+    }
+    let mut out = vec![Vec::new(); max_depth + 1];
+    for &n in &order {
+        out[depth[n.index()]].push(n);
+    }
+    if dag.is_empty() {
+        out.clear();
+    }
+    Ok(out)
+}
+
+/// The length of the longest dependency chain (number of levels).
+pub fn depth<N>(dag: &Dag<N>) -> Result<usize, Cycle> {
+    Ok(levels(dag)?.len())
+}
+
+/// The width of the widest level — the maximum useful parallelism.
+pub fn width<N>(dag: &Dag<N>) -> Result<usize, Cycle> {
+    Ok(levels(dag)?.iter().map(Vec::len).max().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> Dag<usize> {
+        let mut g = Dag::new();
+        let ids: Vec<_> = (0..n).map(|i| g.add_node(i)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn topo_respects_edges() {
+        let mut g = Dag::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(c, a).unwrap(); // declared later, must still come first
+        g.add_edge(a, b).unwrap();
+        let order = topo_sort(&g).unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(c) < pos(a));
+        assert!(pos(a) < pos(b));
+    }
+
+    #[test]
+    fn topo_tie_break_is_declaration_order() {
+        let mut g: Dag<()> = Dag::new();
+        let ids: Vec<_> = (0..5).map(|_| g.add_node(())).collect();
+        // no edges: order should be exactly declaration order
+        assert_eq!(topo_sort(&g).unwrap(), ids);
+    }
+
+    #[test]
+    fn levels_of_chain_and_flat() {
+        let g = chain(4);
+        let lv = levels(&g).unwrap();
+        assert_eq!(lv.len(), 4);
+        assert!(lv.iter().all(|l| l.len() == 1));
+        assert_eq!(depth(&g).unwrap(), 4);
+        assert_eq!(width(&g).unwrap(), 1);
+
+        let mut flat: Dag<()> = Dag::new();
+        for _ in 0..6 {
+            flat.add_node(());
+        }
+        assert_eq!(depth(&flat).unwrap(), 1);
+        assert_eq!(width(&flat).unwrap(), 6);
+    }
+
+    #[test]
+    fn levels_of_diamond() {
+        let mut g = Dag::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        let lv = levels(&g).unwrap();
+        assert_eq!(lv, vec![vec![a], vec![b, c], vec![d]]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: Dag<()> = Dag::new();
+        assert!(topo_sort(&g).unwrap().is_empty());
+        assert!(levels(&g).unwrap().is_empty());
+        assert_eq!(depth(&g).unwrap(), 0);
+        assert_eq!(width(&g).unwrap(), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Diagnostics with source locations.
+//!
+//! Diagnostics flow out of every phase (lexing, parsing, analysis,
+//! evaluation, validation) in the same shape so the CLI and the repair
+//! engine (§3.5) can render them uniformly:
+//!
+//! ```text
+//! error[HCL012] main.tf:15:3: reference to undeclared resource "aws_nic.n2"
+//! ```
+
+use std::fmt;
+
+use cloudless_types::Span;
+use serde::{Deserialize, Serialize};
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational note (e.g. a suggestion from the porting optimizer).
+    Note,
+    /// Suspicious but not fatal; the program still deploys.
+    Warning,
+    /// The program cannot be deployed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => f.write_str("note"),
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// A single diagnostic message anchored to a source span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    /// Stable machine-readable code, e.g. `HCL001`, `VAL103`.
+    pub code: String,
+    /// File the span refers to.
+    pub file: String,
+    pub span: Span,
+    /// Human-readable message.
+    pub message: String,
+    /// Optional fix-it suggestion shown to the user.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn error(code: &str, file: &str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code: code.to_owned(),
+            file: file.to_owned(),
+            span,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    pub fn warning(code: &str, file: &str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, file, span, message)
+        }
+    }
+
+    pub fn note(code: &str, file: &str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Note,
+            ..Diagnostic::error(code, file, span, message)
+        }
+    }
+
+    /// Attach a fix-it suggestion.
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Self {
+        self.suggestion = Some(s.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}:{}: {}",
+            self.severity, self.code, self.file, self.span, self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n  = help: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// A collection of diagnostics; `Err(Diagnostics)` is the failure type of
+/// the front-end phases.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostics {
+    pub items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Count diagnostics at exactly `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.items.iter().filter(|d| d.severity == sev).count()
+    }
+
+    /// Turn into a `Result`: `Err(self)` if any errors are present.
+    pub fn into_result<T>(self, ok: T) -> Result<T, Diagnostics> {
+        if self.has_errors() {
+            Err(self)
+        } else {
+            Ok(ok)
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.items.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostics {}
+
+impl From<Diagnostic> for Diagnostics {
+    fn from(d: Diagnostic) -> Self {
+        Diagnostics { items: vec![d] }
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudless_types::{SourcePos, Span};
+
+    fn span() -> Span {
+        Span::new(SourcePos::new(15, 3, 100), SourcePos::new(15, 20, 117))
+    }
+
+    #[test]
+    fn display_format() {
+        let d = Diagnostic::error("HCL012", "main.tf", span(), "undeclared resource");
+        assert_eq!(
+            d.to_string(),
+            "error[HCL012] main.tf:15:3: undeclared resource"
+        );
+        let d = d.with_suggestion("declare it first");
+        assert!(d.to_string().contains("help: declare it first"));
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn has_errors_and_counts() {
+        let mut ds = Diagnostics::new();
+        assert!(!ds.has_errors());
+        ds.push(Diagnostic::warning("W1", "f", span(), "w"));
+        assert!(!ds.has_errors());
+        ds.push(Diagnostic::error("E1", "f", span(), "e"));
+        assert!(ds.has_errors());
+        assert_eq!(ds.count(Severity::Warning), 1);
+        assert_eq!(ds.count(Severity::Error), 1);
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn into_result() {
+        let ok = Diagnostics::new().into_result(42);
+        assert_eq!(ok.unwrap(), 42);
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::error("E", "f", span(), "boom"));
+        assert!(ds.into_result(42).is_err());
+    }
+}

@@ -1,0 +1,526 @@
+//! Hand-written lexer for the HCL subset.
+//!
+//! Handles `#`, `//` and `/* */` comments, decimal numbers, identifiers,
+//! operators, and double-quoted strings with escape sequences and `${…}`
+//! template interpolation (with nested-brace tracking so `"${merge({a = 1},
+//! var.m)}"` lexes correctly).
+
+use cloudless_types::{SourcePos, Span};
+
+use crate::diag::{Diagnostic, Diagnostics};
+use crate::token::{StrPart, Token, TokenKind};
+
+/// Lex `source` into tokens (always ending with [`TokenKind::Eof`]).
+pub fn lex(source: &str, filename: &str) -> Result<Vec<Token>, Diagnostics> {
+    Lexer::new(source, filename).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    filename: &'s str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    diags: Diagnostics,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str, filename: &'s str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            filename,
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            diags: Diagnostics::new(),
+        }
+    }
+
+    fn here(&self) -> SourcePos {
+        SourcePos::new(self.line, self.col, self.pos as u32)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn error(&mut self, start: SourcePos, msg: String) {
+        let span = Span::new(start, self.here());
+        self.diags
+            .push(Diagnostic::error("HCL001", self.filename, span, msg));
+    }
+
+    fn push(&mut self, start: SourcePos, kind: TokenKind) {
+        let span = Span::new(start, self.here());
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Diagnostics> {
+        while let Some(b) = self.peek() {
+            let start = self.here();
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'#' => self.skip_line_comment(),
+                b'/' if self.peek2() == Some(b'/') => self.skip_line_comment(),
+                b'/' if self.peek2() == Some(b'*') => self.skip_block_comment(start),
+                b'"' => self.lex_string(start),
+                b'0'..=b'9' => self.lex_number(start),
+                b'-' if matches!(self.peek2(), Some(b'0'..=b'9')) && !self.prev_is_value() => {
+                    // negative literal only where a value is expected
+                    self.bump();
+                    self.lex_number_with_sign(start, true);
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(start),
+                _ => self.lex_operator(start),
+            }
+        }
+        let start = self.here();
+        self.push(start, TokenKind::Eof);
+        self.diags.clone().into_result(self.tokens)
+    }
+
+    /// Whether the previous token could end an expression — used to
+    /// disambiguate unary minus from binary minus.
+    fn prev_is_value(&self) -> bool {
+        matches!(
+            self.tokens.last().map(|t| &t.kind),
+            Some(
+                TokenKind::Ident(_)
+                    | TokenKind::Number(_)
+                    | TokenKind::Str(_)
+                    | TokenKind::RParen
+                    | TokenKind::RBracket
+                    | TokenKind::RBrace
+            )
+        )
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn skip_block_comment(&mut self, start: SourcePos) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        loop {
+            match self.peek() {
+                Some(b'*') if self.peek2() == Some(b'/') => {
+                    self.bump();
+                    self.bump();
+                    return;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => {
+                    self.error(start, "unterminated block comment".to_owned());
+                    return;
+                }
+            }
+        }
+    }
+
+    fn lex_number(&mut self, start: SourcePos) {
+        self.lex_number_with_sign(start, false);
+    }
+
+    fn lex_number_with_sign(&mut self, start: SourcePos, negative: bool) {
+        let num_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        let text = &self.src[num_start..self.pos];
+        match text.parse::<f64>() {
+            Ok(n) => {
+                let n = if negative { -n } else { n };
+                self.push(start, TokenKind::Number(n));
+            }
+            Err(_) => self.error(start, format!("invalid number literal {text:?}")),
+        }
+    }
+
+    fn lex_ident(&mut self, start: SourcePos) {
+        let s = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'-')
+        ) {
+            self.bump();
+        }
+        let text = self.src[s..self.pos].to_owned();
+        self.push(start, TokenKind::Ident(text));
+    }
+
+    fn lex_string(&mut self, start: SourcePos) {
+        self.bump(); // opening quote
+        let mut parts: Vec<StrPart> = Vec::new();
+        let mut lit = String::new();
+        loop {
+            match self.peek() {
+                None => {
+                    self.error(start, "unterminated string literal".to_owned());
+                    break;
+                }
+                Some(b'"') => {
+                    self.bump();
+                    break;
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    // the escaped character may be multi-byte; consume it
+                    // whole so the cursor never lands mid-codepoint
+                    let Some(escaped) = self.src[self.pos..].chars().next() else {
+                        self.error(start, "unterminated string literal".to_owned());
+                        break;
+                    };
+                    for _ in 0..escaped.len_utf8() {
+                        self.bump();
+                    }
+                    match escaped {
+                        'n' => lit.push('\n'),
+                        't' => lit.push('\t'),
+                        'r' => lit.push('\r'),
+                        '\\' => lit.push('\\'),
+                        '"' => lit.push('"'),
+                        '$' => lit.push('$'),
+                        other => {
+                            let p = self.here();
+                            self.error(p, format!("unknown escape '\\{other}'"));
+                        }
+                    }
+                }
+                // HCL escape for a literal `${`: `$${`
+                Some(b'$')
+                    if self.peek2() == Some(b'$')
+                        && self.bytes.get(self.pos + 2) == Some(&b'{') =>
+                {
+                    self.bump();
+                    self.bump();
+                    self.bump();
+                    lit.push_str("${");
+                }
+                Some(b'$') if self.peek2() == Some(b'{') => {
+                    if !lit.is_empty() {
+                        parts.push(StrPart::Lit(std::mem::take(&mut lit)));
+                    }
+                    self.bump(); // $
+                    self.bump(); // {
+                    let interp_start = self.here();
+                    let src_start = self.pos;
+                    let mut depth = 1usize;
+                    let mut in_str = false;
+                    loop {
+                        match self.peek() {
+                            None => {
+                                self.error(start, "unterminated interpolation".to_owned());
+                                break;
+                            }
+                            Some(b'"') => {
+                                in_str = !in_str;
+                                self.bump();
+                            }
+                            Some(b'\\') if in_str => {
+                                self.bump();
+                                self.bump();
+                            }
+                            Some(b'{') if !in_str => {
+                                depth += 1;
+                                self.bump();
+                            }
+                            Some(b'}') if !in_str => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                                self.bump();
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                        }
+                    }
+                    let inner = self.src[src_start..self.pos].to_owned();
+                    let span = Span::new(interp_start, self.here());
+                    self.bump(); // closing }
+                    parts.push(StrPart::Interp(inner, span));
+                }
+                Some(_) => {
+                    // consume one full UTF-8 character
+                    let ch_start = self.pos;
+                    let ch = self.src[ch_start..].chars().next().expect("valid utf8");
+                    for _ in 0..ch.len_utf8() {
+                        self.bump();
+                    }
+                    lit.push(ch);
+                }
+            }
+        }
+        if !lit.is_empty() || parts.is_empty() {
+            parts.push(StrPart::Lit(lit));
+        }
+        self.push(start, TokenKind::Str(parts));
+    }
+
+    fn lex_operator(&mut self, start: SourcePos) {
+        let b = self.bump().expect("peeked");
+        let kind = match b {
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b',' => TokenKind::Comma,
+            b':' => TokenKind::Colon,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'?' => TokenKind::Question,
+            b'.' => {
+                if self.peek() == Some(b'.') && self.peek2() == Some(b'.') {
+                    self.bump();
+                    self.bump();
+                    TokenKind::Ellipsis
+                } else {
+                    TokenKind::Dot
+                }
+            }
+            b'=' => match self.peek() {
+                Some(b'=') => {
+                    self.bump();
+                    TokenKind::Eq
+                }
+                Some(b'>') => {
+                    self.bump();
+                    TokenKind::Arrow
+                }
+                _ => TokenKind::Assign,
+            },
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            b'<' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::LtEq
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::GtEq
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    self.error(start, "expected '&&'".to_owned());
+                    return;
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    self.error(start, "expected '||'".to_owned());
+                    return;
+                }
+            }
+            other => {
+                self.error(start, format!("unexpected character {:?}", other as char));
+                return;
+            }
+        };
+        self.push(start, kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src, "test.tf")
+            .expect("lex ok")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let k = kinds(r#"resource "aws_vm" "v" { size = 4 }"#);
+        assert!(matches!(&k[0], TokenKind::Ident(s) if s == "resource"));
+        assert!(matches!(&k[1], TokenKind::Str(_)));
+        assert!(matches!(&k[2], TokenKind::Str(_)));
+        assert_eq!(k[3], TokenKind::LBrace);
+        assert!(matches!(&k[4], TokenKind::Ident(s) if s == "size"));
+        assert_eq!(k[5], TokenKind::Assign);
+        assert_eq!(k[6], TokenKind::Number(4.0));
+        assert_eq!(k[7], TokenKind::RBrace);
+        assert_eq!(k[8], TokenKind::Eof);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("# line\n// line2\n/* block\nmultiline */ 42");
+        assert_eq!(k, vec![TokenKind::Number(42.0), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("3")[0], TokenKind::Number(3.0));
+        assert_eq!(kinds("3.25")[0], TokenKind::Number(3.25));
+        // unary minus at value position lexes as negative literal
+        assert_eq!(kinds("-7")[0], TokenKind::Number(-7.0));
+        // HCL identifiers may contain dashes, so `x-7` is one identifier…
+        let k = kinds("x-7");
+        assert!(matches!(&k[0], TokenKind::Ident(s) if s == "x-7"));
+        // …and subtraction needs whitespace, like idiomatic HCL
+        let k = kinds("x - 7");
+        assert!(matches!(&k[0], TokenKind::Ident(_)));
+        assert_eq!(k[1], TokenKind::Minus);
+        assert_eq!(k[2], TokenKind::Number(7.0));
+    }
+
+    #[test]
+    fn string_with_escapes() {
+        let k = kinds(r#""a\n\"b\"$${c}""#);
+        match &k[0] {
+            TokenKind::Str(parts) => {
+                assert_eq!(parts, &vec![StrPart::Lit("a\n\"b\"${c}".to_owned())]);
+            }
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_interpolation_parts() {
+        let k = kinds(r#""vm-${var.name}-${count.index}""#);
+        match &k[0] {
+            TokenKind::Str(parts) => {
+                assert_eq!(parts.len(), 4);
+                assert!(matches!(&parts[0], StrPart::Lit(s) if s == "vm-"));
+                assert!(matches!(&parts[1], StrPart::Interp(s, _) if s == "var.name"));
+                assert!(matches!(&parts[2], StrPart::Lit(s) if s == "-"));
+                assert!(matches!(&parts[3], StrPart::Interp(s, _) if s == "count.index"));
+            }
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interpolation_with_nested_braces_and_strings() {
+        let k = kinds(r#""${merge({a = "}"}, m)}""#);
+        match &k[0] {
+            TokenKind::Str(parts) => {
+                assert_eq!(parts.len(), 1);
+                assert!(
+                    matches!(&parts[0], StrPart::Interp(s, _) if s == r#"merge({a = "}"}, m)"#)
+                );
+            }
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multichar_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || => ..."),
+            vec![
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::LtEq,
+                TokenKind::GtEq,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Arrow,
+                TokenKind::Ellipsis,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = lex("a\n  b", "t").unwrap();
+        assert_eq!(toks[0].span.start.line, 1);
+        assert_eq!(toks[1].span.start.line, 2);
+        assert_eq!(toks[1].span.start.col, 3);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(lex("@", "t").is_err());
+        assert!(lex("\"unterminated", "t").is_err());
+        assert!(lex("/* never closed", "t").is_err());
+        assert!(lex("a & b", "t").is_err());
+    }
+
+    #[test]
+    fn empty_string_literal() {
+        let k = kinds(r#""""#);
+        match &k[0] {
+            TokenKind::Str(parts) => assert_eq!(parts, &vec![StrPart::Lit(String::new())]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let k = kinds(r#""héllo-wörld""#);
+        match &k[0] {
+            TokenKind::Str(parts) => {
+                assert_eq!(parts, &vec![StrPart::Lit("héllo-wörld".to_owned())])
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

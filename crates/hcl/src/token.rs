@@ -1,0 +1,113 @@
+//! Token definitions for the HCL lexer.
+
+use std::fmt;
+
+use cloudless_types::Span;
+
+/// One lexed token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// Every token kind the parser understands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Bare identifier (`resource`, `aws_virtual_machine`, `var`…).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal, decomposed into template parts (literal text and
+    /// `${…}` interpolations are separated by the lexer; interpolation
+    /// sources are re-lexed by the parser).
+    Str(Vec<StrPart>),
+    /// `true` / `false` keywords are lexed as Ident and resolved by the
+    /// parser; `null` likewise.
+    // Punctuation
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Colon,
+    Assign, // =
+    Eq,     // ==
+    NotEq,  // !=
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Bang,
+    AndAnd,
+    OrOr,
+    Question,
+    Arrow,    // => (for_each object iteration, reserved)
+    Ellipsis, // ... (splat-ish, reserved)
+
+    /// End of input.
+    Eof,
+}
+
+/// A piece of a (possibly interpolated) string literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrPart {
+    /// Literal text (escapes already decoded).
+    Lit(String),
+    /// The raw source of a `${…}` interpolation, with the span of the
+    /// expression *inside* the braces (for nested diagnostics).
+    Interp(String, Span),
+}
+
+impl TokenKind {
+    /// Short human name used in "expected X, found Y" parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier {s:?}"),
+            TokenKind::Number(n) => format!("number {n}"),
+            TokenKind::Str(_) => "string literal".to_owned(),
+            TokenKind::LBrace => "'{'".to_owned(),
+            TokenKind::RBrace => "'}'".to_owned(),
+            TokenKind::LBracket => "'['".to_owned(),
+            TokenKind::RBracket => "']'".to_owned(),
+            TokenKind::LParen => "'('".to_owned(),
+            TokenKind::RParen => "')'".to_owned(),
+            TokenKind::Comma => "','".to_owned(),
+            TokenKind::Dot => "'.'".to_owned(),
+            TokenKind::Colon => "':'".to_owned(),
+            TokenKind::Assign => "'='".to_owned(),
+            TokenKind::Eq => "'=='".to_owned(),
+            TokenKind::NotEq => "'!='".to_owned(),
+            TokenKind::Lt => "'<'".to_owned(),
+            TokenKind::LtEq => "'<='".to_owned(),
+            TokenKind::Gt => "'>'".to_owned(),
+            TokenKind::GtEq => "'>='".to_owned(),
+            TokenKind::Plus => "'+'".to_owned(),
+            TokenKind::Minus => "'-'".to_owned(),
+            TokenKind::Star => "'*'".to_owned(),
+            TokenKind::Slash => "'/'".to_owned(),
+            TokenKind::Percent => "'%'".to_owned(),
+            TokenKind::Bang => "'!'".to_owned(),
+            TokenKind::AndAnd => "'&&'".to_owned(),
+            TokenKind::OrOr => "'||'".to_owned(),
+            TokenKind::Question => "'?'".to_owned(),
+            TokenKind::Arrow => "'=>'".to_owned(),
+            TokenKind::Ellipsis => "'...'".to_owned(),
+            TokenKind::Eof => "end of file".to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}

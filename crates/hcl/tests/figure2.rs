@@ -1,0 +1,83 @@
+//! The paper's Figure 2 program must parse, analyze and expand verbatim.
+
+use std::collections::BTreeMap;
+
+use cloudless_hcl::eval::MapResolver;
+use cloudless_hcl::parse;
+use cloudless_hcl::program::{expand, ModuleLibrary, Program};
+use cloudless_types::value::vmap;
+use cloudless_types::Value;
+
+/// Figure 2 of the paper, reproduced character-for-character (with the `=`
+/// signs as printed).
+const FIGURE2: &str = r#"/* Simplified Terraform code snippet */
+
+data "aws_region" "current" {}
+
+variable "vmName" {
+  type    = string
+  default = "cloudless"
+}
+
+resource "aws_network_interface" "n1" {
+  name     = "example-nic"
+  location = data.aws_region.current.name
+}
+
+resource "aws_virtual_machine" "vm1" {
+  name    = var.vmName
+  nic_ids = [aws_network_interface.n1.id]
+}
+"#;
+
+#[test]
+fn figure2_parses() {
+    let file = parse(FIGURE2, "figure2.tf").expect("Figure 2 must parse");
+    assert_eq!(file.blocks.len(), 4);
+    let kinds: Vec<&str> = file.blocks.iter().map(|b| b.kind.as_str()).collect();
+    assert_eq!(kinds, vec!["data", "variable", "resource", "resource"]);
+}
+
+#[test]
+fn figure2_analyzes_and_expands() {
+    let program =
+        Program::from_file(parse(FIGURE2, "figure2.tf").unwrap()).expect("analyze Figure 2");
+    assert_eq!(program.variables[0].name, "vmName");
+    assert_eq!(program.variables[0].ty.as_deref(), Some("string"));
+
+    // The data source resolves like the real AWS provider would.
+    let mut data = MapResolver::new();
+    data.insert(
+        "data.aws_region.current",
+        vmap([("name", Value::from("us-east-1"))]),
+    );
+    let manifest =
+        expand(&program, &BTreeMap::new(), &ModuleLibrary::new(), &data).expect("expand Figure 2");
+
+    assert_eq!(manifest.instances.len(), 2);
+    let nic = manifest
+        .instance(&"aws_network_interface.n1".parse().unwrap())
+        .expect("nic instance");
+    assert_eq!(nic.attrs.get("name"), Some(&Value::from("example-nic")));
+    assert_eq!(nic.attrs.get("location"), Some(&Value::from("us-east-1")));
+
+    let vm = manifest
+        .instance(&"aws_virtual_machine.vm1".parse().unwrap())
+        .expect("vm instance");
+    // `name` picks up the variable's default
+    assert_eq!(vm.attrs.get("name"), Some(&Value::from("cloudless")));
+    // `nic_ids` references a computed id, so it defers to apply time
+    assert_eq!(vm.deferred.len(), 1);
+    assert_eq!(vm.deferred[0].name, "nic_ids");
+    // and the dependency edge NIC → VM was extracted
+    assert!(vm.depends_on.contains(&nic.addr));
+}
+
+#[test]
+fn figure2_line_numbers_survive() {
+    // The `nic_ids` attribute sits on line 17 of the figure; spans must say so.
+    let program = Program::from_file(parse(FIGURE2, "figure2.tf").unwrap()).unwrap();
+    let vm = program.resource("aws_virtual_machine", "vm1").unwrap();
+    let nic_ids = vm.attrs.iter().find(|a| a.name == "nic_ids").unwrap();
+    assert_eq!(nic_ids.span.start.line, 17);
+}

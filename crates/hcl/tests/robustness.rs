@@ -1,0 +1,59 @@
+//! Robustness properties: the front end must never panic, whatever the
+//! input — it either parses or reports spanned diagnostics.
+
+use std::collections::BTreeMap;
+
+use cloudless_hcl::eval::MapResolver;
+use cloudless_hcl::program::{expand, ModuleLibrary, Program};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary bytes: lex/parse must return, not panic.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(src in "\\PC*") {
+        let _ = cloudless_hcl::parse(&src, "fuzz.tf");
+    }
+
+    /// Arbitrary *structured-looking* input: higher hit rate on parser paths.
+    #[test]
+    fn parser_never_panics_on_hcl_shaped_input(
+        src in r#"(resource|variable|locals|output|module|data)[ "a-z0-9_${}=\[\]\(\)\.,:\?!<>&|+*/%-]{0,120}"#
+    ) {
+        let _ = cloudless_hcl::parse(&src, "fuzz.tf");
+    }
+
+    /// Whatever parses must also analyze+expand without panicking.
+    #[test]
+    fn pipeline_never_panics_past_the_parser(
+        blocks in proptest::collection::vec(
+            (r#"[a-z][a-z_]{0,8}"#, r#"[a-z][a-z0-9_]{0,8}"#, r#"[a-z_]{1,8}"#, r#"[a-z0-9./${}-]{0,16}"#),
+            0..6
+        )
+    ) {
+        let mut src = String::new();
+        for (kind, name, attr, value) in blocks {
+            src.push_str(&format!("{kind} \"{name}\" {{\n  {attr} = \"{value}\"\n}}\n"));
+        }
+        if let Ok(file) = cloudless_hcl::parse(&src, "fuzz.tf") {
+            if let Ok(program) = Program::from_file(file) {
+                let _ = expand(
+                    &program,
+                    &BTreeMap::new(),
+                    &ModuleLibrary::new(),
+                    &MapResolver::new(),
+                );
+            }
+        }
+    }
+
+    /// Every diagnostic the parser emits carries a plausible span.
+    #[test]
+    fn parse_errors_are_spanned(src in r#"[a-z "={}\[\]]{1,60}"#) {
+        if let Err(diags) = cloudless_hcl::parse(&src, "fuzz.tf") {
+            for d in diags.iter() {
+                prop_assert!(d.span.start.line >= 1 || d.span.is_synthetic());
+                prop_assert!(!d.message.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests: rendering and re-parsing must preserve program meaning.
+
+use cloudless_hcl::ast::{Expr, MapKey, TemplatePart};
+use cloudless_hcl::eval::{eval, DeferAll, Scope};
+use cloudless_hcl::parser::parse_expr;
+use cloudless_hcl::render::render_expr;
+use cloudless_types::Span;
+use proptest::prelude::*;
+
+/// Strategy for arbitrary *evaluable* expressions (no references, so they
+/// can be evaluated without a scope).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let sp = Span::synthetic();
+    let leaf = prop_oneof![
+        Just(Expr::Null(sp)),
+        any::<bool>().prop_map(move |b| Expr::Bool(b, sp)),
+        // keep numbers integral and small so arithmetic stays exact
+        (-100i64..100).prop_map(move |n| Expr::Num(n as f64, sp)),
+        "[a-z0-9 _-]{0,12}".prop_map(move |s| Expr::Str(vec![TemplatePart::Lit(s)], sp)),
+    ];
+    leaf.prop_recursive(3, 24, 4, move |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4)
+                .prop_map(move |items| Expr::List(items, sp)),
+            proptest::collection::vec(("[a-z][a-z0-9_]{0,6}", inner.clone()), 0..3).prop_map(
+                move |entries| {
+                    Expr::Map(
+                        entries
+                            .into_iter()
+                            .map(|(k, v)| (MapKey::Ident(k), v))
+                            .collect(),
+                        sp,
+                    )
+                }
+            ),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(move |(c, t, f)| {
+                Expr::Cond(Box::new(c), Box::new(t), Box::new(f), sp)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// render → parse → eval gives the same value as evaluating directly.
+    #[test]
+    fn render_parse_eval_round_trip(e in arb_expr()) {
+        let scope = Scope::bare(&DeferAll);
+        let direct = eval(&e, &scope);
+        let rendered = render_expr(&e);
+        let reparsed = parse_expr(&rendered, "rt")
+            .unwrap_or_else(|d| panic!("rendered source must re-parse: {d}\nsource: {rendered}"));
+        let via_text = eval(&reparsed, &scope);
+        match (direct, via_text) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "value changed through render: {}", rendered),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "divergence through render: {:?} vs {:?} ({})", a, b, rendered),
+        }
+    }
+}
+
+#[test]
+fn map_with_quoted_keys_round_trips() {
+    let src = r#"{ "us-east-1" = 1, plain = 2 }"#;
+    let e = parse_expr(src, "t").unwrap();
+    let rendered = render_expr(&e);
+    let e2 = parse_expr(&rendered, "t").unwrap();
+    let scope = Scope::bare(&DeferAll);
+    assert_eq!(eval(&e, &scope).unwrap(), eval(&e2, &scope).unwrap());
+}

@@ -1,0 +1,90 @@
+//! The action vocabulary.
+//!
+//! §3.6: "existing policy languages do not expose sufficiently rich
+//! 'actions' to evolve the IaC program based on the observations." Actions
+//! here *evolve the program* (scale a block, patch an attribute) or *gate
+//! the pipeline* (deny a plan) — not merely lint.
+
+use cloudless_types::{ResourceAddr, Value};
+use serde::Serialize;
+
+/// One action requested by a policy.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Action {
+    /// Change the `count` of a `type.name` block in the program.
+    ScaleBlock {
+        block: String,
+        from: usize,
+        to: usize,
+        reason: String,
+    },
+    /// Refuse to apply the proposed plan.
+    DenyPlan { reason: String },
+    /// Set an attribute on a block (program-level patch).
+    PatchAttr {
+        block: String,
+        attr: String,
+        value: Value,
+        reason: String,
+    },
+    /// Re-apply the configuration to stomp drift on this resource.
+    OverwriteDrift { addr: ResourceAddr },
+    /// Page a human.
+    Notify { message: String },
+}
+
+impl Action {
+    /// Whether the action blocks the current plan from applying.
+    pub fn is_blocking(&self) -> bool {
+        matches!(self, Action::DenyPlan { .. })
+    }
+
+    /// Whether the action changes the desired configuration.
+    pub fn mutates_config(&self) -> bool {
+        matches!(
+            self,
+            Action::ScaleBlock { .. } | Action::PatchAttr { .. } | Action::OverwriteDrift { .. }
+        )
+    }
+
+    /// Short verb for tables.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Action::ScaleBlock { .. } => "scale",
+            Action::DenyPlan { .. } => "deny",
+            Action::PatchAttr { .. } => "patch",
+            Action::OverwriteDrift { .. } => "overwrite-drift",
+            Action::Notify { .. } => "notify",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let scale = Action::ScaleBlock {
+            block: "aws_vpn_gateway.g".into(),
+            from: 2,
+            to: 3,
+            reason: "hot".into(),
+        };
+        assert!(scale.mutates_config());
+        assert!(!scale.is_blocking());
+        assert_eq!(scale.verb(), "scale");
+
+        let deny = Action::DenyPlan {
+            reason: "over budget".into(),
+        };
+        assert!(deny.is_blocking());
+        assert!(!deny.mutates_config());
+
+        let notify = Action::Notify {
+            message: "x".into(),
+        };
+        assert!(!notify.is_blocking());
+        assert!(!notify.mutates_config());
+    }
+}

@@ -1,0 +1,491 @@
+//! Built-in policies, including the paper's headline examples.
+
+use std::collections::BTreeMap;
+
+use cloudless_types::Value;
+
+use crate::action::Action;
+use crate::engine::{LifecyclePhase, Policy};
+use crate::observe::Observation;
+
+/// The paper's §3.6 example, generalized: "scale out the number of VPN
+/// gateways and attached tunnels if traffic throughput is close to their
+/// capacity."
+///
+/// Watches a utilization-style metric (`value / capacity`) per block,
+/// averaged over a sliding window; scales out when the average exceeds
+/// `scale_out_at`, in when it drops below `scale_in_at`. A cooldown (in
+/// observations) prevents flapping.
+pub struct ThresholdScalePolicy {
+    /// `type.name` of the governed block.
+    pub block: String,
+    /// Metric to watch (e.g. `throughput_mbps`).
+    pub metric: String,
+    /// Capacity of one instance, in metric units.
+    pub capacity_per_instance: f64,
+    /// Scale out when avg utilization exceeds this (e.g. 0.8).
+    pub scale_out_at: f64,
+    /// Scale in when avg utilization falls below this (e.g. 0.3).
+    pub scale_in_at: f64,
+    pub min_instances: usize,
+    pub max_instances: usize,
+    /// Sliding-window length in samples.
+    pub window: usize,
+    /// Samples to ignore after a scaling action.
+    pub cooldown: usize,
+
+    // state
+    samples: Vec<f64>,
+    current_count: usize,
+    cooldown_left: usize,
+}
+
+impl ThresholdScalePolicy {
+    pub fn new(
+        block: &str,
+        metric: &str,
+        capacity_per_instance: f64,
+        initial_count: usize,
+    ) -> Self {
+        ThresholdScalePolicy {
+            block: block.to_owned(),
+            metric: metric.to_owned(),
+            capacity_per_instance,
+            scale_out_at: 0.8,
+            scale_in_at: 0.3,
+            min_instances: 1,
+            max_instances: 16,
+            window: 3,
+            cooldown: 2,
+            samples: Vec::new(),
+            current_count: initial_count,
+            cooldown_left: 0,
+        }
+    }
+
+    /// The count the policy currently believes is deployed.
+    pub fn current_count(&self) -> usize {
+        self.current_count
+    }
+}
+
+impl Policy for ThresholdScalePolicy {
+    fn name(&self) -> &str {
+        "threshold-scale"
+    }
+
+    fn phases(&self) -> &[LifecyclePhase] {
+        &[LifecyclePhase::Operate]
+    }
+
+    fn evaluate(&mut self, observation: &Observation) -> Vec<Action> {
+        // track inventory so external scaling is observed
+        if let Observation::BlockCount { block, count, .. } = observation {
+            if block == &self.block {
+                self.current_count = *count;
+            }
+            return vec![];
+        }
+        let Observation::Metric {
+            addr,
+            metric,
+            value,
+            ..
+        } = observation
+        else {
+            return vec![];
+        };
+        if metric != &self.metric || addr.block_id() != self.block {
+            return vec![];
+        }
+        // `value` is the *aggregate* demand on the block; utilization is
+        // relative to total capacity of the current fleet.
+        let total_capacity = self.capacity_per_instance * self.current_count.max(1) as f64;
+        let utilization = value / total_capacity;
+        self.samples.push(utilization);
+        if self.samples.len() > self.window {
+            self.samples.remove(0);
+        }
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return vec![];
+        }
+        if self.samples.len() < self.window {
+            return vec![];
+        }
+        let avg: f64 = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        let mut actions = Vec::new();
+        if avg > self.scale_out_at && self.current_count < self.max_instances {
+            let from = self.current_count;
+            self.current_count += 1;
+            self.cooldown_left = self.cooldown;
+            self.samples.clear();
+            actions.push(Action::ScaleBlock {
+                block: self.block.clone(),
+                from,
+                to: self.current_count,
+                reason: format!(
+                    "avg utilization {:.0}% over {} samples exceeds {:.0}%",
+                    avg * 100.0,
+                    self.window,
+                    self.scale_out_at * 100.0
+                ),
+            });
+        } else if avg < self.scale_in_at && self.current_count > self.min_instances {
+            let from = self.current_count;
+            self.current_count -= 1;
+            self.cooldown_left = self.cooldown;
+            self.samples.clear();
+            actions.push(Action::ScaleBlock {
+                block: self.block.clone(),
+                from,
+                to: self.current_count,
+                reason: format!(
+                    "avg utilization {:.0}% below {:.0}%",
+                    avg * 100.0,
+                    self.scale_in_at * 100.0
+                ),
+            });
+        }
+        actions
+    }
+}
+
+/// Budget cap: denies any plan whose resulting monthly cost exceeds the
+/// budget.
+pub struct BudgetPolicy {
+    pub monthly_budget: f64,
+}
+
+impl Policy for BudgetPolicy {
+    fn name(&self) -> &str {
+        "budget-cap"
+    }
+
+    fn phases(&self) -> &[LifecyclePhase] {
+        &[LifecyclePhase::Deploy]
+    }
+
+    fn evaluate(&mut self, observation: &Observation) -> Vec<Action> {
+        let Observation::PlanProposed(summary) = observation else {
+            return vec![];
+        };
+        if summary.monthly_cost > self.monthly_budget {
+            vec![Action::DenyPlan {
+                reason: format!(
+                    "plan results in ${:.0}/month, over the ${:.0} budget",
+                    summary.monthly_cost, self.monthly_budget
+                ),
+            }]
+        } else {
+            vec![]
+        }
+    }
+}
+
+/// Region pinning (compliance, e.g. GDPR): the resulting fleet may only
+/// live in allowed regions.
+pub struct RegionPinPolicy {
+    pub allowed_regions: Vec<String>,
+}
+
+impl Policy for RegionPinPolicy {
+    fn name(&self) -> &str {
+        "region-pin"
+    }
+
+    fn phases(&self) -> &[LifecyclePhase] {
+        &[LifecyclePhase::Deploy]
+    }
+
+    fn evaluate(&mut self, observation: &Observation) -> Vec<Action> {
+        let Observation::PlanProposed(summary) = observation else {
+            return vec![];
+        };
+        let violations: Vec<&(String, String, usize)> = summary
+            .resulting_fleet
+            .iter()
+            .filter(|(_, region, _)| !self.allowed_regions.contains(region))
+            .collect();
+        if violations.is_empty() {
+            vec![]
+        } else {
+            let list: Vec<String> = violations
+                .iter()
+                .map(|(t, r, n)| format!("{n}× {t} in {r}"))
+                .collect();
+            vec![Action::DenyPlan {
+                reason: format!(
+                    "plan places resources outside allowed regions [{}]: {}",
+                    self.allowed_regions.join(", "),
+                    list.join("; ")
+                ),
+            }]
+        }
+    }
+}
+
+/// Required attribute values per type (e.g. "AWS database instances must use
+/// the latest engine"). Emits a patch action for each violating block.
+pub struct RequiredAttrPolicy {
+    pub rtype: String,
+    pub attr: String,
+    pub required: Value,
+    /// Blocks already observed violating, to avoid duplicate patches.
+    seen: BTreeMap<String, bool>,
+}
+
+impl RequiredAttrPolicy {
+    pub fn new(rtype: &str, attr: &str, required: Value) -> Self {
+        RequiredAttrPolicy {
+            rtype: rtype.to_owned(),
+            attr: attr.to_owned(),
+            required,
+            seen: BTreeMap::new(),
+        }
+    }
+}
+
+impl Policy for RequiredAttrPolicy {
+    fn name(&self) -> &str {
+        "required-attr"
+    }
+
+    fn phases(&self) -> &[LifecyclePhase] {
+        &[LifecyclePhase::Validate, LifecyclePhase::Deploy]
+    }
+
+    fn evaluate(&mut self, observation: &Observation) -> Vec<Action> {
+        // This policy is driven by inventory observations carrying the
+        // block's current attr value encoded in the block name by the
+        // harness; full attr plumbing arrives via PlanProposed in a richer
+        // implementation. Here we react to BlockCount of matching types.
+        let Observation::BlockCount { block, rtype, .. } = observation else {
+            return vec![];
+        };
+        if rtype != &self.rtype || self.seen.contains_key(block) {
+            return vec![];
+        }
+        self.seen.insert(block.clone(), true);
+        vec![Action::PatchAttr {
+            block: block.clone(),
+            attr: self.attr.clone(),
+            value: self.required.clone(),
+            reason: format!(
+                "{}.{} is required to be {}",
+                self.rtype, self.attr, self.required
+            ),
+        }]
+    }
+}
+
+/// Drift response: overwrite modifications, page on deletions (§3.5 → §3.6
+/// hand-off).
+pub struct DriftResponsePolicy;
+
+impl Policy for DriftResponsePolicy {
+    fn name(&self) -> &str {
+        "drift-response"
+    }
+
+    fn phases(&self) -> &[LifecyclePhase] {
+        &[LifecyclePhase::Operate]
+    }
+
+    fn evaluate(&mut self, observation: &Observation) -> Vec<Action> {
+        let Observation::Drift(event) = observation else {
+            return vec![];
+        };
+        match cloudless_diagnose::drift::reconcile(event) {
+            cloudless_diagnose::Reconciliation::Overwrite { addr } => {
+                vec![Action::OverwriteDrift { addr }]
+            }
+            cloudless_diagnose::Reconciliation::Adopt { addr } => vec![Action::Notify {
+                message: format!("adopting out-of-band changes on {addr}"),
+            }],
+            cloudless_diagnose::Reconciliation::Notify { id, reason } => vec![Action::Notify {
+                message: format!("drift on {id}: {reason}"),
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::PlanSummary;
+    use cloudless_types::SimTime;
+
+    fn metric(block: &str, value: f64, at: u64) -> Observation {
+        Observation::Metric {
+            addr: format!("{block}[0]").parse().unwrap(),
+            metric: "throughput_mbps".into(),
+            value,
+            at: SimTime(at),
+        }
+    }
+
+    #[test]
+    fn autoscaler_scales_out_under_sustained_load() {
+        // 2 gateways × 1000 mbps capacity; demand 1800 → 90% util
+        let mut p = ThresholdScalePolicy::new("aws_vpn_gateway.g", "throughput_mbps", 1000.0, 2);
+        let mut actions = Vec::new();
+        for i in 0..5 {
+            actions.extend(p.evaluate(&metric("aws_vpn_gateway.g", 1800.0, i)));
+        }
+        assert_eq!(actions.len(), 1, "one scale-out after window fills");
+        match &actions[0] {
+            Action::ScaleBlock { from, to, .. } => {
+                assert_eq!((*from, *to), (2, 3));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.current_count(), 3);
+    }
+
+    #[test]
+    fn autoscaler_scales_in_when_idle() {
+        let mut p = ThresholdScalePolicy::new("aws_vpn_gateway.g", "throughput_mbps", 1000.0, 4);
+        let mut actions = Vec::new();
+        for i in 0..6 {
+            actions.extend(p.evaluate(&metric("aws_vpn_gateway.g", 400.0, i)));
+        }
+        // util = 400/4000 = 10% < 30% → scale in
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::ScaleBlock { to, .. } if *to == 3)));
+    }
+
+    #[test]
+    fn autoscaler_respects_bounds_and_cooldown() {
+        let mut p = ThresholdScalePolicy::new("b.g", "throughput_mbps", 100.0, 1);
+        p.max_instances = 2;
+        let mut scale_events = 0;
+        for i in 0..40 {
+            for a in p.evaluate(&metric("b.g", 1_000.0, i)) {
+                if matches!(a, Action::ScaleBlock { .. }) {
+                    scale_events += 1;
+                }
+            }
+        }
+        // can only go 1 → 2, never beyond max_instances
+        assert_eq!(scale_events, 1);
+        assert_eq!(p.current_count(), 2);
+    }
+
+    #[test]
+    fn autoscaler_ignores_other_blocks_and_metrics() {
+        let mut p = ThresholdScalePolicy::new("aws_vpn_gateway.g", "throughput_mbps", 100.0, 1);
+        for i in 0..10 {
+            assert!(p.evaluate(&metric("aws_vm.other", 1_000.0, i)).is_empty());
+            assert!(p
+                .evaluate(&Observation::Metric {
+                    addr: "aws_vpn_gateway.g[0]".parse().unwrap(),
+                    metric: "cpu".into(),
+                    value: 1_000.0,
+                    at: SimTime(i),
+                })
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn autoscaler_tracks_external_inventory() {
+        let mut p = ThresholdScalePolicy::new("b.g", "throughput_mbps", 100.0, 1);
+        p.evaluate(&Observation::BlockCount {
+            block: "b.g".into(),
+            rtype: "aws_vpn_gateway".into(),
+            count: 5,
+            at: SimTime::ZERO,
+        });
+        assert_eq!(p.current_count(), 5);
+    }
+
+    fn plan(cost: f64, fleet: Vec<(String, String, usize)>) -> Observation {
+        Observation::PlanProposed(PlanSummary {
+            creates: 1,
+            updates: 0,
+            deletes: 0,
+            replaces: 0,
+            resulting_fleet: fleet,
+            monthly_cost: cost,
+        })
+    }
+
+    #[test]
+    fn budget_policy_gates_expensive_plans() {
+        let mut p = BudgetPolicy {
+            monthly_budget: 500.0,
+        };
+        assert!(p.evaluate(&plan(499.0, vec![])).is_empty());
+        let deny = p.evaluate(&plan(501.0, vec![]));
+        assert_eq!(deny.len(), 1);
+        assert!(deny[0].is_blocking());
+    }
+
+    #[test]
+    fn region_pin_policy() {
+        let mut p = RegionPinPolicy {
+            allowed_regions: vec!["eu-west-1".into(), "westeurope".into()],
+        };
+        let ok = plan(0.0, vec![("aws_vpc".into(), "eu-west-1".into(), 1)]);
+        assert!(p.evaluate(&ok).is_empty());
+        let bad = plan(
+            0.0,
+            vec![
+                ("aws_vpc".into(), "eu-west-1".into(), 1),
+                ("aws_db_instance".into(), "us-east-1".into(), 2),
+            ],
+        );
+        let deny = p.evaluate(&bad);
+        assert_eq!(deny.len(), 1);
+        match &deny[0] {
+            Action::DenyPlan { reason } => {
+                assert!(reason.contains("us-east-1"));
+                assert!(reason.contains("2× aws_db_instance"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn required_attr_patches_once() {
+        let mut p = RequiredAttrPolicy::new("aws_db_instance", "engine", Value::from("postgres16"));
+        let obs = Observation::BlockCount {
+            block: "aws_db_instance.main".into(),
+            rtype: "aws_db_instance".into(),
+            count: 1,
+            at: SimTime::ZERO,
+        };
+        let first = p.evaluate(&obs);
+        assert_eq!(first.len(), 1);
+        assert!(first[0].mutates_config());
+        assert!(p.evaluate(&obs).is_empty(), "no duplicate patches");
+    }
+
+    #[test]
+    fn drift_response_policy_routes() {
+        use cloudless_diagnose::{DriftEvent, DriftKind};
+        use cloudless_types::ResourceId;
+        let mut p = DriftResponsePolicy;
+        let modified = Observation::Drift(DriftEvent {
+            kind: DriftKind::Modified,
+            addr: Some("aws_vpc.v".parse().unwrap()),
+            id: ResourceId::new("vpc-1"),
+            principal: Some("legacy".into()),
+            occurred_at: SimTime::ZERO,
+            detected_at: SimTime::ZERO,
+        });
+        let actions = p.evaluate(&modified);
+        assert!(matches!(actions[0], Action::OverwriteDrift { .. }));
+        let deleted = Observation::Drift(DriftEvent {
+            kind: DriftKind::Deleted,
+            addr: Some("aws_vpc.v".parse().unwrap()),
+            id: ResourceId::new("vpc-1"),
+            principal: None,
+            occurred_at: SimTime::ZERO,
+            detected_at: SimTime::ZERO,
+        });
+        assert!(matches!(p.evaluate(&deleted)[0], Action::Notify { .. }));
+    }
+}

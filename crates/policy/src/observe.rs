@@ -1,0 +1,104 @@
+//! The observation vocabulary.
+//!
+//! §3.6: "current IaC frameworks do not explicitly capture and expose enough
+//! metrics and events as 'observations'". Everything a policy may react to
+//! is a variant here; the controller is the single funnel, so adding a new
+//! observation kind automatically offers it to every policy.
+
+use cloudless_diagnose::DriftEvent;
+use cloudless_types::{ResourceAddr, SimTime};
+use serde::Serialize;
+
+/// Summary of a proposed plan, visible to deploy-phase policies.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PlanSummary {
+    pub creates: usize,
+    pub updates: usize,
+    pub deletes: usize,
+    pub replaces: usize,
+    /// (type name, region, count) triples of the post-apply fleet.
+    pub resulting_fleet: Vec<(String, String, usize)>,
+    /// Estimated monthly cost after the plan applies.
+    pub monthly_cost: f64,
+}
+
+/// One observation delivered to the controller.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Observation {
+    /// A telemetry sample for one resource instance.
+    Metric {
+        addr: ResourceAddr,
+        metric: String,
+        value: f64,
+        at: SimTime,
+    },
+    /// Drift detected by the observability layer (§3.5 feeding §3.6).
+    Drift(DriftEvent),
+    /// A plan is proposed and awaits policy admission.
+    PlanProposed(PlanSummary),
+    /// An apply finished (successfully or not).
+    ApplyFinished {
+        ok: bool,
+        failures: usize,
+        at: SimTime,
+    },
+    /// Periodic inventory: instances per `type.name` block.
+    BlockCount {
+        block: String,
+        rtype: String,
+        count: usize,
+        at: SimTime,
+    },
+}
+
+impl Observation {
+    /// When the observation occurred, if it carries a timestamp.
+    pub fn at(&self) -> Option<SimTime> {
+        match self {
+            Observation::Metric { at, .. }
+            | Observation::ApplyFinished { at, .. }
+            | Observation::BlockCount { at, .. } => Some(*at),
+            Observation::Drift(d) => Some(d.occurred_at),
+            Observation::PlanProposed(_) => None,
+        }
+    }
+
+    /// Short kind tag for logs and tables.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Observation::Metric { .. } => "metric",
+            Observation::Drift(_) => "drift",
+            Observation::PlanProposed(_) => "plan",
+            Observation::ApplyFinished { .. } => "apply",
+            Observation::BlockCount { .. } => "inventory",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_timestamps() {
+        let m = Observation::Metric {
+            addr: "aws_vpn_gateway.g[0]".parse().unwrap(),
+            metric: "throughput_mbps".into(),
+            value: 870.0,
+            at: SimTime(5_000),
+        };
+        assert_eq!(m.kind(), "metric");
+        assert_eq!(m.at(), Some(SimTime(5_000)));
+
+        let p = Observation::PlanProposed(PlanSummary {
+            creates: 1,
+            updates: 0,
+            deletes: 0,
+            replaces: 0,
+            resulting_fleet: vec![],
+            monthly_cost: 10.0,
+        });
+        assert_eq!(p.kind(), "plan");
+        assert_eq!(p.at(), None);
+    }
+}

@@ -1,0 +1,131 @@
+//! Synthetic load traces.
+//!
+//! **Substitution note (see DESIGN.md):** the paper's autoscaling example
+//! assumes production traffic metrics. We have no tenants, so [`TraceGen`]
+//! synthesizes demand: a diurnal sine (period 24 virtual hours) plus
+//! seeded burst windows and multiplicative noise. This exercises exactly
+//! the code path a real metrics pipeline would: the policy only ever sees
+//! `Observation::Metric` samples.
+
+use cloudless_types::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded demand-trace generator, in arbitrary load units.
+#[derive(Debug, Clone)]
+pub struct TraceGen {
+    /// Baseline demand.
+    pub base: f64,
+    /// Diurnal amplitude as a fraction of `base` (0.5 → ±50%).
+    pub diurnal_amplitude: f64,
+    /// Multiplicative noise half-width.
+    pub noise: f64,
+    /// Burst windows: (start, duration, multiplier).
+    bursts: Vec<(SimTime, SimDuration, f64)>,
+    seed: u64,
+}
+
+/// One virtual day.
+const DAY_MS: f64 = 24.0 * 3_600_000.0;
+
+impl TraceGen {
+    pub fn new(base: f64, seed: u64) -> Self {
+        TraceGen {
+            base,
+            diurnal_amplitude: 0.4,
+            noise: 0.05,
+            bursts: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Add a burst window multiplying demand by `factor`.
+    pub fn with_burst(mut self, start: SimTime, duration: SimDuration, factor: f64) -> Self {
+        self.bursts.push((start, duration, factor));
+        self
+    }
+
+    /// Demand at time `t`. Deterministic: the noise is hashed from
+    /// (seed, t), so repeated queries agree.
+    pub fn demand(&self, t: SimTime) -> f64 {
+        let phase = (t.millis() as f64 / DAY_MS) * std::f64::consts::TAU;
+        let mut d = self.base * (1.0 + self.diurnal_amplitude * phase.sin());
+        for (start, dur, factor) in &self.bursts {
+            if t >= *start && t.since(*start) < *dur {
+                d *= factor;
+            }
+        }
+        if self.noise > 0.0 {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ t.millis().rotate_left(17));
+            d *= 1.0 + rng.gen_range(-self.noise..=self.noise);
+        }
+        d.max(0.0)
+    }
+
+    /// Sample the trace every `step` over `[from, to)`.
+    pub fn series(&self, from: SimTime, to: SimTime, step: SimDuration) -> Vec<(SimTime, f64)> {
+        let mut out = Vec::new();
+        let mut t = from;
+        while t < to {
+            out.push((t, self.demand(t)));
+            t += step;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hours(h: u64) -> SimTime {
+        SimTime(h * 3_600_000)
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = TraceGen::new(100.0, 7);
+        let b = TraceGen::new(100.0, 7);
+        let c = TraceGen::new(100.0, 8);
+        for h in 0..48 {
+            assert_eq!(a.demand(hours(h)), b.demand(hours(h)));
+        }
+        assert!((0..48).any(|h| a.demand(hours(h)) != c.demand(hours(h))));
+    }
+
+    #[test]
+    fn diurnal_shape() {
+        let g = TraceGen {
+            noise: 0.0,
+            ..TraceGen::new(100.0, 7)
+        };
+        // peak near hour 6 (sin max at quarter period), trough near hour 18
+        let peak = g.demand(hours(6));
+        let trough = g.demand(hours(18));
+        assert!(peak > 135.0, "peak {peak}");
+        assert!(trough < 65.0, "trough {trough}");
+    }
+
+    #[test]
+    fn bursts_multiply() {
+        let g = TraceGen {
+            noise: 0.0,
+            diurnal_amplitude: 0.0,
+            ..TraceGen::new(100.0, 7)
+        }
+        .with_burst(hours(10), SimDuration::from_mins(60), 3.0);
+        assert_eq!(g.demand(hours(9)), 100.0);
+        assert_eq!(g.demand(hours(10)), 300.0);
+        // burst over after an hour
+        assert_eq!(g.demand(hours(11)), 100.0);
+    }
+
+    #[test]
+    fn series_sampling() {
+        let g = TraceGen::new(50.0, 1);
+        let s = g.series(hours(0), hours(4), SimDuration::from_mins(30));
+        assert_eq!(s.len(), 8);
+        assert!(s.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(s.iter().all(|(_, v)| *v >= 0.0));
+    }
+}

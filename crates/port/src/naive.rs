@@ -1,0 +1,231 @@
+//! The Terraformer/Aztfy-style baseline porter.
+//!
+//! One `resource` block per cloud record, attributes dumped verbatim
+//! (everything the API returned except what the schema forbids setting),
+//! references left as hardcoded id strings. This is deliberately the
+//! "lacks clear structures" output the paper criticizes.
+
+use cloudless_cloud::{Catalog, ResourceRecord};
+use cloudless_hcl::ast::{Attribute, Block, BlockBody, Expr, File, MapKey, TemplatePart};
+use cloudless_types::{Span, Value};
+
+/// Convert a [`Value`] into a literal expression.
+pub(crate) fn value_to_expr(v: &Value) -> Expr {
+    let sp = Span::synthetic();
+    match v {
+        Value::Null => Expr::Null(sp),
+        Value::Bool(b) => Expr::Bool(*b, sp),
+        Value::Num(n) => Expr::Num(*n, sp),
+        Value::Str(s) => Expr::Str(vec![TemplatePart::Lit(s.clone())], sp),
+        Value::List(items) => Expr::List(items.iter().map(value_to_expr).collect(), sp),
+        Value::Map(m) => Expr::Map(
+            m.iter()
+                .map(|(k, v)| {
+                    let key = if k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                        MapKey::Ident(k.clone())
+                    } else {
+                        MapKey::Str(k.clone())
+                    };
+                    (key, value_to_expr(v))
+                })
+                .collect(),
+            sp,
+        ),
+    }
+}
+
+/// A deterministic, readable block label from a record.
+pub(crate) fn label_for(
+    record: &ResourceRecord,
+    taken: &mut std::collections::BTreeSet<String>,
+) -> String {
+    let base = record
+        .attrs
+        .get("name")
+        .or_else(|| record.attrs.get("bucket"))
+        .and_then(Value::as_str)
+        .map(sanitize)
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| sanitize(record.rtype.short_name()));
+    let mut label = base.clone();
+    let mut n = 2;
+    while !taken.insert(label.clone()) {
+        label = format!("{base}_{n}");
+        n += 1;
+    }
+    label
+}
+
+fn sanitize(s: &str) -> String {
+    let mut out: String = s
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_digit())
+        .unwrap_or(false)
+    {
+        out.insert(0, 'r');
+    }
+    out.to_lowercase()
+}
+
+/// Port `records` to an IaC file the naive way.
+pub fn naive_port(records: &[ResourceRecord], catalog: &Catalog) -> File {
+    let sp = Span::synthetic();
+    let mut taken = std::collections::BTreeSet::new();
+    let mut blocks = Vec::new();
+    // deterministic order: by id
+    let mut sorted: Vec<&ResourceRecord> = records.iter().collect();
+    sorted.sort_by(|a, b| a.id.cmp(&b.id));
+    for record in sorted {
+        let label = label_for(record, &mut taken);
+        let schema = catalog.get(&record.rtype);
+        let mut attrs = Vec::new();
+        for (name, value) in &record.attrs {
+            // the API will not accept computed attrs back; even the naive
+            // tool must skip them or its output would not even apply
+            if let Some(s) = schema {
+                if s.attr(name).map(|a| a.computed).unwrap_or(false) {
+                    continue;
+                }
+            }
+            attrs.push(Attribute {
+                name: name.clone(),
+                value: value_to_expr(value),
+                span: sp,
+            });
+        }
+        blocks.push(Block {
+            kind: "resource".to_owned(),
+            labels: vec![record.rtype.as_str().to_owned(), label],
+            body: BlockBody {
+                attrs,
+                blocks: vec![],
+            },
+            span: sp,
+        });
+    }
+    File {
+        filename: "imported.tf".to_owned(),
+        blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudless_types::value::attrs;
+    use cloudless_types::{Region, ResourceId, ResourceTypeName, SimTime};
+
+    pub(crate) fn record(id: &str, rtype: &str, a: cloudless_types::Attrs) -> ResourceRecord {
+        ResourceRecord {
+            id: ResourceId::new(id),
+            rtype: ResourceTypeName::new(rtype),
+            region: Region::new("us-east-1"),
+            attrs: a,
+            created_at: SimTime::ZERO,
+            updated_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn naive_port_emits_one_block_per_record() {
+        let records = vec![
+            record(
+                "aws-v-0001",
+                "aws_vpc",
+                attrs([
+                    ("cidr_block", Value::from("10.0.0.0/16")),
+                    ("id", Value::from("aws-v-0001")),
+                ]),
+            ),
+            record(
+                "aws-sb-0002",
+                "aws_s3_bucket",
+                attrs([
+                    ("bucket", Value::from("logs")),
+                    ("id", Value::from("aws-sb-0002")),
+                    ("arn", Value::from("arn:sim:aws:us-east-1:aws-sb-0002")),
+                ]),
+            ),
+        ];
+        let file = naive_port(&records, &Catalog::standard());
+        assert_eq!(file.blocks.len(), 2);
+        // computed attrs (id, arn) are skipped; the rest dumped verbatim
+        let bucket = file
+            .blocks
+            .iter()
+            .find(|b| b.labels[0] == "aws_s3_bucket")
+            .unwrap();
+        assert!(bucket.body.attr("bucket").is_some());
+        assert!(bucket.body.attr("id").is_none());
+        assert!(bucket.body.attr("arn").is_none());
+        // output re-parses
+        let text = cloudless_hcl::render_file(&file);
+        assert!(cloudless_hcl::parse(&text, "t").is_ok(), "{text}");
+    }
+
+    #[test]
+    fn labels_are_sanitized_and_unique() {
+        let records = vec![
+            record(
+                "x-1",
+                "aws_s3_bucket",
+                attrs([("bucket", Value::from("my-logs"))]),
+            ),
+            record(
+                "x-2",
+                "aws_s3_bucket",
+                attrs([("bucket", Value::from("my-logs"))]),
+            ),
+            record(
+                "x-3",
+                "aws_s3_bucket",
+                attrs([("bucket", Value::from("42weird name!"))]),
+            ),
+        ];
+        let file = naive_port(&records, &Catalog::standard());
+        let labels: Vec<&str> = file.blocks.iter().map(|b| b.labels[1].as_str()).collect();
+        assert_eq!(labels.len(), 3);
+        let unique: std::collections::BTreeSet<&&str> = labels.iter().collect();
+        assert_eq!(unique.len(), 3, "{labels:?}");
+        assert!(labels.iter().all(|l| l
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')));
+        assert!(
+            labels.iter().any(|l| l.starts_with('r')),
+            "digit-leading name prefixed"
+        );
+    }
+
+    #[test]
+    fn references_stay_hardcoded() {
+        // the baseline's defining flaw
+        let records = vec![
+            record(
+                "vpc-1",
+                "aws_vpc",
+                attrs([("cidr_block", Value::from("10.0.0.0/16"))]),
+            ),
+            record(
+                "sn-1",
+                "aws_subnet",
+                attrs([
+                    ("vpc_id", Value::from("vpc-1")),
+                    ("cidr_block", Value::from("10.0.1.0/24")),
+                ]),
+            ),
+        ];
+        let file = naive_port(&records, &Catalog::standard());
+        let subnet = file
+            .blocks
+            .iter()
+            .find(|b| b.labels[0] == "aws_subnet")
+            .unwrap();
+        let vpc_id = subnet.body.attr("vpc_id").unwrap();
+        assert_eq!(vpc_id.value.as_plain_str(), Some("vpc-1"));
+    }
+}

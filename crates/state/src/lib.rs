@@ -1,0 +1,40 @@
+//! The golden-state database for cloud infrastructure.
+//!
+//! Paper §3.4: "we need a lock manager backed by an IaC database that
+//! reflects the 'golden state' of the cloud infrastructure, as well as
+//! transaction mechanisms for atomic updates while guaranteeing isolation.
+//! Updates are scheduled based on the logical state and locks in the
+//! database, and only later applied to the physical infrastructure." And for
+//! rollbacks: "better version control systems that track the mapping between
+//! past configurations and their corresponding states — i.e., a 'time
+//! machine' — would be a significant help."
+//!
+//! This crate provides all four pieces:
+//!
+//! * [`snapshot`] — the state document: the IaC-address → cloud-resource
+//!   mapping Terraform keeps in `terraform.tfstate`, serializable as JSON.
+//! * [`store`] — the current-state store with monotonically increasing
+//!   serials.
+//! * [`history`] — the time machine: every applied snapshot is checkpointed
+//!   with its author and message; rollback plans are computed against it.
+//! * [`lock`] — the lock manager, with both the baseline **global lock**
+//!   (what Terraform does today: "existing tools simply lock the entire
+//!   cloud infrastructure for modifications at any scale") and the
+//!   cloudless **per-resource lock manager** that experiment E3 compares it
+//!   against.
+//! * [`txn`] — optimistic transactions over the golden state with
+//!   per-resource versions and first-committer-wins conflict detection.
+
+pub mod history;
+pub mod lock;
+pub mod snapshot;
+pub mod store;
+pub mod txn;
+
+pub use history::{History, HistoryEntry};
+pub use lock::{
+    FairResourceLockManager, GlobalLock, LockGuard, LockManager, LockScope, ResourceLockManager,
+};
+pub use snapshot::{DeployedResource, Snapshot};
+pub use store::StateStore;
+pub use txn::{Transaction, TxnError, TxnManager};

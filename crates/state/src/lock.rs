@@ -1,0 +1,557 @@
+//! The lock manager: global (baseline) vs. per-resource (cloudless).
+//!
+//! §3.4: "Existing tools simply lock the entire cloud infrastructure for
+//! modifications at any scale, restricting the potential for parallel
+//! updates. … if we provide per-resource locks, mutual exclusion needs only
+//! arise when the same resource is being updated by different DevOps teams.
+//! Furthermore, a per-resource lock still allows them to execute updates on
+//! other resources without having to wait for all concurrent updates to
+//! settle."
+//!
+//! [`GlobalLock`] models today's Terraform state lock; [`ResourceLockManager`]
+//! is the cloudless design. Both implement [`LockManager`], so experiment E3
+//! swaps them under identical workloads. These are real thread
+//! synchronization primitives (`parking_lot`), not simulations — the
+//! concurrency experiments run on actual OS threads.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cloudless_types::ResourceAddr;
+use parking_lot::{Condvar, Mutex};
+
+/// What a lock request covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockScope {
+    /// The whole infrastructure.
+    All,
+    /// A specific set of resources.
+    Resources(BTreeSet<ResourceAddr>),
+}
+
+impl LockScope {
+    /// Convenience constructor from an iterator of addresses.
+    pub fn of(addrs: impl IntoIterator<Item = ResourceAddr>) -> Self {
+        LockScope::Resources(addrs.into_iter().collect())
+    }
+
+    /// Whether two scopes conflict (must be mutually exclusive).
+    pub fn conflicts(&self, other: &LockScope) -> bool {
+        match (self, other) {
+            (LockScope::All, _) | (_, LockScope::All) => true,
+            (LockScope::Resources(a), LockScope::Resources(b)) => {
+                // iterate the smaller set
+                let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+                small.iter().any(|x| large.contains(x))
+            }
+        }
+    }
+}
+
+/// RAII guard; releases its scope on drop.
+pub struct LockGuard {
+    release: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl LockGuard {
+    fn new(release: impl FnOnce() + Send + 'static) -> Self {
+        LockGuard {
+            release: Some(Box::new(release)),
+        }
+    }
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        if let Some(f) = self.release.take() {
+            f();
+        }
+    }
+}
+
+/// Contention statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Total successful acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that had to block first.
+    pub contended: u64,
+}
+
+/// Common interface of the two lock designs.
+pub trait LockManager: Send + Sync {
+    /// Block until the scope can be held; returns the guard.
+    fn acquire(&self, scope: LockScope) -> LockGuard;
+
+    /// Try without blocking.
+    fn try_acquire(&self, scope: LockScope) -> Option<LockGuard>;
+
+    /// Name for benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Contention statistics so far.
+    fn stats(&self) -> LockStats;
+}
+
+// ---------------------------------------------------------------------------
+// Global lock (baseline)
+// ---------------------------------------------------------------------------
+
+/// Terraform-style whole-infrastructure lock: every update serializes,
+/// regardless of what it touches.
+#[derive(Default)]
+pub struct GlobalLock {
+    held: Mutex<bool>,
+    cv: Condvar,
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl GlobalLock {
+    pub fn new() -> std::sync::Arc<Self> {
+        std::sync::Arc::new(GlobalLock::default())
+    }
+}
+
+impl LockManager for std::sync::Arc<GlobalLock> {
+    fn acquire(&self, _scope: LockScope) -> LockGuard {
+        let mut held = self.held.lock();
+        if *held {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            while *held {
+                self.cv.wait(&mut held);
+            }
+        }
+        *held = true;
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        let me = self.clone();
+        LockGuard::new(move || {
+            let mut held = me.held.lock();
+            *held = false;
+            me.cv.notify_all();
+        })
+    }
+
+    fn try_acquire(&self, _scope: LockScope) -> Option<LockGuard> {
+        let mut held = self.held.lock();
+        if *held {
+            return None;
+        }
+        *held = true;
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        let me = self.clone();
+        Some(LockGuard::new(move || {
+            let mut held = me.held.lock();
+            *held = false;
+            me.cv.notify_all();
+        }))
+    }
+
+    fn name(&self) -> &'static str {
+        "global-lock"
+    }
+
+    fn stats(&self) -> LockStats {
+        LockStats {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-resource lock manager (cloudless)
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ResourceLockState {
+    /// Rendered addresses currently held.
+    held: BTreeSet<String>,
+    /// Whether an `All` lock is held.
+    all_held: bool,
+}
+
+impl ResourceLockState {
+    fn can_admit(&self, scope: &LockScope) -> bool {
+        if self.all_held {
+            return false;
+        }
+        match scope {
+            LockScope::All => self.held.is_empty(),
+            LockScope::Resources(addrs) => {
+                addrs.iter().all(|a| !self.held.contains(&a.to_string()))
+            }
+        }
+    }
+
+    fn admit(&mut self, scope: &LockScope) {
+        match scope {
+            LockScope::All => self.all_held = true,
+            LockScope::Resources(addrs) => {
+                for a in addrs {
+                    self.held.insert(a.to_string());
+                }
+            }
+        }
+    }
+
+    fn release(&mut self, scope: &LockScope) {
+        match scope {
+            LockScope::All => self.all_held = false,
+            LockScope::Resources(addrs) => {
+                for a in addrs {
+                    self.held.remove(&a.to_string());
+                }
+            }
+        }
+    }
+}
+
+/// The cloudless per-resource lock manager: disjoint scopes proceed in
+/// parallel; overlapping scopes serialize on exactly the contested
+/// resources.
+#[derive(Default)]
+pub struct ResourceLockManager {
+    state: Mutex<ResourceLockState>,
+    cv: Condvar,
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl ResourceLockManager {
+    pub fn new() -> std::sync::Arc<Self> {
+        std::sync::Arc::new(ResourceLockManager::default())
+    }
+}
+
+impl LockManager for std::sync::Arc<ResourceLockManager> {
+    fn acquire(&self, scope: LockScope) -> LockGuard {
+        let mut st = self.state.lock();
+        if !st.can_admit(&scope) {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            while !st.can_admit(&scope) {
+                self.cv.wait(&mut st);
+            }
+        }
+        st.admit(&scope);
+        drop(st);
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        let me = self.clone();
+        LockGuard::new(move || {
+            let mut st = me.state.lock();
+            st.release(&scope);
+            drop(st);
+            me.cv.notify_all();
+        })
+    }
+
+    fn try_acquire(&self, scope: LockScope) -> Option<LockGuard> {
+        let mut st = self.state.lock();
+        if !st.can_admit(&scope) {
+            return None;
+        }
+        st.admit(&scope);
+        drop(st);
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        let me = self.clone();
+        Some(LockGuard::new(move || {
+            let mut st = me.state.lock();
+            st.release(&scope);
+            drop(st);
+            me.cv.notify_all();
+        }))
+    }
+
+    fn name(&self) -> &'static str {
+        "per-resource-lock"
+    }
+
+    fn stats(&self) -> LockStats {
+        LockStats {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fair per-resource lock manager (scheduling-strategy ablation, §3.4)
+// ---------------------------------------------------------------------------
+
+/// Like [`ResourceLockManager`], but *fair*: requests are admitted in
+/// arrival order, and a later request may not overtake an earlier one it
+/// conflicts with — bounding wait times at some throughput cost
+/// ("different lock scheduling strategies can be developed for different
+/// update goals", §3.4). A later *disjoint* request may still proceed.
+#[derive(Default)]
+pub struct FairResourceLockManager {
+    state: Mutex<FairState>,
+    cv: Condvar,
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+}
+
+#[derive(Default)]
+struct FairState {
+    held: ResourceLockState,
+    /// Tickets of requests currently waiting, in arrival order.
+    queue: Vec<(u64, LockScope)>,
+    next_ticket: u64,
+}
+
+impl FairState {
+    /// May `ticket` (already in the queue) be admitted now? It must not
+    /// conflict with held locks nor with any *earlier* queued request.
+    fn may_admit(&self, ticket: u64, scope: &LockScope) -> bool {
+        if !self.held.can_admit(scope) {
+            return false;
+        }
+        self.queue
+            .iter()
+            .filter(|(t, _)| *t < ticket)
+            .all(|(_, earlier)| !earlier.conflicts(scope))
+    }
+}
+
+impl FairResourceLockManager {
+    pub fn new() -> std::sync::Arc<Self> {
+        std::sync::Arc::new(FairResourceLockManager::default())
+    }
+}
+
+impl LockManager for std::sync::Arc<FairResourceLockManager> {
+    fn acquire(&self, scope: LockScope) -> LockGuard {
+        let mut st = self.state.lock();
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push((ticket, scope.clone()));
+        if !st.may_admit(ticket, &scope) {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            while !st.may_admit(ticket, &scope) {
+                self.cv.wait(&mut st);
+            }
+        }
+        st.queue.retain(|(t, _)| *t != ticket);
+        st.held.admit(&scope);
+        drop(st);
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        // waking others: removing ourselves from the queue may unblock
+        // disjoint later requests
+        self.cv.notify_all();
+        let me = self.clone();
+        LockGuard::new(move || {
+            let mut st = me.state.lock();
+            st.held.release(&scope);
+            drop(st);
+            me.cv.notify_all();
+        })
+    }
+
+    fn try_acquire(&self, scope: LockScope) -> Option<LockGuard> {
+        let mut st = self.state.lock();
+        // fairness: refuse if any waiter conflicts, even if the resources
+        // themselves are free
+        let next = st.next_ticket;
+        if !st.may_admit(next, &scope) {
+            return None;
+        }
+        st.held.admit(&scope);
+        drop(st);
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        let me = self.clone();
+        Some(LockGuard::new(move || {
+            let mut st = me.state.lock();
+            st.held.release(&scope);
+            drop(st);
+            me.cv.notify_all();
+        }))
+    }
+
+    fn name(&self) -> &'static str {
+        "fair-resource-lock"
+    }
+
+    fn stats(&self) -> LockStats {
+        LockStats {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> ResourceAddr {
+        s.parse().unwrap()
+    }
+
+    fn scope(names: &[&str]) -> LockScope {
+        LockScope::of(names.iter().map(|s| addr(s)))
+    }
+
+    #[test]
+    fn scope_conflicts() {
+        let a = scope(&["aws_vpc.a", "aws_subnet.b"]);
+        let b = scope(&["aws_subnet.b"]);
+        let c = scope(&["aws_vm.c"]);
+        assert!(a.conflicts(&b));
+        assert!(!a.conflicts(&c));
+        assert!(LockScope::All.conflicts(&c));
+        assert!(c.conflicts(&LockScope::All));
+    }
+
+    #[test]
+    fn global_lock_serializes_everything() {
+        let m = GlobalLock::new();
+        let g = m.try_acquire(scope(&["aws_vpc.a"])).expect("free");
+        // even a disjoint scope is blocked
+        assert!(m.try_acquire(scope(&["aws_vm.z"])).is_none());
+        drop(g);
+        assert!(m.try_acquire(scope(&["aws_vm.z"])).is_some());
+    }
+
+    #[test]
+    fn resource_lock_allows_disjoint() {
+        let m = ResourceLockManager::new();
+        let g1 = m.try_acquire(scope(&["aws_vpc.a"])).expect("free");
+        // disjoint proceeds
+        let g2 = m.try_acquire(scope(&["aws_vm.z"])).expect("disjoint ok");
+        // overlapping blocks
+        assert!(m.try_acquire(scope(&["aws_vpc.a", "aws_db.d"])).is_none());
+        drop(g1);
+        let g3 = m
+            .try_acquire(scope(&["aws_vpc.a", "aws_db.d"]))
+            .expect("freed");
+        drop(g2);
+        drop(g3);
+        assert_eq!(m.stats().acquisitions, 3);
+    }
+
+    #[test]
+    fn all_scope_excludes_everything() {
+        let m = ResourceLockManager::new();
+        let g = m.try_acquire(LockScope::All).expect("free");
+        assert!(m.try_acquire(scope(&["aws_vm.z"])).is_none());
+        assert!(m.try_acquire(LockScope::All).is_none());
+        drop(g);
+        let g1 = m.try_acquire(scope(&["aws_vm.z"])).expect("free again");
+        // All waits while any resource lock is held
+        assert!(m.try_acquire(LockScope::All).is_none());
+        drop(g1);
+        assert!(m.try_acquire(LockScope::All).is_some());
+    }
+
+    #[test]
+    fn blocking_acquire_wakes_on_release() {
+        use std::sync::Arc;
+        let m = ResourceLockManager::new();
+        let g = m.acquire(scope(&["aws_vpc.a"]));
+        let m2 = m.clone();
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let done2 = done.clone();
+        let t = std::thread::spawn(move || {
+            let _g = m2.acquire(scope(&["aws_vpc.a"]));
+            done2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!done.load(Ordering::SeqCst), "must be blocked");
+        drop(g);
+        t.join().unwrap();
+        assert!(done.load(Ordering::SeqCst));
+        assert_eq!(m.stats().contended, 1);
+    }
+
+    #[test]
+    fn fair_lock_preserves_arrival_order_on_conflicts() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let m = FairResourceLockManager::new();
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let g = m.acquire(scope(&["aws_vpc.hot"]));
+        let started = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let m2 = m.clone();
+            let order = order.clone();
+            let started = started.clone();
+            handles.push(std::thread::spawn(move || {
+                // serialize arrival order
+                while started.load(Ordering::SeqCst) != i {
+                    std::thread::yield_now();
+                }
+                started.fetch_add(1, Ordering::SeqCst);
+                // give the ticket time to enqueue before the next arrival
+                let _g = m2.acquire(scope(&["aws_vpc.hot"]));
+                order.lock().push(i);
+            }));
+            // wait until thread i has actually queued (its ticket taken)
+            while m.state.lock().queue.len() != i + 1 {
+                std::thread::yield_now();
+            }
+        }
+        drop(g);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3], "FIFO admission");
+    }
+
+    #[test]
+    fn fair_lock_admits_disjoint_despite_waiters() {
+        let m = FairResourceLockManager::new();
+        let g = m.try_acquire(scope(&["aws_vpc.hot"])).expect("free");
+        // a disjoint scope goes through even while hot is held
+        let d = m.try_acquire(scope(&["aws_vm.cold"])).expect("disjoint ok");
+        drop(d);
+        drop(g);
+        assert_eq!(m.stats().acquisitions, 2);
+    }
+
+    #[test]
+    fn parallel_disjoint_throughput() {
+        // 8 threads × disjoint scopes: with per-resource locks all can hold
+        // simultaneously at some point; mainly we assert no deadlock and all
+        // complete.
+        let m = ResourceLockManager::new();
+        crossbeam::scope(|s| {
+            for i in 0..8 {
+                let m = m.clone();
+                s.spawn(move |_| {
+                    for j in 0..50 {
+                        let _g = m.acquire(scope(&[&format!("aws_vm.t{i}_{j}")]));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(m.stats().acquisitions, 400);
+        assert_eq!(m.stats().contended, 0, "disjoint scopes never contend");
+    }
+
+    #[test]
+    fn contended_overlap_is_safe() {
+        // All threads fight over one hot resource while also touching their
+        // own; the critical sections must never overlap on the hot resource.
+        use std::sync::atomic::AtomicU32;
+        let m = ResourceLockManager::new();
+        let in_critical = AtomicU32::new(0);
+        crossbeam::scope(|s| {
+            for i in 0..6 {
+                let m = m.clone();
+                let in_critical = &in_critical;
+                s.spawn(move |_| {
+                    for _ in 0..30 {
+                        let _g = m.acquire(scope(&["aws_vpc.hot", &format!("aws_vm.t{i}")]));
+                        let now = in_critical.fetch_add(1, Ordering::SeqCst);
+                        assert_eq!(now, 0, "mutual exclusion violated");
+                        in_critical.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(m.stats().acquisitions, 180);
+    }
+}

@@ -1,0 +1,195 @@
+//! The state document: the mapping from IaC addresses to cloud resources.
+//!
+//! This is the artifact the paper calls the bridge between "what cloud users
+//! perceive (the IaC-level configuration) and what they actually receive
+//! (the cloud-level infrastructure)". Each [`DeployedResource`] records the
+//! address the user wrote, the id the cloud assigned, and the full attribute
+//! set observed at apply time.
+
+use std::collections::BTreeMap;
+
+use cloudless_types::{Attrs, Region, ResourceAddr, ResourceId, ResourceTypeName, SimTime, Value};
+use serde::{Deserialize, Serialize};
+
+/// One resource the IaC engine manages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeployedResource {
+    pub addr: ResourceAddr,
+    pub id: ResourceId,
+    pub rtype: ResourceTypeName,
+    pub region: Region,
+    /// Attributes as last observed (including computed ones).
+    pub attrs: Attrs,
+    /// Addresses this resource depends on (kept for destroy ordering).
+    pub depends_on: Vec<ResourceAddr>,
+    pub created_at: SimTime,
+}
+
+impl DeployedResource {
+    /// Convenience accessor into attributes.
+    pub fn attr(&self, name: &str) -> Option<&Value> {
+        self.attrs.get(name)
+    }
+}
+
+/// A point-in-time state document.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Monotonic serial, incremented on every apply.
+    pub serial: u64,
+    /// Resources keyed by their rendered address (stable, sortable).
+    pub resources: BTreeMap<String, DeployedResource>,
+    /// Root-module output values.
+    pub outputs: BTreeMap<String, Value>,
+}
+
+impl Snapshot {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace a resource.
+    pub fn put(&mut self, r: DeployedResource) {
+        self.resources.insert(r.addr.to_string(), r);
+    }
+
+    /// Remove a resource by address; returns it if present.
+    pub fn remove(&mut self, addr: &ResourceAddr) -> Option<DeployedResource> {
+        self.resources.remove(&addr.to_string())
+    }
+
+    /// Look up by address.
+    pub fn get(&self, addr: &ResourceAddr) -> Option<&DeployedResource> {
+        self.resources.get(&addr.to_string())
+    }
+
+    /// Look up by cloud id.
+    pub fn by_id(&self, id: &ResourceId) -> Option<&DeployedResource> {
+        self.resources.values().find(|r| &r.id == id)
+    }
+
+    /// All addresses, sorted.
+    pub fn addrs(&self) -> Vec<ResourceAddr> {
+        self.resources.values().map(|r| r.addr.clone()).collect()
+    }
+
+    /// Number of managed resources.
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    /// Serialize as pretty JSON (the `terraform.tfstate` analogue).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot is serializable")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Snapshot, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Addresses present in `self` but not in `other`.
+    pub fn only_in_self<'a>(&'a self, other: &Snapshot) -> Vec<&'a DeployedResource> {
+        self.resources
+            .iter()
+            .filter(|(k, _)| !other.resources.contains_key(*k))
+            .map(|(_, v)| v)
+            .collect()
+    }
+
+    /// Addresses present in both whose attributes differ.
+    pub fn changed_between<'a>(
+        &'a self,
+        other: &'a Snapshot,
+    ) -> Vec<(&'a DeployedResource, &'a DeployedResource)> {
+        self.resources
+            .iter()
+            .filter_map(|(k, mine)| {
+                other
+                    .resources
+                    .get(k)
+                    .filter(|theirs| theirs.attrs != mine.attrs)
+                    .map(|theirs| (mine, theirs))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudless_types::value::attrs;
+
+    pub(crate) fn res(addr: &str, id: &str) -> DeployedResource {
+        let addr: ResourceAddr = addr.parse().expect("addr");
+        DeployedResource {
+            rtype: addr.rtype.clone(),
+            id: ResourceId::new(id),
+            region: Region::new("us-east-1"),
+            attrs: attrs([("name", Value::from(id))]),
+            depends_on: vec![],
+            created_at: SimTime::ZERO,
+            addr,
+        }
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let mut s = Snapshot::new();
+        s.put(res("aws_vpc.main", "vpc-1"));
+        assert_eq!(s.len(), 1);
+        let addr: ResourceAddr = "aws_vpc.main".parse().unwrap();
+        assert_eq!(s.get(&addr).unwrap().id.as_str(), "vpc-1");
+        assert_eq!(s.by_id(&ResourceId::new("vpc-1")).unwrap().addr, addr);
+        let removed = s.remove(&addr).unwrap();
+        assert_eq!(removed.id.as_str(), "vpc-1");
+        assert!(s.is_empty());
+        assert!(s.remove(&addr).is_none());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut s = Snapshot::new();
+        s.serial = 42;
+        s.put(res("aws_vpc.main", "vpc-1"));
+        s.put(res("aws_subnet.a[0]", "sn-1"));
+        s.outputs.insert("vpc_id".into(), Value::from("vpc-1"));
+        let json = s.to_json();
+        let back = Snapshot::from_json(&json).expect("parse");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn set_differences() {
+        let mut a = Snapshot::new();
+        a.put(res("aws_vpc.main", "vpc-1"));
+        a.put(res("aws_subnet.x", "sn-1"));
+        let mut b = Snapshot::new();
+        b.put(res("aws_vpc.main", "vpc-1"));
+        let only = a.only_in_self(&b);
+        assert_eq!(only.len(), 1);
+        assert_eq!(only[0].addr.to_string(), "aws_subnet.x");
+        assert!(b.only_in_self(&a).is_empty());
+    }
+
+    #[test]
+    fn changed_between_detects_attr_drift() {
+        let mut a = Snapshot::new();
+        a.put(res("aws_vpc.main", "vpc-1"));
+        let mut b = a.clone();
+        b.resources
+            .get_mut("aws_vpc.main")
+            .unwrap()
+            .attrs
+            .insert("name".into(), Value::from("renamed"));
+        let changed = a.changed_between(&b);
+        assert_eq!(changed.len(), 1);
+        assert_eq!(changed[0].0.attr("name"), Some(&Value::from("vpc-1")));
+        assert_eq!(changed[0].1.attr("name"), Some(&Value::from("renamed")));
+        assert!(a.changed_between(&a).is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! The current-state store.
+//!
+//! Wraps the live [`Snapshot`] with serial management and (optional)
+//! persistence. Apply operations mutate through [`StateStore::update`],
+//! which bumps the serial — the analogue of Terraform writing a new state
+//! file version after every apply.
+
+use std::path::Path;
+
+use crate::snapshot::Snapshot;
+
+/// Errors from persistence.
+#[derive(Debug)]
+pub enum StoreError {
+    Io(std::io::Error),
+    Corrupt(serde_json::Error),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "state i/o error: {e}"),
+            StoreError::Corrupt(e) => write!(f, "state file corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Holds the current golden state.
+#[derive(Debug, Clone, Default)]
+pub struct StateStore {
+    current: Snapshot,
+}
+
+impl StateStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap an existing snapshot (e.g. after an import).
+    pub fn from_snapshot(s: Snapshot) -> Self {
+        StateStore { current: s }
+    }
+
+    /// Read-only view of the current state.
+    pub fn current(&self) -> &Snapshot {
+        &self.current
+    }
+
+    /// Current serial.
+    pub fn serial(&self) -> u64 {
+        self.current.serial
+    }
+
+    /// Apply a mutation to the state, bumping the serial. Returns the new
+    /// serial.
+    pub fn update(&mut self, f: impl FnOnce(&mut Snapshot)) -> u64 {
+        f(&mut self.current);
+        self.current.serial += 1;
+        self.current.serial
+    }
+
+    /// Replace the whole snapshot (rollback restore), bumping the serial
+    /// past both the old and the incoming one so serials stay monotonic.
+    pub fn restore(&mut self, snapshot: Snapshot) -> u64 {
+        let next = self.current.serial.max(snapshot.serial) + 1;
+        self.current = snapshot;
+        self.current.serial = next;
+        next
+    }
+
+    /// Persist to a JSON file.
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        std::fs::write(path, self.current.to_json()).map_err(StoreError::Io)
+    }
+
+    /// Load from a JSON file.
+    pub fn load(path: &Path) -> Result<Self, StoreError> {
+        let text = std::fs::read_to_string(path).map_err(StoreError::Io)?;
+        let snapshot = Snapshot::from_json(&text).map_err(StoreError::Corrupt)?;
+        Ok(StateStore { current: snapshot })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudless_types::{Region, ResourceAddr, ResourceId, SimTime};
+
+    use crate::snapshot::DeployedResource;
+
+    fn res(addr: &str, id: &str) -> DeployedResource {
+        let addr: ResourceAddr = addr.parse().unwrap();
+        DeployedResource {
+            rtype: addr.rtype.clone(),
+            id: ResourceId::new(id),
+            region: Region::new("us-east-1"),
+            attrs: Default::default(),
+            depends_on: vec![],
+            created_at: SimTime::ZERO,
+            addr,
+        }
+    }
+
+    #[test]
+    fn update_bumps_serial() {
+        let mut store = StateStore::new();
+        assert_eq!(store.serial(), 0);
+        let s1 = store.update(|s| s.put(res("aws_vpc.v", "vpc-1")));
+        assert_eq!(s1, 1);
+        let s2 = store.update(|s| s.put(res("aws_subnet.s", "sn-1")));
+        assert_eq!(s2, 2);
+        assert_eq!(store.current().len(), 2);
+    }
+
+    #[test]
+    fn restore_keeps_serials_monotonic() {
+        let mut store = StateStore::new();
+        store.update(|s| s.put(res("aws_vpc.v", "vpc-1")));
+        store.update(|s| s.put(res("aws_subnet.s", "sn-1")));
+        let old = store.current().clone(); // serial 2
+        store.update(|s| {
+            s.remove(&"aws_subnet.s".parse().unwrap());
+        }); // serial 3
+        let new_serial = store.restore(old);
+        assert_eq!(new_serial, 4);
+        assert_eq!(store.current().len(), 2);
+    }
+
+    #[test]
+    fn save_and_load() {
+        let dir = std::env::temp_dir().join("cloudless-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        let mut store = StateStore::new();
+        store.update(|s| s.put(res("aws_vpc.v", "vpc-1")));
+        store.save(&path).expect("save");
+        let loaded = StateStore::load(&path).expect("load");
+        assert_eq!(loaded.current(), store.current());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_corrupt_file_errors() {
+        let dir = std::env::temp_dir().join("cloudless-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(matches!(
+            StateStore::load(&path),
+            Err(StoreError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            StateStore::load(Path::new("/nonexistent/state.json")),
+            Err(StoreError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,84 @@
+//! User intent: the input to synthesis.
+
+use cloudless_types::{Attrs, Provider, Region};
+use serde::Serialize;
+
+/// One requested resource kind.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WantedResource {
+    /// Catalog type, e.g. `azure_virtual_machine`.
+    pub rtype: String,
+    /// How many instances.
+    pub count: usize,
+    /// Base name for generated labels/names.
+    pub name_hint: String,
+    /// Explicit attribute overrides.
+    pub overrides: Attrs,
+}
+
+impl WantedResource {
+    pub fn new(rtype: &str, count: usize, name_hint: &str) -> Self {
+        WantedResource {
+            rtype: rtype.to_owned(),
+            count,
+            name_hint: name_hint.to_owned(),
+            overrides: Attrs::new(),
+        }
+    }
+
+    pub fn with_attr(mut self, name: &str, value: cloudless_types::Value) -> Self {
+        self.overrides.insert(name.to_owned(), value);
+        self
+    }
+}
+
+/// A complete synthesis request.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Intent {
+    pub resources: Vec<WantedResource>,
+    /// Target region (defaults to the provider default of each type).
+    pub region: Option<Region>,
+}
+
+impl Intent {
+    pub fn new(resources: Vec<WantedResource>) -> Self {
+        Intent {
+            resources,
+            region: None,
+        }
+    }
+
+    pub fn in_region(mut self, region: &str) -> Self {
+        self.region = Some(Region::new(region));
+        self
+    }
+
+    /// Effective region for a provider.
+    pub fn region_for(&self, p: Provider) -> Region {
+        match &self.region {
+            Some(r) if p.has_region(r) => r.clone(),
+            _ => p.default_region(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudless_types::Value;
+
+    #[test]
+    fn builder() {
+        let intent = Intent::new(vec![WantedResource::new("azure_virtual_machine", 2, "web")
+            .with_attr("size", Value::from("Standard_D2s"))])
+        .in_region("westeurope");
+        assert_eq!(intent.resources[0].count, 2);
+        assert_eq!(
+            intent.resources[0].overrides.get("size"),
+            Some(&Value::from("Standard_D2s"))
+        );
+        assert_eq!(intent.region_for(Provider::Azure).as_str(), "westeurope");
+        // region invalid for another provider falls back to its default
+        assert_eq!(intent.region_for(Provider::Aws).as_str(), "us-east-1");
+    }
+}

@@ -1,0 +1,247 @@
+//! IPv4 CIDR arithmetic shared by the expression language (`cidrsubnet`,
+//! `cidrhost`), the cloud-side constraint rules (address-space overlap,
+//! subnet containment — paper §3.2's Azure examples) and the compile-time
+//! validator.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 CIDR block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cidr {
+    /// Network address (host bits already masked off).
+    pub addr: u32,
+    /// Prefix length, 0..=32.
+    pub len: u32,
+}
+
+/// Error parsing a CIDR string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CidrParseError(pub String);
+
+impl fmt::Display for CidrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CIDR: {}", self.0)
+    }
+}
+
+impl std::error::Error for CidrParseError {}
+
+impl Cidr {
+    /// Construct, masking host bits.
+    pub fn new(addr: u32, len: u32) -> Result<Cidr, CidrParseError> {
+        if len > 32 {
+            return Err(CidrParseError(format!("prefix length {len} > 32")));
+        }
+        Ok(Cidr {
+            addr: addr & Self::mask(len),
+            len,
+        })
+    }
+
+    /// The netmask of a prefix length.
+    pub fn mask(len: u32) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            !0u32 << (32 - len)
+        }
+    }
+
+    /// First address of the block.
+    pub fn network(&self) -> u32 {
+        self.addr
+    }
+
+    /// Last address of the block.
+    pub fn broadcast(&self) -> u32 {
+        self.addr | !Self::mask(self.len)
+    }
+
+    /// Number of addresses in the block (2^(32-len), saturating).
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// Whether two blocks share any address.
+    pub fn overlaps(&self, other: &Cidr) -> bool {
+        self.network() <= other.broadcast() && other.network() <= self.broadcast()
+    }
+
+    /// Whether `other` is entirely inside `self`.
+    pub fn contains(&self, other: &Cidr) -> bool {
+        self.len <= other.len
+            && self.network() <= other.network()
+            && other.broadcast() <= self.broadcast()
+    }
+
+    /// Whether a single address is inside the block.
+    pub fn contains_addr(&self, addr: u32) -> bool {
+        self.network() <= addr && addr <= self.broadcast()
+    }
+
+    /// The `netnum`-th subnet with `newbits` extra prefix bits
+    /// (Terraform's `cidrsubnet`).
+    pub fn subnet(&self, newbits: u32, netnum: u32) -> Result<Cidr, CidrParseError> {
+        let new_len = self.len + newbits;
+        if new_len > 32 {
+            return Err(CidrParseError(format!(
+                "prefix /{} + {newbits} new bits exceeds /32",
+                self.len
+            )));
+        }
+        if newbits < 32 && u64::from(netnum) >= (1u64 << newbits) {
+            return Err(CidrParseError(format!(
+                "netnum {netnum} does not fit in {newbits} bit(s)"
+            )));
+        }
+        let addr = if new_len == 0 {
+            self.addr
+        } else {
+            self.addr | (netnum << (32 - new_len))
+        };
+        Cidr::new(addr, new_len)
+    }
+
+    /// The `hostnum`-th address of the block (Terraform's `cidrhost`).
+    pub fn host(&self, hostnum: u32) -> Result<u32, CidrParseError> {
+        let host_bits = 32 - self.len;
+        if host_bits < 32 && u64::from(hostnum) >= (1u64 << host_bits) {
+            return Err(CidrParseError(format!(
+                "host number {hostnum} does not fit in {host_bits} bit(s)"
+            )));
+        }
+        Ok(self.addr | hostnum)
+    }
+}
+
+impl FromStr for Cidr {
+    type Err = CidrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr_part, len_part) = s
+            .split_once('/')
+            .ok_or_else(|| CidrParseError(format!("{s:?} missing '/'")))?;
+        let len: u32 = len_part
+            .parse()
+            .map_err(|_| CidrParseError(format!("{s:?} bad prefix length")))?;
+        let octets: Vec<&str> = addr_part.split('.').collect();
+        if octets.len() != 4 {
+            return Err(CidrParseError(format!("{s:?} expected 4 octets")));
+        }
+        let mut addr: u32 = 0;
+        for o in octets {
+            let b: u32 = o
+                .parse::<u8>()
+                .map_err(|_| CidrParseError(format!("{s:?} bad octet {o:?}")))?
+                .into();
+            addr = (addr << 8) | b;
+        }
+        Cidr::new(addr, len)
+    }
+}
+
+impl fmt::Display for Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{}.{}.{}/{}",
+            (self.addr >> 24) & 0xff,
+            (self.addr >> 16) & 0xff,
+            (self.addr >> 8) & 0xff,
+            self.addr & 0xff,
+            self.len
+        )
+    }
+}
+
+/// Format a raw IPv4 address.
+pub fn format_addr(addr: u32) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        (addr >> 24) & 0xff,
+        (addr >> 16) & 0xff,
+        (addr >> 8) & 0xff,
+        addr & 0xff
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Cidr {
+        s.parse().expect("valid cidr")
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in [
+            "10.0.0.0/16",
+            "192.168.1.0/24",
+            "0.0.0.0/0",
+            "255.255.255.255/32",
+        ] {
+            assert_eq!(c(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_masks_host_bits() {
+        assert_eq!(c("10.0.3.7/16").to_string(), "10.0.0.0/16");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("10.0.0.0".parse::<Cidr>().is_err());
+        assert!("10.0.0/8".parse::<Cidr>().is_err());
+        assert!("10.0.0.256/8".parse::<Cidr>().is_err());
+        assert!("10.0.0.0/33".parse::<Cidr>().is_err());
+        assert!("x.y.z.w/8".parse::<Cidr>().is_err());
+    }
+
+    #[test]
+    fn overlap_cases() {
+        assert!(c("10.0.0.0/16").overlaps(&c("10.0.128.0/17")));
+        assert!(c("10.0.0.0/16").overlaps(&c("10.0.0.0/16")));
+        assert!(c("10.0.0.0/8").overlaps(&c("10.200.0.0/16")));
+        assert!(!c("10.0.0.0/16").overlaps(&c("10.1.0.0/16")));
+        assert!(!c("192.168.0.0/24").overlaps(&c("192.168.1.0/24")));
+    }
+
+    #[test]
+    fn containment() {
+        assert!(c("10.0.0.0/8").contains(&c("10.5.0.0/16")));
+        assert!(c("10.0.0.0/16").contains(&c("10.0.0.0/16")));
+        assert!(!c("10.5.0.0/16").contains(&c("10.0.0.0/8")));
+        assert!(!c("10.0.0.0/16").contains(&c("10.1.0.0/24")));
+        assert!(c("10.0.1.0/24").contains_addr(c("10.0.1.0/24").host(5).unwrap()));
+    }
+
+    #[test]
+    fn subnet_math_matches_terraform() {
+        assert_eq!(
+            c("10.0.0.0/16").subnet(8, 2).unwrap().to_string(),
+            "10.0.2.0/24"
+        );
+        assert_eq!(
+            c("192.168.0.0/24").subnet(4, 15).unwrap().to_string(),
+            "192.168.0.240/28"
+        );
+        assert!(c("10.0.0.0/30").subnet(8, 0).is_err());
+        assert!(c("10.0.0.0/16").subnet(2, 4).is_err());
+    }
+
+    #[test]
+    fn host_math() {
+        assert_eq!(format_addr(c("10.0.2.0/24").host(5).unwrap()), "10.0.2.5");
+        assert!(c("10.0.2.0/30").host(9).is_err());
+    }
+
+    #[test]
+    fn size_and_bounds() {
+        assert_eq!(c("10.0.0.0/24").size(), 256);
+        assert_eq!(c("0.0.0.0/0").size(), 1u64 << 32);
+        assert_eq!(format_addr(c("10.0.0.0/24").broadcast()), "10.0.0.255");
+    }
+}

@@ -1,0 +1,151 @@
+//! Source locations for diagnostics.
+//!
+//! The paper complains (§3.5) that cloud error messages "do not even pinpoint
+//! the specific 'lines of code'". To fix that, *every* artifact derived from
+//! an IaC program — resource blocks, individual attributes, plan nodes —
+//! carries a [`Span`] pointing back into the original source. The
+//! error-translation layer (`cloudless-diagnose`) uses these spans to turn a
+//! cloud-level failure into `main.tf:15:3`-style messages.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A position in a source file (1-based line and column, 0-based byte offset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SourcePos {
+    pub line: u32,
+    pub col: u32,
+    pub offset: u32,
+}
+
+impl SourcePos {
+    pub const fn new(line: u32, col: u32, offset: u32) -> Self {
+        SourcePos { line, col, offset }
+    }
+
+    /// Position of the very first character of a file.
+    pub const fn start() -> Self {
+        SourcePos {
+            line: 1,
+            col: 1,
+            offset: 0,
+        }
+    }
+}
+
+impl fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open range `[start, end)` in one source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Span {
+    pub start: SourcePos,
+    pub end: SourcePos,
+}
+
+impl Span {
+    pub const fn new(start: SourcePos, end: SourcePos) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at a position.
+    pub const fn point(pos: SourcePos) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// A synthetic span for generated code that has no source location
+    /// (e.g. a program produced by the porting tool before it is rendered).
+    pub const fn synthetic() -> Self {
+        Span::point(SourcePos::new(0, 0, 0))
+    }
+
+    /// `true` if this span was produced by [`Span::synthetic`].
+    pub fn is_synthetic(&self) -> bool {
+        self.start.line == 0
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(&self, other: Span) -> Span {
+        let start = if self.start.offset <= other.start.offset {
+            self.start
+        } else {
+            other.start
+        };
+        let end = if self.end.offset >= other.end.offset {
+            self.end
+        } else {
+            other.end
+        };
+        Span { start, end }
+    }
+
+    /// Whether `pos` falls inside the span.
+    pub fn contains(&self, pos: SourcePos) -> bool {
+        pos.offset >= self.start.offset && pos.offset < self.end.offset
+    }
+
+    /// First line of the span — what a one-line diagnostic points at.
+    pub fn line(&self) -> u32 {
+        self.start.line
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthetic() {
+            f.write_str("<generated>")
+        } else {
+            write!(f, "{}", self.start)
+        }
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Span::synthetic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(line: u32, col: u32, off: u32) -> SourcePos {
+        SourcePos::new(line, col, off)
+    }
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(sp(1, 1, 0), sp(1, 5, 4));
+        let b = Span::new(sp(2, 1, 10), sp(2, 8, 17));
+        let m = a.merge(b);
+        assert_eq!(m.start, a.start);
+        assert_eq!(m.end, b.end);
+        // merge is symmetric
+        assert_eq!(b.merge(a), m);
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let s = Span::new(sp(1, 1, 0), sp(1, 5, 4));
+        assert!(s.contains(sp(1, 1, 0)));
+        assert!(s.contains(sp(1, 4, 3)));
+        assert!(!s.contains(sp(1, 5, 4)));
+    }
+
+    #[test]
+    fn synthetic_display() {
+        assert_eq!(Span::synthetic().to_string(), "<generated>");
+        assert!(Span::synthetic().is_synthetic());
+        let real = Span::new(sp(15, 3, 120), sp(15, 20, 137));
+        assert_eq!(real.to_string(), "15:3");
+        assert!(!real.is_synthetic());
+    }
+}

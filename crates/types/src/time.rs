@@ -1,0 +1,166 @@
+//! The virtual clock of the discrete-event cloud simulator.
+//!
+//! Real cloud deployments "take a long time, sometimes on the order of hours
+//! or even days" (paper §3.3). Reproducing deployment-makespan experiments in
+//! real time is obviously infeasible, so the substrate runs on *virtual
+//! milliseconds*: every simulated API call completes at `now + latency`, and
+//! the simulator advances time to the next pending completion. All
+//! makespan/latency numbers reported by the benchmark harness are in these
+//! units, which makes experiments deterministic and seconds-fast regardless
+//! of how many "hours" of provisioning they model.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant on the simulation clock, in virtual milliseconds since the
+/// start of the simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time, in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub fn millis(self) -> u64 {
+        self.0
+    }
+
+    /// Duration since an earlier instant. Saturates at zero rather than
+    /// panicking if `earlier` is actually later (callers diff event times
+    /// that may tie).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000)
+    }
+
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000)
+    }
+
+    pub fn millis(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Scale by a factor (used for jittered latencies). Rounds to nearest.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        SimDuration((self.0 as f64 * factor).round().max(0.0) as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    /// Human-scale rendering: `842ms`, `12.4s`, `3m05s`, `2h14m`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.0;
+        if ms < 1_000 {
+            write!(f, "{ms}ms")
+        } else if ms < 60_000 {
+            write!(f, "{:.1}s", ms as f64 / 1_000.0)
+        } else if ms < 3_600_000 {
+            write!(f, "{}m{:02}s", ms / 60_000, (ms % 60_000) / 1_000)
+        } else {
+            write!(f, "{}h{:02}m", ms / 3_600_000, (ms % 3_600_000) / 60_000)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_secs(2);
+        assert_eq!(t.millis(), 2_000);
+        let t2 = t + SimDuration::from_millis(500);
+        assert_eq!((t2 - t).millis(), 500);
+        // saturating difference
+        assert_eq!((t - t2).millis(), 0);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_secs(10).mul_f64(1.5);
+        assert_eq!(d.millis(), 15_000);
+        assert_eq!(SimDuration::from_millis(3).mul_f64(0.0).millis(), 0);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(SimDuration::from_millis(842).to_string(), "842ms");
+        assert_eq!(SimDuration::from_millis(12_400).to_string(), "12.4s");
+        assert_eq!(SimDuration::from_secs(185).to_string(), "3m05s");
+        assert_eq!(SimDuration::from_mins(134).to_string(), "2h14m");
+        assert_eq!(SimTime(1_500).to_string(), "t+1.5s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime(5) < SimTime(6));
+        assert!(SimDuration::from_secs(1) > SimDuration::from_millis(999));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests on the foundation types: CIDR algebra, value
+//! serialization, address round-trips, virtual-time arithmetic.
+
+use cloudless_types::cidr::Cidr;
+use cloudless_types::{ResourceAddr, SimDuration, SimTime, Value};
+use proptest::prelude::*;
+
+fn arb_cidr() -> impl Strategy<Value = Cidr> {
+    (any::<u32>(), 0u32..=32).prop_map(|(addr, len)| Cidr::new(addr, len).expect("len ≤ 32"))
+}
+
+proptest! {
+    // ---------- CIDR ----------
+
+    #[test]
+    fn cidr_display_parse_round_trip(c in arb_cidr()) {
+        let parsed: Cidr = c.to_string().parse().expect("own display must parse");
+        prop_assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn cidr_overlap_is_symmetric_and_reflexive(a in arb_cidr(), b in arb_cidr()) {
+        prop_assert!(a.overlaps(&a));
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn cidr_containment_implies_overlap(a in arb_cidr(), b in arb_cidr()) {
+        if a.contains(&b) {
+            prop_assert!(a.overlaps(&b));
+            prop_assert!(a.size() >= b.size());
+        }
+    }
+
+    #[test]
+    fn cidr_subnets_are_contained_and_disjoint(
+        base in (any::<u32>(), 0u32..=24).prop_map(|(a, l)| Cidr::new(a, l).unwrap()),
+        bits in 1u32..=6,
+        n1 in 0u32..64,
+        n2 in 0u32..64,
+    ) {
+        let k = 1u32 << bits;
+        let (n1, n2) = (n1 % k, n2 % k);
+        let s1 = base.subnet(bits, n1).expect("fits");
+        let s2 = base.subnet(bits, n2).expect("fits");
+        prop_assert!(base.contains(&s1));
+        prop_assert!(base.contains(&s2));
+        if n1 != n2 {
+            prop_assert!(!s1.overlaps(&s2), "{s1} vs {s2}");
+        } else {
+            prop_assert_eq!(s1, s2);
+        }
+    }
+
+    #[test]
+    fn cidr_hosts_are_inside(c in arb_cidr(), host in any::<u32>()) {
+        let host_bits = 32 - c.len;
+        let hostnum = if host_bits >= 32 { host } else { host % (1u32 << host_bits) };
+        let addr = c.host(hostnum).expect("fits");
+        prop_assert!(c.contains_addr(addr));
+    }
+
+    // ---------- Value ----------
+
+    #[test]
+    fn value_json_round_trip(
+        entries in proptest::collection::btree_map(
+            "[a-z_]{1,8}",
+            prop_oneof![
+                Just(Value::Null),
+                any::<bool>().prop_map(Value::Bool),
+                (-1000i64..1000).prop_map(Value::from),
+                "[a-zA-Z0-9 _./-]{0,20}".prop_map(Value::from),
+                proptest::collection::vec("[a-z]{0,6}".prop_map(Value::from), 0..4)
+                    .prop_map(Value::List),
+            ],
+            0..6
+        )
+    ) {
+        let v = Value::Map(entries);
+        let json = serde_json::to_string(&v).expect("serialize");
+        let back: Value = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, v);
+    }
+
+    // ---------- addresses ----------
+
+    #[test]
+    fn addr_display_parse_round_trip(
+        modules in proptest::collection::vec("[a-z][a-z0-9_]{0,6}", 0..3),
+        rtype in "[a-z]{2,5}_[a-z_]{1,12}",
+        name in "[a-z][a-z0-9_]{0,10}",
+        key in prop_oneof![
+            Just(None),
+            (0u32..100).prop_map(Some),
+        ],
+    ) {
+        let mut addr = ResourceAddr::root(
+            cloudless_types::ResourceTypeName::new(rtype),
+            name,
+        );
+        for m in modules.iter().rev() {
+            addr = addr.in_module(m.clone());
+        }
+        if let Some(i) = key {
+            addr = addr.indexed(i);
+        }
+        let parsed: ResourceAddr = addr.to_string().parse().expect("round trip");
+        prop_assert_eq!(parsed, addr);
+    }
+
+    // ---------- virtual time ----------
+
+    #[test]
+    fn simtime_algebra(a in 0u64..1_000_000, b in 0u64..1_000_000, d in 0u64..1_000_000) {
+        let ta = SimTime(a);
+        let dur = SimDuration::from_millis(d);
+        // add-then-subtract returns the duration
+        prop_assert_eq!((ta + dur) - ta, dur);
+        // since() saturates instead of wrapping
+        let tb = SimTime(b);
+        if a >= b {
+            prop_assert_eq!(ta.since(tb).millis(), a - b);
+        } else {
+            prop_assert_eq!(ta.since(tb).millis(), 0);
+        }
+    }
+
+    #[test]
+    fn duration_display_never_panics(ms in any::<u32>()) {
+        let _ = SimDuration::from_millis(ms as u64).to_string();
+    }
+}

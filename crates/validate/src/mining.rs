@@ -1,0 +1,349 @@
+//! Layer 4: specification mining from a deployment corpus.
+//!
+//! §3.2 points at "domain-specific customization to existing techniques such
+//! as specification mining" (citing Encore/association-rule learning) as the
+//! way to keep validation current as clouds evolve. [`SpecMiner`] learns two
+//! classes of specs from a corpus of *successfully deployed* manifests:
+//!
+//! * **value specs** — for a `(type, attribute)` pair whose observed values
+//!   concentrate in a small set (`support ≥ min_support`, distinct values ≤
+//!   `max_domain`), a new program using a never-seen value gets a warning;
+//! * **presence specs** — attributes set in ≥ `presence_threshold` of
+//!   observed instances of a type are expected; omitting one gets a note.
+//!
+//! These are advisory (warnings/notes, never errors): mined conventions are
+//! heuristics, not ground truth — which is also why the policy engine's
+//! outlier detection (§3.6) reuses this module's machinery.
+
+use std::collections::BTreeMap;
+
+use cloudless_hcl::program::Manifest;
+use cloudless_hcl::{Diagnostic, Diagnostics};
+use cloudless_types::Value;
+use serde::{Deserialize, Serialize};
+
+/// One mined specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MinedSpec {
+    /// `(rtype, attr)` values concentrate in `domain`.
+    ValueDomain {
+        rtype: String,
+        attr: String,
+        domain: Vec<String>,
+        support: usize,
+    },
+    /// `(rtype, attr)` is present in `fraction` of observed instances.
+    UsuallyPresent {
+        rtype: String,
+        attr: String,
+        fraction: f64,
+        support: usize,
+    },
+}
+
+/// Association miner over manifests.
+#[derive(Debug, Clone)]
+pub struct SpecMiner {
+    /// Minimum observations of a `(type, attr)` before mining a spec.
+    pub min_support: usize,
+    /// Maximum distinct values for a value-domain spec.
+    pub max_domain: usize,
+    /// Presence fraction above which an attribute is "expected".
+    pub presence_threshold: f64,
+    /// (rtype, attr) → value → count
+    values: BTreeMap<(String, String), BTreeMap<String, usize>>,
+    /// (rtype, attr) → instances setting it
+    presence: BTreeMap<(String, String), usize>,
+    /// rtype → instances observed
+    instances: BTreeMap<String, usize>,
+}
+
+impl Default for SpecMiner {
+    fn default() -> Self {
+        SpecMiner {
+            min_support: 5,
+            max_domain: 4,
+            presence_threshold: 0.9,
+            values: BTreeMap::new(),
+            presence: BTreeMap::new(),
+            instances: BTreeMap::new(),
+        }
+    }
+}
+
+impl SpecMiner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A miner with a custom minimum support (other thresholds default).
+    pub fn with_min_support(min_support: usize) -> Self {
+        SpecMiner {
+            min_support,
+            ..Self::default()
+        }
+    }
+
+    /// Feed one successfully-deployed manifest into the corpus.
+    pub fn observe(&mut self, manifest: &Manifest) {
+        for inst in &manifest.instances {
+            let rtype = inst.addr.rtype.as_str().to_owned();
+            *self.instances.entry(rtype.clone()).or_insert(0) += 1;
+            for (attr, value) in &inst.attrs {
+                if value.is_null() {
+                    continue;
+                }
+                let key = (rtype.clone(), attr.clone());
+                *self.presence.entry(key.clone()).or_insert(0) += 1;
+                // only scalar values participate in value-domain mining
+                if let Value::Str(s) = value {
+                    *self
+                        .values
+                        .entry(key)
+                        .or_default()
+                        .entry(s.clone())
+                        .or_insert(0) += 1;
+                } else if let Value::Bool(b) = value {
+                    *self
+                        .values
+                        .entry(key)
+                        .or_default()
+                        .entry(b.to_string())
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    /// Extract the mined specs.
+    pub fn specs(&self) -> Vec<MinedSpec> {
+        let mut out = Vec::new();
+        for ((rtype, attr), counts) in &self.values {
+            let support: usize = counts.values().sum();
+            if support >= self.min_support && counts.len() <= self.max_domain {
+                out.push(MinedSpec::ValueDomain {
+                    rtype: rtype.clone(),
+                    attr: attr.clone(),
+                    domain: counts.keys().cloned().collect(),
+                    support,
+                });
+            }
+        }
+        for ((rtype, attr), &set_count) in &self.presence {
+            let total = self.instances.get(rtype).copied().unwrap_or(0);
+            if total >= self.min_support {
+                let fraction = set_count as f64 / total as f64;
+                if fraction >= self.presence_threshold && set_count < total {
+                    // only interesting if not literally always present
+                    out.push(MinedSpec::UsuallyPresent {
+                        rtype: rtype.clone(),
+                        attr: attr.clone(),
+                        fraction,
+                        support: total,
+                    });
+                } else if (fraction - 1.0).abs() < f64::EPSILON {
+                    out.push(MinedSpec::UsuallyPresent {
+                        rtype: rtype.clone(),
+                        attr: attr.clone(),
+                        fraction,
+                        support: total,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Check a new manifest against the mined specs.
+    pub fn check(&self, manifest: &Manifest) -> Diagnostics {
+        let mut diags = Diagnostics::new();
+        let specs = self.specs();
+        for inst in &manifest.instances {
+            let rtype = inst.addr.rtype.as_str();
+            for spec in &specs {
+                match spec {
+                    MinedSpec::ValueDomain {
+                        rtype: rt,
+                        attr,
+                        domain,
+                        support,
+                    } if rt == rtype => {
+                        let observed = match inst.attrs.get(attr) {
+                            Some(Value::Str(s)) => Some(s.clone()),
+                            Some(Value::Bool(b)) => Some(b.to_string()),
+                            _ => None,
+                        };
+                        if let Some(v) = observed {
+                            if !domain.contains(&v) {
+                                let span = inst.attr_spans.get(attr).copied().unwrap_or(inst.span);
+                                diags.push(
+                                    Diagnostic::warning(
+                                        "VAL401",
+                                        &inst.file,
+                                        span,
+                                        format!(
+                                            "{}: value {v:?} for {attr:?} deviates from the {support} prior deployments (seen: {})",
+                                            inst.addr,
+                                            domain.join(", ")
+                                        ),
+                                    )
+                                    .with_suggestion("double-check against your organization's conventions"),
+                                );
+                            }
+                        }
+                    }
+                    MinedSpec::UsuallyPresent {
+                        rtype: rt,
+                        attr,
+                        fraction,
+                        ..
+                    } if rt == rtype => {
+                        let present = inst.attrs.contains_key(attr)
+                            || inst.deferred.iter().any(|d| &d.name == attr);
+                        if !present {
+                            diags.push(Diagnostic::note(
+                                "VAL402",
+                                &inst.file,
+                                inst.span,
+                                format!(
+                                    "{}: attribute {attr:?} is set in {:.0}% of prior {rtype} deployments but missing here",
+                                    inst.addr,
+                                    fraction * 100.0
+                                ),
+                            ));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        diags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudless_hcl::eval::MapResolver;
+    use cloudless_hcl::program::{expand, ModuleLibrary, Program};
+    use std::collections::BTreeMap as Map;
+
+    fn manifest(src: &str) -> Manifest {
+        let p = Program::from_file(cloudless_hcl::parse(src, "main.tf").unwrap()).unwrap();
+        expand(&p, &Map::new(), &ModuleLibrary::new(), &MapResolver::new()).unwrap()
+    }
+
+    fn corpus_miner() -> SpecMiner {
+        let mut miner = SpecMiner::with_min_support(5);
+        // 6 prior deployments, all with t3-family instances and tags set
+        for i in 0..6 {
+            let ty = if i % 2 == 0 { "t3.micro" } else { "t3.large" };
+            miner.observe(&manifest(&format!(
+                r#"
+resource "aws_virtual_machine" "w" {{
+  name          = "w{i}"
+  instance_type = "{ty}"
+  tags          = {{ env = "prod" }}
+}}
+"#
+            )));
+        }
+        miner
+    }
+
+    #[test]
+    fn value_domain_is_mined() {
+        let miner = corpus_miner();
+        let specs = miner.specs();
+        assert!(specs.iter().any(|s| matches!(
+            s,
+            MinedSpec::ValueDomain { rtype, attr, domain, .. }
+                if rtype == "aws_virtual_machine"
+                    && attr == "instance_type"
+                    && domain.len() == 2
+        )));
+    }
+
+    #[test]
+    fn deviating_value_warned() {
+        let miner = corpus_miner();
+        let d = miner.check(&manifest(
+            r#"
+resource "aws_virtual_machine" "w" {
+  name          = "w"
+  instance_type = "m5.24xlarge"
+  tags          = { env = "prod" }
+}
+"#,
+        ));
+        assert!(d.items.iter().any(|x| x.code == "VAL401"));
+        // conforming value passes
+        let ok = miner.check(&manifest(
+            r#"
+resource "aws_virtual_machine" "w" {
+  name          = "w"
+  instance_type = "t3.micro"
+  tags          = { env = "prod" }
+}
+"#,
+        ));
+        assert!(!ok.items.iter().any(|x| x.code == "VAL401"));
+    }
+
+    #[test]
+    fn missing_usually_present_attr_noted() {
+        let miner = corpus_miner();
+        let d = miner.check(&manifest(
+            r#"
+resource "aws_virtual_machine" "w" {
+  name          = "w"
+  instance_type = "t3.micro"
+}
+"#,
+        ));
+        assert!(d
+            .items
+            .iter()
+            .any(|x| x.code == "VAL402" && x.message.contains("tags")));
+    }
+
+    #[test]
+    fn mined_diagnostics_are_never_errors() {
+        let miner = corpus_miner();
+        let d = miner.check(&manifest(
+            r#"
+resource "aws_virtual_machine" "w" {
+  name          = "w"
+  instance_type = "exotic.type"
+}
+"#,
+        ));
+        assert!(!d.has_errors());
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn small_corpus_mines_nothing() {
+        let mut miner = SpecMiner::new();
+        miner.observe(&manifest(
+            r#"resource "aws_virtual_machine" "w" { name = "w" instance_type = "t3.micro" }"#,
+        ));
+        assert!(miner.specs().is_empty());
+    }
+
+    #[test]
+    fn high_cardinality_attrs_are_not_domained() {
+        let mut miner = SpecMiner::with_min_support(5);
+        miner.max_domain = 3;
+        for i in 0..8 {
+            miner.observe(&manifest(&format!(
+                r#"resource "aws_s3_bucket" "b" {{ bucket = "unique-{i}" }}"#
+            )));
+        }
+        // `bucket` has 8 distinct values → no value-domain spec
+        assert!(!miner
+            .specs()
+            .iter()
+            .any(|s| matches!(s, MinedSpec::ValueDomain { attr, .. } if attr == "bucket")));
+    }
+}

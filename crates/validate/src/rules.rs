@@ -1,0 +1,524 @@
+//! Layer 3: cloud-specific cross-resource rules, evaluated at compile time.
+//!
+//! These are the *same predicates* the simulated cloud enforces at
+//! provisioning time (`cloudless-cloud::constraints`), lifted to the IaC
+//! level: instead of following cloud-assigned ids, they follow the
+//! *references between instances* in the manifest. That is exactly the
+//! paper's proposal (§3.2): "transform cloud-level constraints into
+//! IaC-level program checks". Where the cloud says "specified NIC is not
+//! found" at minute 40 of a deployment, this layer says
+//! `main.tf:12: VM is in "eastus" but its NIC n1 is in "westeurope"` before
+//! anything is provisioned (experiment E6 quantifies the difference).
+
+use std::collections::BTreeMap;
+
+use cloudless_cloud::Catalog;
+use cloudless_hcl::program::{Manifest, ResourceInstance};
+use cloudless_hcl::{Diagnostic, Diagnostics};
+use cloudless_types::cidr::Cidr;
+use cloudless_types::{Provider, Span, Value};
+
+/// Run all cross-resource rules.
+pub fn check(manifest: &Manifest, catalog: &Catalog) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    let index = InstanceIndex::build(manifest);
+    for inst in &manifest.instances {
+        rule_vm_nic_region(inst, &index, &mut diags);
+        rule_password_flag(inst, &mut diags);
+        rule_peering_overlap(inst, &index, &mut diags);
+        rule_subnet_containment(inst, &index, &mut diags);
+        rule_port_ranges(inst, &mut diags);
+    }
+    rule_unique_names(manifest, &mut diags);
+    rule_quota_bounds(manifest, catalog, &mut diags);
+    diags
+}
+
+/// Lookup from `(module path, "type.name")` to instances of that block.
+struct InstanceIndex<'a> {
+    by_block: BTreeMap<(Vec<String>, String), Vec<&'a ResourceInstance>>,
+}
+
+impl<'a> InstanceIndex<'a> {
+    fn build(manifest: &'a Manifest) -> Self {
+        let mut by_block: BTreeMap<(Vec<String>, String), Vec<&'a ResourceInstance>> =
+            BTreeMap::new();
+        for i in &manifest.instances {
+            by_block
+                .entry((i.addr.module_path.clone(), i.addr.block_id()))
+                .or_default()
+                .push(i);
+        }
+        InstanceIndex { by_block }
+    }
+
+    /// Instances a deferred attribute's references point at.
+    fn targets(&self, from: &ResourceInstance, attr: &str) -> Vec<&'a ResourceInstance> {
+        let mut out = Vec::new();
+        for d in &from.deferred {
+            if d.name != attr {
+                continue;
+            }
+            for r in &d.waiting_on {
+                if r.parts.len() < 2 {
+                    continue;
+                }
+                let key = (
+                    from.addr.module_path.clone(),
+                    format!("{}.{}", r.parts[0], r.parts[1]),
+                );
+                if let Some(list) = self.by_block.get(&key) {
+                    out.extend(list.iter().copied());
+                }
+            }
+        }
+        out
+    }
+}
+
+fn span_of(inst: &ResourceInstance, attr: &str) -> Span {
+    inst.attr_spans.get(attr).copied().unwrap_or(inst.span)
+}
+
+/// The effective region of an instance: its `location`/`region` attribute,
+/// falling back to the provider default.
+pub fn region_of(inst: &ResourceInstance) -> Option<String> {
+    for key in ["location", "region"] {
+        if let Some(Value::Str(s)) = inst.attrs.get(key) {
+            return Some(s.clone());
+        }
+    }
+    Provider::from_type_prefix(inst.addr.rtype.provider_prefix())
+        .map(|p| p.default_region().as_str().to_owned())
+}
+
+/// §3.2 flagship: VM and its NICs must share a region.
+fn rule_vm_nic_region(inst: &ResourceInstance, index: &InstanceIndex, diags: &mut Diagnostics) {
+    if !matches!(
+        inst.addr.rtype.as_str(),
+        "azure_virtual_machine" | "aws_virtual_machine"
+    ) {
+        return;
+    }
+    let Some(vm_region) = region_of(inst) else {
+        return;
+    };
+    for nic in index.targets(inst, "nic_ids") {
+        if !nic.addr.rtype.short_name().contains("network_interface") {
+            continue; // wrong-type refs are reported by the semantic layer
+        }
+        if let Some(nic_region) = region_of(nic) {
+            if nic_region != vm_region {
+                diags.push(
+                    Diagnostic::error(
+                        "VAL301",
+                        &inst.file,
+                        span_of(inst, "nic_ids"),
+                        format!(
+                            "{}: VM is in {vm_region:?} but its network interface {} is in {nic_region:?}; the provider requires them to match",
+                            inst.addr, nic.addr
+                        ),
+                    )
+                    .with_suggestion(format!(
+                        "set location = {vm_region:?} on {} or move the VM",
+                        nic.addr
+                    )),
+                );
+            }
+        }
+    }
+}
+
+/// §3.2: "Azure VMs could specify a password only if another
+/// disable_password attribute is explicitly set to false."
+fn rule_password_flag(inst: &ResourceInstance, diags: &mut Diagnostics) {
+    if inst.addr.rtype.as_str() != "azure_virtual_machine" {
+        return;
+    }
+    let has_password = inst
+        .attrs
+        .get("admin_password")
+        .map(|v| !v.is_null())
+        .unwrap_or(false)
+        || inst.deferred.iter().any(|d| d.name == "admin_password");
+    if !has_password {
+        return;
+    }
+    let flag_ok = matches!(
+        inst.attrs.get("disable_password_authentication"),
+        Some(Value::Bool(false))
+    );
+    if !flag_ok {
+        diags.push(
+            Diagnostic::error(
+                "VAL302",
+                &inst.file,
+                span_of(inst, "admin_password"),
+                format!(
+                    "{}: admin_password is set but disable_password_authentication is not explicitly false",
+                    inst.addr
+                ),
+            )
+            .with_suggestion("add `disable_password_authentication = false`"),
+        );
+    }
+}
+
+/// §3.2: "Azure virtual networks cannot have overlapping address spaces if
+/// they are connected with each other through peering."
+fn rule_peering_overlap(inst: &ResourceInstance, index: &InstanceIndex, diags: &mut Diagnostics) {
+    if inst.addr.rtype.as_str() != "azure_vnet_peering" {
+        return;
+    }
+    let a = index.targets(inst, "vnet_id");
+    let b = index.targets(inst, "remote_vnet_id");
+    let cidr_of = |i: &ResourceInstance| -> Option<Cidr> {
+        i.attrs
+            .get("address_space")
+            .and_then(Value::as_str)
+            .and_then(|s| s.parse().ok())
+    };
+    for va in &a {
+        for vb in &b {
+            if let (Some(ca), Some(cb)) = (cidr_of(va), cidr_of(vb)) {
+                if ca.overlaps(&cb) {
+                    diags.push(
+                        Diagnostic::error(
+                            "VAL303",
+                            &inst.file,
+                            inst.span,
+                            format!(
+                                "{}: peered virtual networks {} ({ca}) and {} ({cb}) have overlapping address spaces",
+                                inst.addr, va.addr, vb.addr
+                            ),
+                        )
+                        .with_suggestion("choose disjoint address spaces for peered networks"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Subnets must fit inside their parent network.
+fn rule_subnet_containment(
+    inst: &ResourceInstance,
+    index: &InstanceIndex,
+    diags: &mut Diagnostics,
+) {
+    let (parent_attr, parent_cidr_attr, own_attr) = match inst.addr.rtype.as_str() {
+        "aws_subnet" => ("vpc_id", "cidr_block", "cidr_block"),
+        "azure_subnet" => ("vnet_id", "address_space", "address_prefix"),
+        _ => return,
+    };
+    let Some(own) = inst
+        .attrs
+        .get(own_attr)
+        .and_then(Value::as_str)
+        .and_then(|s| s.parse::<Cidr>().ok())
+    else {
+        return;
+    };
+    for parent in index.targets(inst, parent_attr) {
+        let Some(parent_cidr) = parent
+            .attrs
+            .get(parent_cidr_attr)
+            .and_then(Value::as_str)
+            .and_then(|s| s.parse::<Cidr>().ok())
+        else {
+            continue;
+        };
+        if !parent_cidr.contains(&own) {
+            diags.push(
+                Diagnostic::error(
+                    "VAL304",
+                    &inst.file,
+                    span_of(inst, own_attr),
+                    format!(
+                        "{}: CIDR {own} is outside the parent network {} ({parent_cidr})",
+                        inst.addr, parent.addr
+                    ),
+                )
+                .with_suggestion(format!("pick a sub-range of {parent_cidr}")),
+            );
+        }
+    }
+}
+
+/// Port sanity inside nested rule blocks.
+fn rule_port_ranges(inst: &ResourceInstance, diags: &mut Diagnostics) {
+    let list_attr = match inst.addr.rtype.as_str() {
+        "aws_security_group" => "ingress",
+        "gcp_firewall_rule" => "allow_ports",
+        _ => return,
+    };
+    let Some(rules) = inst.attrs.get(list_attr).and_then(Value::as_list) else {
+        return;
+    };
+    for rule in rules {
+        let port = match rule {
+            Value::Num(n) => Some(*n),
+            Value::Map(m) => m.get("port").and_then(Value::as_num),
+            _ => None,
+        };
+        if let Some(p) = port {
+            if !(0.0..=65535.0).contains(&p) || p.fract() != 0.0 {
+                diags.push(Diagnostic::error(
+                    "VAL305",
+                    &inst.file,
+                    span_of(inst, list_attr),
+                    format!("{}: {p} is not a valid port number", inst.addr),
+                ));
+            }
+        }
+    }
+}
+
+/// Globally-unique-name types must not collide *within the program* either.
+fn rule_unique_names(manifest: &Manifest, diags: &mut Diagnostics) {
+    let mut seen: BTreeMap<(String, String), &ResourceInstance> = BTreeMap::new();
+    for inst in &manifest.instances {
+        let name_attr = match inst.addr.rtype.as_str() {
+            "aws_s3_bucket" => "bucket",
+            "azure_storage_account" | "gcp_storage_bucket" => "name",
+            _ => continue,
+        };
+        let Some(name) = inst.attrs.get(name_attr).and_then(Value::as_str) else {
+            continue;
+        };
+        let key = (inst.addr.rtype.as_str().to_owned(), name.to_owned());
+        if let Some(prev) = seen.get(&key) {
+            diags.push(Diagnostic::error(
+                "VAL306",
+                &inst.file,
+                span_of(inst, name_attr),
+                format!(
+                    "{}: name {name:?} collides with {} (these names are globally unique)",
+                    inst.addr, prev.addr
+                ),
+            ));
+        } else {
+            seen.insert(key, inst);
+        }
+    }
+}
+
+/// Pre-flight quota check: the program alone must not exceed per-type
+/// quotas.
+fn rule_quota_bounds(manifest: &Manifest, catalog: &Catalog, diags: &mut Diagnostics) {
+    let mut counts: BTreeMap<(String, String), (usize, Span, String)> = BTreeMap::new();
+    for inst in &manifest.instances {
+        let region = region_of(inst).unwrap_or_default();
+        let entry = counts
+            .entry((inst.addr.rtype.as_str().to_owned(), region))
+            .or_insert((0, inst.span, inst.file.clone()));
+        entry.0 += 1;
+    }
+    for ((rtype, region), (count, span, file)) in counts {
+        let Some(schema) = catalog.get_str(&rtype) else {
+            continue;
+        };
+        if count as u32 > schema.default_quota {
+            diags.push(
+                Diagnostic::error(
+                    "VAL307",
+                    &file,
+                    span,
+                    format!(
+                        "program declares {count} {rtype} instances in {region:?} but the quota is {}",
+                        schema.default_quota
+                    ),
+                )
+                .with_suggestion("request a quota increase or spread across regions"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudless_hcl::eval::MapResolver;
+    use cloudless_hcl::program::{expand, ModuleLibrary, Program};
+
+    fn diags(src: &str) -> Diagnostics {
+        let p = Program::from_file(cloudless_hcl::parse(src, "main.tf").unwrap()).unwrap();
+        let m = expand(
+            &p,
+            &BTreeMap::new(),
+            &ModuleLibrary::new(),
+            &MapResolver::new(),
+        )
+        .unwrap();
+        check(&m, &Catalog::standard())
+    }
+
+    #[test]
+    fn vm_nic_region_mismatch_caught_at_compile_time() {
+        let d = diags(
+            r#"
+resource "azure_network_interface" "n1" {
+  name     = "n1"
+  location = "westeurope"
+}
+resource "azure_virtual_machine" "vm1" {
+  name     = "vm1"
+  location = "eastus"
+  nic_ids  = [azure_network_interface.n1.id]
+}
+"#,
+        );
+        let err = d.items.iter().find(|x| x.code == "VAL301").expect("VAL301");
+        // the message names both resources and both regions — unlike the
+        // cloud's "NIC is not found"
+        assert!(err.message.contains("westeurope"));
+        assert!(err.message.contains("eastus"));
+        assert!(err.message.contains("azure_network_interface.n1"));
+    }
+
+    #[test]
+    fn vm_nic_same_region_passes() {
+        let d = diags(
+            r#"
+resource "azure_network_interface" "n1" {
+  name     = "n1"
+  location = "eastus"
+}
+resource "azure_virtual_machine" "vm1" {
+  name     = "vm1"
+  location = "eastus"
+  nic_ids  = [azure_network_interface.n1.id]
+}
+"#,
+        );
+        assert!(!d.items.iter().any(|x| x.code == "VAL301"), "{d}");
+    }
+
+    #[test]
+    fn password_flag_rule() {
+        let bad = diags(
+            r#"
+resource "azure_virtual_machine" "vm" {
+  name           = "vm"
+  location       = "eastus"
+  nic_ids        = []
+  admin_password = "hunter2"
+}
+"#,
+        );
+        assert!(bad.items.iter().any(|x| x.code == "VAL302"));
+        let good = diags(
+            r#"
+resource "azure_virtual_machine" "vm" {
+  name                            = "vm"
+  location                        = "eastus"
+  nic_ids                         = []
+  admin_password                  = "hunter2"
+  disable_password_authentication = false
+}
+"#,
+        );
+        assert!(!good.items.iter().any(|x| x.code == "VAL302"));
+    }
+
+    #[test]
+    fn peering_overlap_detected() {
+        let d = diags(
+            r#"
+resource "azure_resource_group" "rg" {
+  name     = "rg"
+  location = "eastus"
+}
+resource "azure_virtual_network" "a" {
+  name           = "a"
+  resource_group = azure_resource_group.rg.id
+  address_space  = "10.0.0.0/16"
+}
+resource "azure_virtual_network" "b" {
+  name           = "b"
+  resource_group = azure_resource_group.rg.id
+  address_space  = "10.0.128.0/17"
+}
+resource "azure_vnet_peering" "p" {
+  vnet_id        = azure_virtual_network.a.id
+  remote_vnet_id = azure_virtual_network.b.id
+}
+"#,
+        );
+        assert!(d.items.iter().any(|x| x.code == "VAL303"));
+    }
+
+    #[test]
+    fn subnet_containment() {
+        let bad = diags(
+            r#"
+resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }
+resource "aws_subnet" "s" {
+  vpc_id     = aws_vpc.v.id
+  cidr_block = "192.168.0.0/24"
+}
+"#,
+        );
+        assert!(bad.items.iter().any(|x| x.code == "VAL304"));
+        let good = diags(
+            r#"
+resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }
+resource "aws_subnet" "s" {
+  vpc_id     = aws_vpc.v.id
+  cidr_block = "10.0.3.0/24"
+}
+"#,
+        );
+        assert!(!good.items.iter().any(|x| x.code == "VAL304"));
+    }
+
+    #[test]
+    fn port_rule() {
+        let d = diags(
+            r#"
+resource "aws_security_group" "sg" {
+  name = "web"
+  ingress {
+    port = 99999
+  }
+}
+"#,
+        );
+        assert!(d.items.iter().any(|x| x.code == "VAL305"));
+    }
+
+    #[test]
+    fn duplicate_global_names() {
+        let d = diags(
+            r#"
+resource "aws_s3_bucket" "a" { bucket = "logs" }
+resource "aws_s3_bucket" "b" { bucket = "logs" }
+"#,
+        );
+        assert!(d.items.iter().any(|x| x.code == "VAL306"));
+    }
+
+    #[test]
+    fn quota_preflight() {
+        // azure_vpn_gateway quota is 8
+        let d = diags(
+            r#"
+resource "azure_virtual_network" "n" {
+  name           = "n"
+  resource_group = azure_resource_group.rg.id
+  address_space  = "10.0.0.0/16"
+}
+resource "azure_resource_group" "rg" {
+  name     = "rg"
+  location = "eastus"
+}
+resource "azure_vpn_gateway" "g" {
+  count   = 9
+  name    = "g-${count.index}"
+  vnet_id = azure_virtual_network.n.id
+}
+"#,
+        );
+        assert!(d.items.iter().any(|x| x.code == "VAL307"));
+    }
+}

@@ -1,0 +1,1 @@
+//! Umbrella for the repo-level examples and integration tests.

@@ -1,0 +1,151 @@
+//! Integration: the §3.5 → §3.6 drift pipeline across crates.
+
+use cloudless::cloud::CloudConfig;
+use cloudless::diagnose::DriftKind;
+use cloudless::policy::builtin::DriftResponsePolicy;
+use cloudless::policy::Action;
+use cloudless::types::Value;
+use cloudless::{Cloudless, Config};
+
+const SRC: &str = r#"
+resource "aws_vpc" "main" { cidr_block = "10.0.0.0/16" }
+resource "aws_virtual_machine" "app" {
+  count = 3
+  name  = "app-${count.index}"
+}
+resource "aws_s3_bucket" "data" { bucket = "drift-data" }
+"#;
+
+fn engine() -> Cloudless {
+    let mut e = Cloudless::new(Config {
+        cloud: CloudConfig::exact(),
+        ..Config::default()
+    });
+    e.controller_mut().register(Box::new(DriftResponsePolicy));
+    e.converge(SRC).expect("deploy");
+    e
+}
+
+#[test]
+fn modification_drift_is_detected_and_stomped() {
+    let mut e = engine();
+    let vm = e
+        .state()
+        .get(&"aws_virtual_machine.app[1]".parse().unwrap())
+        .unwrap()
+        .id
+        .clone();
+    e.cloud_mut()
+        .out_of_band_update(
+            "cowboy",
+            &vm,
+            [("instance_type".to_owned(), Value::from("m5.24xlarge"))].into(),
+        )
+        .unwrap();
+
+    // watch: exactly one Modified event, attributed, overwrite action
+    let (report, actions) = e.watch_drift();
+    assert_eq!(report.events.len(), 1);
+    assert_eq!(report.events[0].kind, DriftKind::Modified);
+    assert_eq!(report.events[0].principal.as_deref(), Some("cowboy"));
+    assert!(matches!(actions[0], Action::OverwriteDrift { .. }));
+
+    // reconcile: refresh + re-converge restores the desired config
+    e.refresh();
+    let out = e.converge(SRC).expect("reconcile");
+    assert!(out.apply.all_ok());
+    let live = e.cloud().records();
+    let rec = live.values().find(|r| r.id == vm).unwrap();
+    // instance_type is not in the config, so reconcile *adopts nothing*: the
+    // attr is not reverted by a plain re-apply (it was never managed) —
+    // but state now reflects reality
+    assert_eq!(
+        e.state()
+            .get(&"aws_virtual_machine.app[1]".parse().unwrap())
+            .unwrap()
+            .attrs
+            .get("instance_type"),
+        rec.attrs.get("instance_type"),
+    );
+}
+
+#[test]
+fn deletion_drift_triggers_notify_and_recreate_on_reconverge() {
+    let mut e = engine();
+    let bucket = e
+        .state()
+        .get(&"aws_s3_bucket.data".parse().unwrap())
+        .unwrap()
+        .id
+        .clone();
+    e.cloud_mut().out_of_band_delete("cowboy", &bucket).unwrap();
+
+    let (report, actions) = e.watch_drift();
+    assert_eq!(report.events.len(), 1);
+    assert_eq!(report.events[0].kind, DriftKind::Deleted);
+    assert!(matches!(actions[0], Action::Notify { .. }));
+
+    // reconcile path: refresh prunes the dead record, converge recreates
+    let refresh = e.refresh();
+    assert_eq!(refresh.missing.len(), 1);
+    let out = e.converge(SRC).expect("reconcile");
+    assert!(out.apply.all_ok());
+    assert_eq!(out.apply.ops_submitted, 1, "one create");
+    assert!(e
+        .state()
+        .get(&"aws_s3_bucket.data".parse().unwrap())
+        .is_some());
+}
+
+#[test]
+fn unmanaged_resources_are_flagged_but_untouched() {
+    let mut e = engine();
+    let rogue = e
+        .cloud_mut()
+        .out_of_band_create(
+            "cowboy",
+            "aws_s3_bucket",
+            "us-east-1",
+            [("bucket".to_owned(), Value::from("rogue-bucket"))].into(),
+        )
+        .unwrap();
+
+    let (report, actions) = e.watch_drift();
+    assert_eq!(report.events.len(), 1);
+    assert_eq!(report.events[0].kind, DriftKind::Unmanaged);
+    assert!(matches!(actions[0], Action::Notify { .. }));
+
+    // converge must NOT destroy what it does not manage
+    let out = e.converge(SRC).expect("no-op");
+    assert_eq!(out.apply.ops_submitted, 0);
+    assert!(e.cloud().records().contains_key(&rogue));
+}
+
+#[test]
+fn watcher_cursor_survives_across_polls() {
+    let mut e = engine();
+    let vm = e
+        .state()
+        .get(&"aws_virtual_machine.app[0]".parse().unwrap())
+        .unwrap()
+        .id
+        .clone();
+    // three successive drifts, polled one at a time
+    for i in 0..3 {
+        e.cloud_mut()
+            .out_of_band_update(
+                "cowboy",
+                &vm,
+                [("user_data".to_owned(), Value::from(format!("v{i}")))].into(),
+            )
+            .unwrap();
+        let (report, _) = e.watch_drift();
+        assert_eq!(
+            report.events.len(),
+            1,
+            "poll {i} sees exactly one new event"
+        );
+    }
+    let (report, _) = e.watch_drift();
+    assert!(report.events.is_empty(), "nothing new");
+}

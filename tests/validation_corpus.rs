@@ -1,0 +1,165 @@
+//! Integration: the §3.2 claim end to end — every cloud-level constraint in
+//! the simulator has a compile-time twin, so no seeded misconfiguration
+//! reaches the cloud, and removing the validator makes the same programs
+//! fail at deploy time with opaque errors the translator can decode.
+
+use cloudless::cloud::CloudConfig;
+use cloudless::validate::ValidationLevel;
+use cloudless::{Cloudless, Config, ConvergeError};
+
+struct Case {
+    name: &'static str,
+    src: &'static str,
+    /// Expected compile-time code at CloudRules level.
+    val_code: &'static str,
+    /// Expected cloud error code when validation is bypassed.
+    cloud_code: &'static str,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "vm/nic region mismatch",
+        src: r#"
+resource "azure_network_interface" "n" {
+  name     = "n"
+  location = "westeurope"
+}
+resource "azure_virtual_machine" "vm" {
+  name     = "vm"
+  location = "eastus"
+  nic_ids  = [azure_network_interface.n.id]
+}
+"#,
+        val_code: "VAL301",
+        cloud_code: "NicNotFound",
+    },
+    Case {
+        name: "password without opt-in",
+        src: r#"
+resource "azure_network_interface" "n" {
+  name     = "n"
+  location = "westeurope"
+}
+resource "azure_virtual_machine" "vm" {
+  name           = "vm"
+  location       = "westeurope"
+  nic_ids        = [azure_network_interface.n.id]
+  admin_password = "hunter2"
+}
+"#,
+        val_code: "VAL302",
+        cloud_code: "OSProvisioningClientError",
+    },
+    Case {
+        name: "peering overlap",
+        src: r#"
+resource "azure_resource_group" "rg" {
+  name     = "rg"
+  location = "westeurope"
+}
+resource "azure_virtual_network" "a" {
+  name           = "a"
+  resource_group = azure_resource_group.rg.id
+  address_space  = "10.0.0.0/16"
+}
+resource "azure_virtual_network" "b" {
+  name           = "b"
+  resource_group = azure_resource_group.rg.id
+  address_space  = "10.0.0.0/17"
+}
+resource "azure_vnet_peering" "p" {
+  vnet_id        = azure_virtual_network.a.id
+  remote_vnet_id = azure_virtual_network.b.id
+}
+"#,
+        val_code: "VAL303",
+        cloud_code: "VnetAddressSpaceOverlaps",
+    },
+    Case {
+        name: "subnet outside vpc",
+        src: r#"
+resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }
+resource "aws_subnet" "s" {
+  vpc_id     = aws_vpc.v.id
+  cidr_block = "172.16.0.0/24"
+}
+"#,
+        val_code: "VAL304",
+        cloud_code: "InvalidSubnetRange",
+    },
+];
+
+#[test]
+fn validator_catches_each_case_with_the_right_code() {
+    for case in CASES {
+        let mut e = Cloudless::new(Config {
+            cloud: CloudConfig::exact(),
+            ..Config::default()
+        });
+        match e.converge(case.src) {
+            Err(ConvergeError::Validation(report)) => {
+                assert!(
+                    report
+                        .diagnostics
+                        .items
+                        .iter()
+                        .any(|d| d.code == case.val_code),
+                    "{}: expected {}, got:\n{}",
+                    case.name,
+                    case.val_code,
+                    report.diagnostics
+                );
+            }
+            other => panic!("{}: expected validation error, got {other:?}", case.name),
+        }
+        assert_eq!(e.cloud().total_api_calls(), 0, "{}", case.name);
+    }
+}
+
+#[test]
+fn without_validator_the_cloud_rejects_with_opaque_codes() {
+    for case in CASES {
+        let mut e = Cloudless::new(Config {
+            cloud: CloudConfig::exact(),
+            validation_level: ValidationLevel::Schema, // §2.1 baseline-ish
+            ..Config::default()
+        });
+        let out = e.converge(case.src).expect("apply runs");
+        assert!(!out.apply.all_ok(), "{} must fail at deploy", case.name);
+        let errors = out.apply.errors();
+        assert!(
+            errors.iter().any(|(_, err)| err.code == case.cloud_code),
+            "{}: expected {}, got {:?}",
+            case.name,
+            case.cloud_code,
+            errors
+        );
+        // and the explanation decodes it back to a localized root cause
+        assert!(
+            out.explanations.iter().all(|ex| ex.is_localized()),
+            "{}: explanations must be localized",
+            case.name
+        );
+    }
+}
+
+#[test]
+fn compile_time_catch_saves_virtual_provisioning_time() {
+    // deploy-time failure of the NIC case burns the NIC's provisioning time
+    // before the VM error surfaces; compile-time catch burns nothing
+    let case = &CASES[0];
+    let mut baseline = Cloudless::new(Config {
+        cloud: CloudConfig::exact(),
+        validation_level: ValidationLevel::Schema,
+        ..Config::default()
+    });
+    let out = baseline.converge(case.src).expect("apply runs");
+    assert!(out.apply.makespan().millis() > 0);
+
+    let mut cloudless = Cloudless::new(Config {
+        cloud: CloudConfig::exact(),
+        ..Config::default()
+    });
+    assert!(cloudless.converge(case.src).is_err());
+    assert_eq!(cloudless.cloud().now().millis(), 0);
+}
