@@ -1,0 +1,4 @@
+//! Print the resilience experiment table.
+fn main() {
+    println!("{}", cloudless_bench::experiments::e11_resilience::run());
+}

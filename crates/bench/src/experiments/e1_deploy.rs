@@ -16,10 +16,16 @@ use crate::workloads;
 use crate::SEED;
 
 fn makespan(src: &str, strategy: Strategy, rate_limit: Option<RateLimit>) -> SimDuration {
+    measure(src, strategy, rate_limit).0
+}
+
+/// Makespan plus total submission attempts (== ops under a fault-free
+/// cloud; the attempts column makes that explicit in the tables).
+fn measure(src: &str, strategy: Strategy, rate_limit: Option<RateLimit>) -> (SimDuration, u64) {
     let mut config = CloudConfig::exact();
     config.rate_limit = rate_limit;
     let (report, _, _) = super::deploy(src, strategy, config, SEED);
-    report.makespan()
+    (report.makespan(), report.total_attempts())
 }
 
 pub fn run() -> String {
@@ -47,12 +53,13 @@ pub fn run() -> String {
                 "critical-path",
                 "cp vs walk",
                 "cp vs seq",
+                "attempts",
             ],
         );
         for (name, src) in &topologies {
             let seq = makespan(src, Strategy::Sequential, rl);
             let walk = makespan(src, Strategy::TerraformWalk { parallelism: 10 }, rl);
-            let cp = makespan(src, Strategy::CriticalPath { max_in_flight: 64 }, rl);
+            let (cp, attempts) = measure(src, Strategy::CriticalPath { max_in_flight: 64 }, rl);
             t.row(vec![
                 name.to_string(),
                 seq.to_string(),
@@ -60,6 +67,7 @@ pub fn run() -> String {
                 cp.to_string(),
                 ratio(walk.millis() as f64, cp.millis() as f64),
                 ratio(seq.millis() as f64, cp.millis() as f64),
+                attempts.to_string(),
             ]);
         }
         out.push_str(&t.render());

@@ -39,7 +39,7 @@ pub const FAULT_CLASSES: [&str; 8] = [
 pub fn program(class: &str, rng: &mut StdRng) -> String {
     let r1 = rng.gen_range(0..250);
     let r2 = rng.gen_range(0..250);
-    let size = ["Standard_D2s", "Standard_D4s", "Standard_D8s"][rng.gen_range(0..3)];
+    let size = ["Standard_D2s", "Standard_D4s", "Standard_D8s"][rng.gen_range(0..3usize)];
     match class {
         "clean" => format!(
             r#"

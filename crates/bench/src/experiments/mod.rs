@@ -3,6 +3,7 @@
 //! measured columns).
 
 pub mod e10_synth;
+pub mod e11_resilience;
 pub mod e1_deploy;
 pub mod e2_incremental;
 pub mod e3_locks;
@@ -93,5 +94,7 @@ pub fn all() -> String {
     out.push_str(&e9_debug::run());
     out.push('\n');
     out.push_str(&e10_synth::run());
+    out.push('\n');
+    out.push_str(&e11_resilience::run());
     out
 }

@@ -24,6 +24,8 @@ mod session;
 
 use std::process::ExitCode;
 
+use cloudless::deploy::{DeadlinePolicy, ResiliencePolicy};
+use cloudless::types::SimDuration;
 use cloudless::{Cloudless, Config, ConvergeError};
 
 use session::Session;
@@ -68,6 +70,10 @@ commands:
   validate  <file.tf>                  run compile-time validation only
   plan      <dir> <file.tf> [--target <addr>]   show the execution plan
   apply     <dir> <file.tf> [--target <addr>]   validate, plan and apply
+            [--resume]                 continue a partially-failed apply
+            [--legacy-retry]           immediate retries, no deadlines/breaker
+            [--retries <n>]            per-node attempt budget (default 6)
+            [--deadline-factor <f>]    cancel ops after f x estimate (default 4)
   destroy   <dir>                      destroy all managed resources
   state     <dir>                      list managed resources
   drift     <dir>                      scan the cloud for drift
@@ -158,20 +164,79 @@ fn cmd_plan(rest: &[&str]) -> Result<(), String> {
     Ok(())
 }
 
+/// Build the apply's resilience policy from `--legacy-retry`,
+/// `--retries <n>` and `--deadline-factor <f>`.
+fn parse_resilience(rest: &[&str]) -> Result<ResiliencePolicy, String> {
+    let mut policy = if rest.contains(&"--legacy-retry") {
+        ResiliencePolicy::legacy()
+    } else {
+        ResiliencePolicy::standard()
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--retries" => {
+                let n: u32 = it
+                    .next()
+                    .ok_or("--retries needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --retries count: {e}"))?;
+                policy.retry.max_attempts_per_node = n.max(1);
+            }
+            "--deadline-factor" => {
+                let f: f64 = it
+                    .next()
+                    .ok_or("--deadline-factor needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --deadline-factor: {e}"))?;
+                policy.deadline = if f <= 0.0 {
+                    DeadlinePolicy::None
+                } else {
+                    DeadlinePolicy::EstimateFactor {
+                        factor: f,
+                        floor: SimDuration::from_secs(30),
+                    }
+                };
+            }
+            _ => {}
+        }
+    }
+    Ok(policy)
+}
+
 fn cmd_apply(rest: &[&str]) -> Result<(), String> {
     let dir = want(rest, 0, "session directory")?;
     let file = want(rest, 1, "program file")?;
     let targets = parse_targets(rest)?;
+    let resume = rest.contains(&"--resume");
+    if resume && !targets.is_empty() {
+        return Err("--resume cannot be combined with --target".into());
+    }
     let source = read_program(file)?;
     let session = Session::load(dir)?;
-    let mut engine = session.engine()?;
-    match engine.converge_targeted(&source, &targets) {
+    let mut engine = session.engine_with(parse_resilience(rest)?)?;
+    let mut prior_completed = std::collections::BTreeSet::new();
+    let converged = if resume {
+        prior_completed = session.load_checkpoint()?.ok_or_else(|| {
+            format!("nothing to resume: {dir} has no checkpoint from a failed apply")
+        })?;
+        println!(
+            "resuming: {} resource(s) already completed, skipping them",
+            prior_completed.len()
+        );
+        engine.converge_resume(&source, &prior_completed)
+    } else {
+        engine.converge_targeted(&source, &targets)
+    };
+    match converged {
         Ok(outcome) => {
             print!("{}", outcome.plan_text);
             println!(
-                "apply ({}): {} op(s), virtual makespan {}",
+                "apply ({}): {} op(s), {} attempt(s), {} retry(ies), virtual makespan {}",
                 outcome.apply.strategy,
                 outcome.apply.ops_submitted,
+                outcome.apply.total_attempts(),
+                outcome.apply.retries,
                 outcome.apply.makespan()
             );
             for ex in &outcome.explanations {
@@ -179,13 +244,22 @@ fn cmd_apply(rest: &[&str]) -> Result<(), String> {
             }
             session.save(&engine)?;
             if outcome.apply.all_ok() {
+                session.clear_checkpoint();
                 println!(
                     "state: {} resource(s) under management",
                     engine.state().len()
                 );
                 Ok(())
             } else {
-                Err(format!("{} resource(s) failed", outcome.apply.failures()))
+                // keep the prior frontier: a node absent from this plan
+                // (already reconciled into state) stays checkpointed
+                let mut completed = outcome.apply.completed_addrs();
+                completed.extend(prior_completed);
+                session.save_checkpoint(&completed)?;
+                Err(format!(
+                    "{} resource(s) failed; checkpoint written — rerun with --resume",
+                    outcome.apply.failures()
+                ))
             }
         }
         Err(ConvergeError::Frontend(d)) => Err(format!("program rejected:\n{d}")),

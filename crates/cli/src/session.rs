@@ -1,9 +1,10 @@
 //! Session persistence: the CLI's world lives in two JSON files.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 
 use cloudless::cloud::{CloudConfig, ResourceRecord};
+use cloudless::deploy::ResiliencePolicy;
 use cloudless::state::Snapshot;
 use cloudless::types::ResourceId;
 use cloudless::{Cloudless, Config};
@@ -55,8 +56,18 @@ impl Session {
         self.dir.join("cloud.json")
     }
 
+    fn checkpoint_path(&self) -> PathBuf {
+        self.dir.join("checkpoint.json")
+    }
+
     /// Reconstruct the engine from the persisted world.
     pub fn engine(&self) -> Result<Cloudless, String> {
+        self.engine_with(ResiliencePolicy::standard())
+    }
+
+    /// Reconstruct the engine with an explicit resilience policy (from the
+    /// CLI's `--legacy-retry` / `--retries` / `--deadline-factor` flags).
+    pub fn engine_with(&self, resilience: ResiliencePolicy) -> Result<Cloudless, String> {
         let state_text = std::fs::read_to_string(self.state_path()).map_err(|e| e.to_string())?;
         let state =
             Snapshot::from_json(&state_text).map_err(|e| format!("state.json corrupt: {e}"))?;
@@ -65,9 +76,34 @@ impl Session {
             serde_json::from_str(&cloud_text).map_err(|e| format!("cloud.json corrupt: {e}"))?;
         let config = Config {
             cloud: CloudConfig::exact(),
+            resilience,
             ..Config::default()
         };
         Ok(Cloudless::with_session(config, state, records))
+    }
+
+    /// Persist the completed-address checkpoint of a partially-failed
+    /// apply; `cloudless apply --resume` picks it up.
+    pub fn save_checkpoint(&self, completed: &BTreeSet<String>) -> Result<(), String> {
+        let json = serde_json::to_string_pretty(completed).map_err(|e| e.to_string())?;
+        std::fs::write(self.checkpoint_path(), json).map_err(|e| e.to_string())
+    }
+
+    /// The checkpoint of the last partially-failed apply, if one exists.
+    pub fn load_checkpoint(&self) -> Result<Option<BTreeSet<String>>, String> {
+        let path = self.checkpoint_path();
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+        let set =
+            serde_json::from_str(&text).map_err(|e| format!("checkpoint.json corrupt: {e}"))?;
+        Ok(Some(set))
+    }
+
+    /// Remove the checkpoint after a fully-successful apply.
+    pub fn clear_checkpoint(&self) {
+        let _ = std::fs::remove_file(self.checkpoint_path());
     }
 
     /// Persist the engine's world back to disk.

@@ -106,6 +106,9 @@ impl CloudConfig {
 struct Pending {
     request: ApiRequest,
     submitted_at: SimTime,
+    /// When the provider actually begins executing (after rate-limit
+    /// admission). Deadline clocks should start here, not at submission.
+    started_at: SimTime,
     completes_at: SimTime,
     fault: FaultOutcome,
 }
@@ -215,6 +218,38 @@ impl Cloud {
         self.queue.peek().map(|Reverse((t, _))| *t)
     }
 
+    /// When an in-flight op begins executing at the provider (after
+    /// rate-limit admission), if it is still pending. Clients that enforce
+    /// deadlines should measure from here so that throttling-induced queue
+    /// time does not count against the op.
+    pub fn op_started_at(&self, op: OpId) -> Option<SimTime> {
+        self.pending.get(&op).map(|p| p.started_at)
+    }
+
+    /// Cancel an in-flight operation: it is dropped without executing — no
+    /// effect is applied, nothing is logged, and its completion will never
+    /// be delivered by [`Cloud::step`]. Returns `true` if the op was
+    /// actually pending. Models a client abandoning a hung request; the
+    /// simulated provider rolls the work back cleanly.
+    pub fn cancel(&mut self, op: OpId) -> bool {
+        let was_pending = self.pending.remove(&op).is_some();
+        if was_pending {
+            self.drop_stale_queue_heads();
+        }
+        was_pending
+    }
+
+    /// Pop completion-queue entries whose op has been cancelled, so the
+    /// head (and [`Cloud::next_completion_at`]) always refers to a live op.
+    fn drop_stale_queue_heads(&mut self) {
+        while let Some(Reverse((_, id))) = self.queue.peek() {
+            if self.pending.contains_key(id) {
+                break;
+            }
+            self.queue.pop();
+        }
+    }
+
     // ------------------------------------------------------------------
     // Submission
     // ------------------------------------------------------------------
@@ -289,6 +324,7 @@ impl Cloud {
             Pending {
                 request,
                 submitted_at: self.now,
+                started_at: start,
                 completes_at,
                 fault,
             },
@@ -389,8 +425,13 @@ impl Cloud {
     /// Complete the earliest pending operation, advancing the clock to its
     /// completion time. Returns `None` when nothing is in flight.
     pub fn step(&mut self) -> Option<OpCompletion> {
-        let Reverse((at, op_id)) = self.queue.pop()?;
-        let pending = self.pending.remove(&op_id).expect("queue/pending in sync");
+        // Skip queue entries whose op was cancelled after scheduling.
+        let (at, op_id, pending) = loop {
+            let Reverse((at, op_id)) = self.queue.pop()?;
+            if let Some(pending) = self.pending.remove(&op_id) {
+                break (at, op_id, pending);
+            }
+        };
         debug_assert_eq!(at, pending.completes_at);
         self.now = self.now.max(at);
         let outcome = self.execute(&pending);
@@ -1225,6 +1266,65 @@ mod tests {
         assert_eq!(stats.mutations, 1);
         assert_eq!(stats.reads, 1);
         assert_eq!(c.total_api_calls(), 2);
+    }
+
+    #[test]
+    fn cancelled_op_never_completes_and_leaves_no_state() {
+        let mut c = cloud();
+        let op1 = c
+            .submit(create_req(
+                "aws_vpc",
+                "us-east-1",
+                attrs([("cidr_block", Value::from("10.0.0.0/16"))]),
+            ))
+            .unwrap();
+        let op2 = c
+            .submit(create_req(
+                "aws_s3_bucket",
+                "us-east-1",
+                attrs([("bucket", Value::from("b"))]),
+            ))
+            .unwrap();
+        assert_eq!(c.in_flight(), 2);
+        assert!(c.op_started_at(op1).is_some());
+        assert!(c.cancel(op1));
+        assert!(!c.cancel(op1), "double-cancel is a no-op");
+        assert_eq!(c.in_flight(), 1);
+        // the queue head now refers to the live op only
+        let completions = c.run_until_idle();
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].op_id, op2);
+        // only the bucket exists; the cancelled vpc left nothing behind
+        assert_eq!(c.records().len(), 1);
+        assert!(c
+            .records()
+            .values()
+            .all(|r| r.rtype.as_str() == "aws_s3_bucket"));
+    }
+
+    #[test]
+    fn cancel_buried_op_is_skipped_lazily() {
+        let mut c = cloud();
+        // bucket (8s) completes before vpc (15s): cancel the vpc while it
+        // is *buried* under the bucket in the completion queue
+        let vpc = c
+            .submit(create_req(
+                "aws_vpc",
+                "us-east-1",
+                attrs([("cidr_block", Value::from("10.0.0.0/16"))]),
+            ))
+            .unwrap();
+        c.submit(create_req(
+            "aws_s3_bucket",
+            "us-east-1",
+            attrs([("bucket", Value::from("b"))]),
+        ))
+        .unwrap();
+        assert!(c.cancel(vpc));
+        let completions = c.run_until_idle();
+        assert_eq!(completions.len(), 1);
+        assert_eq!(c.records().len(), 1);
+        assert!(c.next_completion_at().is_none());
     }
 
     #[test]

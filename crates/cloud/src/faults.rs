@@ -56,6 +56,18 @@ impl FaultPlan {
         }
     }
 
+    /// A provider outage in progress: transient failures dominate and a
+    /// sizable fraction of ops hang badly. Used by the E11 resilience
+    /// experiment — immediate-retry executors routinely exhaust their
+    /// budgets under this plan.
+    pub fn storm() -> Self {
+        FaultPlan {
+            transient_failure_rate: 0.30,
+            hang_rate: 0.10,
+            hang_factor: 12.0,
+        }
+    }
+
     /// Decide the fate of one mutation op.
     pub fn roll(&self, rng: &mut impl Rng) -> FaultOutcome {
         if self.transient_failure_rate > 0.0 && rng.gen_bool(self.transient_failure_rate) {

@@ -12,8 +12,8 @@ use cloudless_cloud::{ApiOp, ApiRequest, Cloud, CloudConfig, OpOutcome};
 use cloudless_deploy::diff::{diff, Action as DiffAction};
 use cloudless_deploy::resolver::DataResolver;
 use cloudless_deploy::{
-    full_refresh, plan_rollback, ApplyReport, Executor, Plan, RefreshReport, RollbackPlan,
-    RollbackStep, Strategy,
+    full_refresh, plan_rollback, ApplyReport, Executor, Plan, RefreshReport, ResiliencePolicy,
+    RollbackPlan, RollbackStep, Strategy,
 };
 use cloudless_diagnose::{explain, DriftReport, Explanation, LogWatcher};
 use cloudless_hcl::program::{expand, Manifest, ModuleLibrary, Program};
@@ -31,6 +31,10 @@ pub struct Config {
     pub strategy: Strategy,
     pub principal: String,
     pub validation_level: ValidationLevel,
+    /// Retry / deadline / circuit-breaker behavior of applies
+    /// ([`ResiliencePolicy::standard`] unless configured otherwise;
+    /// [`ResiliencePolicy::legacy`] restores the pre-resilience executor).
+    pub resilience: ResiliencePolicy,
     /// Variable inputs passed to programs.
     pub inputs: BTreeMap<String, Value>,
     /// Module sources for `module` blocks.
@@ -45,6 +49,7 @@ impl Default for Config {
             strategy: Strategy::CriticalPath { max_in_flight: 64 },
             principal: "cloudless-engine".to_owned(),
             validation_level: ValidationLevel::CloudRules,
+            resilience: ResiliencePolicy::standard(),
             inputs: BTreeMap::new(),
             modules: ModuleLibrary::new(),
         }
@@ -280,6 +285,27 @@ impl Cloudless {
         source: &str,
         targets: &[cloudless_types::ResourceAddr],
     ) -> Result<ConvergeOutcome, ConvergeError> {
+        self.converge_inner(source, targets, &std::collections::BTreeSet::new())
+    }
+
+    /// [`Cloudless::converge`] resuming a partially-failed apply: addresses
+    /// in `completed` (the checkpoint of the failed run, see
+    /// [`ApplyReport::completed_addrs`]) are pre-marked done instead of
+    /// being re-submitted, so only the unfinished frontier executes.
+    pub fn converge_resume(
+        &mut self,
+        source: &str,
+        completed: &std::collections::BTreeSet<String>,
+    ) -> Result<ConvergeOutcome, ConvergeError> {
+        self.converge_inner(source, &[], completed)
+    }
+
+    fn converge_inner(
+        &mut self,
+        source: &str,
+        targets: &[cloudless_types::ResourceAddr],
+        completed: &std::collections::BTreeSet<String>,
+    ) -> Result<ConvergeOutcome, ConvergeError> {
         let manifest = self.load(source).map_err(ConvergeError::Frontend)?;
         let validation = self.validate(&manifest);
         if !validation.ok() {
@@ -363,8 +389,9 @@ impl Cloudless {
         let _guard = self.locks.acquire(scope);
 
         let mut state = self.store.current().clone();
-        let executor = Executor::new(self.config.strategy, &self.data);
-        let apply = executor.apply(&plan, &mut self.cloud, &mut state);
+        let executor = Executor::new(self.config.strategy, &self.data)
+            .with_resilience(self.config.resilience.clone());
+        let apply = executor.resume_from(&plan, &mut self.cloud, &mut state, completed);
 
         // finalize program outputs against the post-apply state (§2.1's
         // user-visible results; deferred outputs resolve now that their

@@ -9,9 +9,9 @@
 //! for various cloud resources, retries in case of resource hanging or
 //! failure."
 //!
-//! All three strategies run the same [`Plan`] against the same [`Cloud`];
-//! the only difference is *which ready node is submitted next and how many
-//! are allowed in flight*:
+//! All strategies run the same [`Plan`] against the same [`Cloud`]; the
+//! only difference is *which ready node is submitted next and how many are
+//! allowed in flight*:
 //!
 //! * [`Strategy::Sequential`] — one operation at a time (the worst case,
 //!   and the effective behavior of `-parallelism=1`).
@@ -22,18 +22,29 @@
 //!   duration estimates: when the rate limiter or the concurrency bound
 //!   admits only `k` ops, the `k` most critical go first; non-critical work
 //!   yields (§3.3's "make way").
+//!
+//! Orthogonal to the strategy, every apply runs under a
+//! [`ResiliencePolicy`] (see [`crate::resilience`]): per-op deadlines that
+//! cancel hung ops, exponential backoff with seeded jitter between
+//! retries, per-provider circuit breakers, and checkpoint/resume of
+//! partially-failed applies via [`Executor::resume`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use cloudless_cloud::{ApiOp, ApiRequest, Cloud, CloudError, OpId, OpOutcome};
 use cloudless_graph::critical::CriticalPathAnalysis;
 use cloudless_graph::NodeId;
 use cloudless_hcl::eval::{eval, Resolver};
 use cloudless_state::{DeployedResource, Snapshot};
-use cloudless_types::{Attrs, Region, ResourceAddr, SimDuration, SimTime, Value};
+use cloudless_types::{
+    Attrs, Provider, Region, ResourceAddr, ResourceId, SimDuration, SimTime, Value,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::diff::Action;
 use crate::plan::Plan;
+use crate::resilience::{CircuitBreaker, ResiliencePolicy};
 use crate::resolver::StateResolver;
 
 /// Scheduling strategy.
@@ -76,10 +87,14 @@ impl Strategy {
 #[derive(Debug, Clone, PartialEq)]
 pub enum NodeResult {
     Ok,
-    /// Failed with a cloud error after `retries` retries.
+    /// Failed with a cloud error after `retries` failure retries.
+    /// `timed_out` distinguishes a node that exhausted its *deadline*
+    /// budget (every attempt hung past its deadline) from one that
+    /// exhausted its failure-retry budget or hit a terminal error.
     Failed {
         error: CloudError,
         retries: u32,
+        timed_out: bool,
     },
     /// Never attempted because a dependency failed.
     Skipped {
@@ -93,6 +108,18 @@ impl NodeResult {
     }
 }
 
+/// Attempt accounting for one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Cloud ops submitted on behalf of this node: retries and both halves
+    /// of a replace all count.
+    pub attempts: u32,
+    /// Retries after retryable failures.
+    pub retries: u32,
+    /// Retries after deadline cancellations.
+    pub timeouts: u32,
+}
+
 /// The report of one apply run.
 #[derive(Debug, Clone)]
 pub struct ApplyReport {
@@ -103,7 +130,14 @@ pub struct ApplyReport {
     /// Total cloud operations submitted (including retries and the delete
     /// half of replaces).
     pub ops_submitted: u64,
+    /// Failure retries across the whole apply.
     pub retries: u64,
+    /// Deadline cancellations that were retried.
+    pub timeouts: u64,
+    /// Times any provider's circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Per-node attempt/retry/timeout counts, keyed by address.
+    pub node_stats: BTreeMap<String, NodeStats>,
 }
 
 impl ApplyReport {
@@ -125,6 +159,14 @@ impl ApplyReport {
             .count()
     }
 
+    /// Count of nodes skipped because a dependency failed.
+    pub fn skips(&self) -> usize {
+        self.results
+            .values()
+            .filter(|r| matches!(r, NodeResult::Skipped { .. }))
+            .count()
+    }
+
     /// Addresses of failed nodes with their errors.
     pub fn errors(&self) -> Vec<(String, &CloudError)> {
         self.results
@@ -135,10 +177,22 @@ impl ApplyReport {
             })
             .collect()
     }
-}
 
-/// Maximum retries for retryable cloud errors.
-const MAX_RETRIES: u32 = 3;
+    /// Total submission attempts across all nodes.
+    pub fn total_attempts(&self) -> u64 {
+        self.node_stats.values().map(|s| s.attempts as u64).sum()
+    }
+
+    /// Addresses that landed successfully — the checkpoint a resumed apply
+    /// starts from (see [`Executor::resume`]).
+    pub fn completed_addrs(&self) -> BTreeSet<String> {
+        self.results
+            .iter()
+            .filter(|(_, r)| r.is_ok())
+            .map(|(a, _)| a.clone())
+            .collect()
+    }
+}
 
 /// Node execution state.
 #[derive(Debug, Clone, PartialEq)]
@@ -159,6 +213,40 @@ enum NodeState {
     Skipped,
 }
 
+/// Mutable machinery of one apply run.
+struct Run {
+    states: Vec<NodeState>,
+    results: BTreeMap<String, NodeResult>,
+    op_to_node: BTreeMap<OpId, NodeId>,
+    /// Cancel-by deadline of every in-flight op that has one.
+    deadlines: BTreeMap<OpId, SimTime>,
+    /// Nodes waiting out a backoff delay, ordered by release time.
+    /// A zero-delay backoff releases at the top of the next loop turn,
+    /// which reproduces the legacy immediate-retry order exactly.
+    backoffs: BTreeSet<(SimTime, NodeId)>,
+    stats: Vec<NodeStats>,
+    /// Old cloud ids of create-before-destroy replaces, deleted last.
+    cbd_old: BTreeMap<NodeId, ResourceId>,
+    breakers: BTreeMap<Provider, CircuitBreaker>,
+    /// Backoff-jitter RNG (independent of the cloud's RNG).
+    rng: StdRng,
+    ops_submitted: u64,
+    retries: u64,
+    timeouts: u64,
+    in_flight: usize,
+}
+
+fn release_successors(plan: &Plan, states: &mut [NodeState], node: NodeId) {
+    for &succ in plan.graph.successors(node) {
+        if let NodeState::Waiting { deps_left } = &mut states[succ.index()] {
+            *deps_left -= 1;
+            if *deps_left == 0 {
+                states[succ.index()] = NodeState::Ready;
+            }
+        }
+    }
+}
+
 /// The plan executor. Owns nothing; borrows the cloud and the state
 /// snapshot it updates as resources land.
 pub struct Executor<'a> {
@@ -170,6 +258,8 @@ pub struct Executor<'a> {
     pub principal: String,
     /// Data-source resolver for apply-time finalization.
     pub data: &'a dyn Resolver,
+    /// Retry / deadline / circuit-breaker configuration.
+    pub resilience: ResiliencePolicy,
 }
 
 impl<'a> Executor<'a> {
@@ -179,7 +269,14 @@ impl<'a> Executor<'a> {
             region_overrides: BTreeMap::new(),
             principal: "cloudless-engine".to_owned(),
             data,
+            resilience: ResiliencePolicy::standard(),
         }
+    }
+
+    /// Replace the resilience policy (builder-style).
+    pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
+        self.resilience = resilience;
+        self
     }
 
     /// Region for a resource: explicit `location`-ish attribute, provider
@@ -194,34 +291,101 @@ impl<'a> Executor<'a> {
         if let Some(r) = self.region_overrides.get(prefix) {
             return r.clone();
         }
-        cloudless_types::Provider::from_type_prefix(prefix)
+        Provider::from_type_prefix(prefix)
             .map(|p| p.default_region())
             .unwrap_or_else(|| Region::new("us-east-1"))
     }
 
     /// Execute `plan` against `cloud`, updating `state` as resources land.
     pub fn apply(&self, plan: &Plan, cloud: &mut Cloud, state: &mut Snapshot) -> ApplyReport {
+        self.run(plan, cloud, state, &BTreeSet::new())
+    }
+
+    /// Resume a partially-failed apply: nodes that are `Ok` in `prior` are
+    /// pre-marked done (their resources are already in `state`) and only
+    /// the unfinished frontier is executed.
+    pub fn resume(
+        &self,
+        plan: &Plan,
+        cloud: &mut Cloud,
+        state: &mut Snapshot,
+        prior: &ApplyReport,
+    ) -> ApplyReport {
+        self.run(plan, cloud, state, &prior.completed_addrs())
+    }
+
+    /// Like [`Executor::resume`] but from a bare completed-address set —
+    /// e.g. a checkpoint persisted across process restarts.
+    pub fn resume_from(
+        &self,
+        plan: &Plan,
+        cloud: &mut Cloud,
+        state: &mut Snapshot,
+        completed: &BTreeSet<String>,
+    ) -> ApplyReport {
+        self.run(plan, cloud, state, completed)
+    }
+
+    fn run(
+        &self,
+        plan: &Plan,
+        cloud: &mut Cloud,
+        state: &mut Snapshot,
+        completed: &BTreeSet<String>,
+    ) -> ApplyReport {
         let started_at = cloud.now();
         let n = plan.graph.len();
-        let mut states: Vec<NodeState> = plan
-            .graph
-            .node_ids()
-            .map(|id| {
-                let deps = plan.graph.in_degree(id);
-                if deps == 0 {
-                    NodeState::Ready
-                } else {
-                    NodeState::Waiting { deps_left: deps }
-                }
-            })
-            .collect();
-        let mut results: BTreeMap<String, NodeResult> = BTreeMap::new();
-        let mut op_to_node: BTreeMap<OpId, NodeId> = BTreeMap::new();
-        let mut retries_left: Vec<u32> = vec![MAX_RETRIES; n];
-        let mut ops_submitted = 0u64;
-        let mut retries = 0u64;
-        // old cloud ids of create-before-destroy replaces, deleted last
-        let mut cbd_old: BTreeMap<NodeId, cloudless_types::ResourceId> = BTreeMap::new();
+        let mut run = Run {
+            states: plan
+                .graph
+                .node_ids()
+                .map(|id| {
+                    let deps = plan.graph.in_degree(id);
+                    if deps == 0 {
+                        NodeState::Ready
+                    } else {
+                        NodeState::Waiting { deps_left: deps }
+                    }
+                })
+                .collect(),
+            results: BTreeMap::new(),
+            op_to_node: BTreeMap::new(),
+            deadlines: BTreeMap::new(),
+            backoffs: BTreeSet::new(),
+            stats: vec![NodeStats::default(); n],
+            cbd_old: BTreeMap::new(),
+            breakers: match &self.resilience.breaker {
+                Some(cfg) => Provider::ALL
+                    .iter()
+                    .map(|&p| (p, CircuitBreaker::new(cfg.clone())))
+                    .collect(),
+                None => BTreeMap::new(),
+            },
+            rng: StdRng::seed_from_u64(self.resilience.seed),
+            ops_submitted: 0,
+            retries: 0,
+            timeouts: 0,
+            in_flight: 0,
+        };
+
+        // Resume: pre-mark previously-completed nodes, then release their
+        // dependents. Two passes so a node with several completed
+        // predecessors sees all of them.
+        if !completed.is_empty() {
+            let done: Vec<NodeId> = plan
+                .graph
+                .node_ids()
+                .filter(|&id| completed.contains(&plan.graph.node(id).change.addr.to_string()))
+                .collect();
+            for &id in &done {
+                run.states[id.index()] = NodeState::Done;
+                run.results
+                    .insert(plan.graph.node(id).change.addr.to_string(), NodeResult::Ok);
+            }
+            for &id in &done {
+                release_successors(plan, &mut run.states, id);
+            }
+        }
 
         // CPM priorities for the critical-path strategies.
         let priorities: Option<CriticalPathAnalysis> = match self.strategy {
@@ -235,15 +399,57 @@ impl<'a> Executor<'a> {
         };
 
         let max_in_flight = self.strategy.max_in_flight();
-        let mut in_flight = 0usize;
 
         loop {
-            // Submit as many ready nodes as the strategy allows.
-            loop {
-                if in_flight >= max_in_flight {
+            // (0) Cancel ops past their deadline and schedule their retries.
+            let now = cloud.now();
+            let due: Vec<OpId> = run
+                .deadlines
+                .iter()
+                .filter(|&(_, &dl)| dl <= now)
+                .map(|(&op, _)| op)
+                .collect();
+            for op in due {
+                run.deadlines.remove(&op);
+                let cancelled = cloud.cancel(op);
+                debug_assert!(cancelled, "deadline fired for an op that is not pending");
+                let Some(node) = run.op_to_node.remove(&op) else {
+                    continue;
+                };
+                run.in_flight -= 1;
+                if let Some(b) = self.node_breaker(&mut run, plan, node) {
+                    b.on_outcome(now, false);
+                }
+                let err = CloudError::transient(
+                    "DeadlineExceeded",
+                    format!(
+                        "op for {} exceeded its deadline and was cancelled",
+                        plan.graph.node(node).change.addr
+                    ),
+                );
+                self.handle_retryable(&mut run, plan, cloud, node, err, true);
+            }
+
+            // (1) Release due backoffs: resubmit each node in its saved
+            // phase. Retries bypass the strategy's in-flight bound, exactly
+            // as the legacy immediate retry did — the rate limiter is the
+            // real backpressure.
+            while let Some(&(t, node)) = run.backoffs.iter().next() {
+                if t > cloud.now() {
                     break;
                 }
-                let Some(next) = self.pick_ready(plan, &states, priorities.as_ref()) else {
+                run.backoffs.remove(&(t, node));
+                self.resubmit(&mut run, plan, cloud, state, node);
+            }
+
+            // (2) Submit as many ready nodes as the strategy and the
+            // breakers allow.
+            loop {
+                if run.in_flight >= max_in_flight {
+                    break;
+                }
+                let Some(next) = self.pick_ready(plan, &run, cloud.now(), priorities.as_ref())
+                else {
                     break;
                 };
                 let node_ref = plan.graph.node(next);
@@ -258,231 +464,318 @@ impl<'a> Executor<'a> {
                 if cbd {
                     // remember the old id before the address is overwritten
                     if let Some(rec) = state.get(&node_ref.change.addr) {
-                        cbd_old.insert(next, rec.id.clone());
+                        run.cbd_old.insert(next, rec.id.clone());
                     }
                 }
+                // set the phase before submitting so a retry of this op
+                // resubmits the same phase
+                run.states[next.index()] = if cbd {
+                    NodeState::ReplacingCbdCreate
+                } else if is_replace {
+                    NodeState::Replacing
+                } else {
+                    NodeState::InFlight
+                };
                 match self.submit_node(next, plan, cloud, state, cbd) {
-                    Ok(op) => {
-                        ops_submitted += 1;
-                        op_to_node.insert(op, next);
-                        states[next.index()] = if cbd {
-                            NodeState::ReplacingCbdCreate
-                        } else if is_replace {
-                            NodeState::Replacing
-                        } else {
-                            NodeState::InFlight
-                        };
-                        in_flight += 1;
-                    }
-                    Err(error) => {
-                        // front-door rejection or finalization failure
-                        states[next.index()] = NodeState::Failed;
-                        results.insert(
-                            plan.graph.node(next).change.addr.to_string(),
-                            NodeResult::Failed { error, retries: 0 },
-                        );
-                        Self::cascade_skip(next, plan, &mut states, &mut results);
-                    }
+                    Ok(op) => self.note_submit(&mut run, plan, cloud, next, op),
+                    // front-door rejection or finalization failure
+                    Err(error) => self.fail_node(&mut run, plan, next, error, false),
                 }
             }
 
-            // Advance the cloud to the next completion.
-            let Some(completion) = cloud.step() else {
-                break; // nothing in flight anywhere
+            // (3) Find the next event in sim time: a completion, a deadline
+            // expiry, a backoff release, or (when ready work is shed by an
+            // open breaker) a half-open probe slot.
+            let next_completion = cloud.next_completion_at();
+            let next_deadline = run.deadlines.values().copied().min();
+            let next_backoff = run.backoffs.iter().next().map(|&(t, _)| t);
+            let any_ready = run.states.iter().any(|s| matches!(s, NodeState::Ready));
+            let next_probe = if any_ready {
+                run.breakers
+                    .values()
+                    .filter_map(|b| b.next_probe_at())
+                    .min()
+            } else {
+                None
             };
-            let Some(&node) = op_to_node.get(&completion.op_id) else {
+            let Some(next_t) = [next_completion, next_deadline, next_backoff, next_probe]
+                .iter()
+                .flatten()
+                .copied()
+                .min()
+            else {
+                break; // no in-flight work and no timers: the apply is over
+            };
+
+            if next_completion != Some(next_t) {
+                // a timer fires first — advance and loop back to (0)/(1)
+                cloud.advance_to(next_t);
+                continue;
+            }
+
+            // Completion wins ties: an op landing exactly at its deadline
+            // still counts as completed.
+            let Some(completion) = cloud.step() else {
+                break;
+            };
+            let Some(&node) = run.op_to_node.get(&completion.op_id) else {
                 continue; // op from another actor sharing the cloud
             };
-            op_to_node.remove(&completion.op_id);
-            in_flight -= 1;
-            let addr_key = plan.graph.node(node).change.addr.to_string();
+            run.op_to_node.remove(&completion.op_id);
+            run.deadlines.remove(&completion.op_id);
+            run.in_flight -= 1;
+            let at = completion.at;
+            let ok = !matches!(completion.outcome, OpOutcome::Failed(_));
+            if let Some(b) = self.node_breaker(&mut run, plan, node) {
+                b.on_outcome(at, ok);
+            }
 
             match completion.outcome {
-                OpOutcome::Failed(err) if err.retryable && retries_left[node.index()] > 0 => {
-                    retries_left[node.index()] -= 1;
-                    retries += 1;
-                    // the trailing CBD delete retries directly by id
-                    if states[node.index()] == NodeState::ReplacingCbdDelete {
-                        if let Some(old_id) = cbd_old.get(&node).cloned() {
-                            match cloud.submit(ApiRequest::new(
-                                ApiOp::Delete { id: old_id },
-                                &self.principal,
-                            )) {
-                                Ok(op) => {
-                                    ops_submitted += 1;
-                                    op_to_node.insert(op, node);
-                                    in_flight += 1;
-                                }
-                                Err(e) => {
-                                    states[node.index()] = NodeState::Failed;
-                                    results.insert(
-                                        addr_key,
-                                        NodeResult::Failed {
-                                            error: CloudError::constraint(
-                                                "ApiRejected",
-                                                e.to_string(),
-                                            ),
-                                            retries: MAX_RETRIES - retries_left[node.index()],
-                                        },
-                                    );
-                                    Self::cascade_skip(node, plan, &mut states, &mut results);
-                                }
-                            }
-                            continue;
-                        }
-                    }
-                    // otherwise resubmit the same phase
-                    let redo_create_phase = matches!(
-                        states[node.index()],
-                        NodeState::InFlight | NodeState::ReplacingCbdCreate
-                    );
-                    match self.submit_node(node, plan, cloud, state, !redo_create_phase) {
-                        Ok(op) => {
-                            ops_submitted += 1;
-                            op_to_node.insert(op, node);
-                            in_flight += 1;
-                        }
-                        Err(error) => {
-                            states[node.index()] = NodeState::Failed;
-                            results.insert(
-                                addr_key,
-                                NodeResult::Failed {
-                                    error,
-                                    retries: MAX_RETRIES - retries_left[node.index()],
-                                },
-                            );
-                            Self::cascade_skip(node, plan, &mut states, &mut results);
-                        }
-                    }
+                OpOutcome::Failed(err) if err.retryable => {
+                    self.handle_retryable(&mut run, plan, cloud, node, err, false);
                 }
                 OpOutcome::Failed(err) => {
-                    states[node.index()] = NodeState::Failed;
-                    results.insert(
-                        addr_key,
-                        NodeResult::Failed {
-                            error: err,
-                            retries: MAX_RETRIES - retries_left[node.index()],
-                        },
-                    );
-                    Self::cascade_skip(node, plan, &mut states, &mut results);
+                    self.fail_node(&mut run, plan, node, err, false);
                 }
-                outcome => {
+                outcome => match run.states[node.index()] {
                     // create-before-destroy: the create landed → record the
                     // new resource, then delete the old one by its saved id
-                    if states[node.index()] == NodeState::ReplacingCbdCreate {
-                        self.record_success(node, plan, state, outcome, completion.at);
-                        let Some(old_id) = cbd_old.get(&node).cloned() else {
+                    NodeState::ReplacingCbdCreate => {
+                        self.record_success(node, plan, state, outcome, at);
+                        match run.cbd_old.get(&node).cloned() {
                             // nothing to delete (state had no prior record)
-                            states[node.index()] = NodeState::Done;
-                            results.insert(addr_key, NodeResult::Ok);
-                            for &succ in plan.graph.successors(node) {
-                                if let NodeState::Waiting { deps_left } = &mut states[succ.index()]
-                                {
-                                    *deps_left -= 1;
-                                    if *deps_left == 0 {
-                                        states[succ.index()] = NodeState::Ready;
+                            None => self.complete_node(&mut run, plan, node),
+                            Some(old_id) => {
+                                match cloud.submit(ApiRequest::new(
+                                    ApiOp::Delete { id: old_id },
+                                    &self.principal,
+                                )) {
+                                    Ok(op) => {
+                                        run.states[node.index()] = NodeState::ReplacingCbdDelete;
+                                        self.note_submit(&mut run, plan, cloud, node, op);
                                     }
+                                    Err(e) => self.fail_node(
+                                        &mut run,
+                                        plan,
+                                        node,
+                                        CloudError::constraint("ApiRejected", e.to_string()),
+                                        false,
+                                    ),
                                 }
                             }
-                            continue;
-                        };
-                        match cloud.submit(ApiRequest::new(
-                            ApiOp::Delete { id: old_id },
-                            &self.principal,
-                        )) {
-                            Ok(op) => {
-                                ops_submitted += 1;
-                                op_to_node.insert(op, node);
-                                states[node.index()] = NodeState::ReplacingCbdDelete;
-                                in_flight += 1;
-                            }
-                            Err(e) => {
-                                states[node.index()] = NodeState::Failed;
-                                results.insert(
-                                    addr_key,
-                                    NodeResult::Failed {
-                                        error: CloudError::constraint("ApiRejected", e.to_string()),
-                                        retries: 0,
-                                    },
-                                );
-                                Self::cascade_skip(node, plan, &mut states, &mut results);
-                            }
                         }
-                        continue;
                     }
                     // trailing CBD delete done → the node is complete (the
                     // new resource is already in state; do NOT remove the
                     // address)
-                    if states[node.index()] == NodeState::ReplacingCbdDelete {
-                        states[node.index()] = NodeState::Done;
-                        results.insert(addr_key, NodeResult::Ok);
-                        for &succ in plan.graph.successors(node) {
-                            if let NodeState::Waiting { deps_left } = &mut states[succ.index()] {
-                                *deps_left -= 1;
-                                if *deps_left == 0 {
-                                    states[succ.index()] = NodeState::Ready;
-                                }
-                            }
-                        }
-                        continue;
-                    }
-                    // Success of either the delete half of a replace, or the
-                    // whole node.
-                    if states[node.index()] == NodeState::Replacing {
-                        // delete done → remove from state, submit the create
+                    NodeState::ReplacingCbdDelete => self.complete_node(&mut run, plan, node),
+                    // delete half of a replace done → remove from state,
+                    // submit the create half
+                    NodeState::Replacing => {
                         state.remove(&plan.graph.node(node).change.addr);
+                        run.states[node.index()] = NodeState::InFlight;
                         match self.submit_node(node, plan, cloud, state, true) {
-                            Ok(op) => {
-                                ops_submitted += 1;
-                                op_to_node.insert(op, node);
-                                states[node.index()] = NodeState::InFlight;
-                                in_flight += 1;
-                            }
-                            Err(error) => {
-                                states[node.index()] = NodeState::Failed;
-                                results.insert(addr_key, NodeResult::Failed { error, retries: 0 });
-                                Self::cascade_skip(node, plan, &mut states, &mut results);
-                            }
-                        }
-                    } else {
-                        self.record_success(node, plan, state, outcome, completion.at);
-                        states[node.index()] = NodeState::Done;
-                        results.insert(addr_key, NodeResult::Ok);
-                        // release dependents
-                        for &succ in plan.graph.successors(node) {
-                            if let NodeState::Waiting { deps_left } = &mut states[succ.index()] {
-                                *deps_left -= 1;
-                                if *deps_left == 0 {
-                                    states[succ.index()] = NodeState::Ready;
-                                }
-                            }
+                            Ok(op) => self.note_submit(&mut run, plan, cloud, node, op),
+                            Err(error) => self.fail_node(&mut run, plan, node, error, false),
                         }
                     }
-                }
+                    _ => {
+                        self.record_success(node, plan, state, outcome, at);
+                        self.complete_node(&mut run, plan, node);
+                    }
+                },
             }
         }
 
+        let node_stats = plan
+            .graph
+            .node_ids()
+            .map(|id| {
+                (
+                    plan.graph.node(id).change.addr.to_string(),
+                    run.stats[id.index()],
+                )
+            })
+            .collect();
         ApplyReport {
             strategy: self.strategy.name(),
             started_at,
             finished_at: cloud.now(),
-            results,
-            ops_submitted,
-            retries,
+            results: run.results,
+            ops_submitted: run.ops_submitted,
+            retries: run.retries,
+            timeouts: run.timeouts,
+            breaker_trips: run.breakers.values().map(|b| b.trips()).sum(),
+            node_stats,
         }
     }
 
-    /// Choose the next ready node per strategy.
+    /// Account for a just-submitted op: deadline registration, breaker
+    /// notification, and attempt counting.
+    fn note_submit(&self, run: &mut Run, plan: &Plan, cloud: &Cloud, node: NodeId, op: OpId) {
+        run.ops_submitted += 1;
+        run.stats[node.index()].attempts += 1;
+        run.op_to_node.insert(op, node);
+        run.in_flight += 1;
+        let now = cloud.now();
+        if let Some(b) = self.node_breaker(run, plan, node) {
+            b.on_submit(now);
+        }
+        if let Some(allowance) = self
+            .resilience
+            .deadline
+            .allowance(plan.graph.node(node).estimate)
+        {
+            // The deadline clock starts when the provider admits the op,
+            // not at submission: queueing behind the rate limiter is
+            // throttling, not hanging.
+            let start = cloud.op_started_at(op).unwrap_or(now);
+            run.deadlines.insert(op, start + allowance);
+        }
+    }
+
+    /// Resubmit a node whose backoff just released, in its saved phase.
+    fn resubmit(
+        &self,
+        run: &mut Run,
+        plan: &Plan,
+        cloud: &mut Cloud,
+        state: &mut Snapshot,
+        node: NodeId,
+    ) {
+        let submitted = match run.states[node.index()] {
+            // the trailing CBD delete retries directly by the saved id
+            NodeState::ReplacingCbdDelete => {
+                let Some(old_id) = run.cbd_old.get(&node).cloned() else {
+                    self.complete_node(run, plan, node);
+                    return;
+                };
+                cloud
+                    .submit(ApiRequest::new(
+                        ApiOp::Delete { id: old_id },
+                        &self.principal,
+                    ))
+                    .map_err(|e| CloudError::constraint("ApiRejected", e.to_string()))
+            }
+            ref st => {
+                // InFlight covers both a plain node and the create half of
+                // a replace whose delete already landed; Replacing is the
+                // delete half.
+                let create_phase =
+                    matches!(st, NodeState::InFlight | NodeState::ReplacingCbdCreate);
+                self.submit_node(node, plan, cloud, state, create_phase)
+            }
+        };
+        match submitted {
+            Ok(op) => self.note_submit(run, plan, cloud, node, op),
+            Err(error) => self.fail_node(run, plan, node, error, false),
+        }
+    }
+
+    /// Decide the fate of a retryable failure (`timed_out` = deadline
+    /// cancellation): schedule a backoff retry if budgets allow, otherwise
+    /// fail the node terminally.
+    fn handle_retryable(
+        &self,
+        run: &mut Run,
+        plan: &Plan,
+        cloud: &Cloud,
+        node: NodeId,
+        error: CloudError,
+        timed_out: bool,
+    ) {
+        let policy = &self.resilience.retry;
+        let s = run.stats[node.index()];
+        let node_budget_ok = if timed_out {
+            s.timeouts < policy.max_timeouts_per_node
+        } else {
+            s.attempts < policy.max_attempts_per_node
+        };
+        let apply_budget_ok = policy
+            .max_retries_per_apply
+            .is_none_or(|cap| run.retries + run.timeouts < cap);
+        if !node_budget_ok || !apply_budget_ok {
+            self.fail_node(run, plan, node, error, timed_out);
+            return;
+        }
+        let retry_index = s.retries + s.timeouts;
+        let delay = policy.backoff(retry_index, &mut run.rng);
+        {
+            let s = &mut run.stats[node.index()];
+            if timed_out {
+                s.timeouts += 1;
+                run.timeouts += 1;
+            } else {
+                s.retries += 1;
+                run.retries += 1;
+            }
+        }
+        run.backoffs.insert((cloud.now() + delay, node));
+    }
+
+    /// Terminal failure: record it and skip all transitive dependents.
+    fn fail_node(
+        &self,
+        run: &mut Run,
+        plan: &Plan,
+        node: NodeId,
+        error: CloudError,
+        timed_out: bool,
+    ) {
+        run.states[node.index()] = NodeState::Failed;
+        run.results.insert(
+            plan.graph.node(node).change.addr.to_string(),
+            NodeResult::Failed {
+                error,
+                retries: run.stats[node.index()].retries,
+                timed_out,
+            },
+        );
+        Self::cascade_skip(node, plan, &mut run.states, &mut run.results);
+    }
+
+    /// Successful terminal state: record it and release dependents.
+    fn complete_node(&self, run: &mut Run, plan: &Plan, node: NodeId) {
+        run.states[node.index()] = NodeState::Done;
+        run.results.insert(
+            plan.graph.node(node).change.addr.to_string(),
+            NodeResult::Ok,
+        );
+        release_successors(plan, &mut run.states, node);
+    }
+
+    /// The breaker guarding this node's provider, if any.
+    fn node_breaker<'r>(
+        &self,
+        run: &'r mut Run,
+        plan: &Plan,
+        node: NodeId,
+    ) -> Option<&'r mut CircuitBreaker> {
+        let prefix = plan.graph.node(node).change.addr.rtype.provider_prefix();
+        let p = Provider::from_type_prefix(prefix)?;
+        run.breakers.get_mut(&p)
+    }
+
+    fn breaker_admits(&self, run: &Run, plan: &Plan, node: NodeId, now: SimTime) -> bool {
+        let prefix = plan.graph.node(node).change.addr.rtype.provider_prefix();
+        let Some(p) = Provider::from_type_prefix(prefix) else {
+            return true;
+        };
+        run.breakers.get(&p).is_none_or(|b| b.would_admit(now))
+    }
+
+    /// Choose the next ready node per strategy, skipping nodes whose
+    /// provider breaker is shedding load.
     fn pick_ready(
         &self,
         plan: &Plan,
-        states: &[NodeState],
+        run: &Run,
+        now: SimTime,
         priorities: Option<&CriticalPathAnalysis>,
     ) -> Option<NodeId> {
-        let ready = plan
-            .graph
-            .node_ids()
-            .filter(|id| states[id.index()] == NodeState::Ready);
+        let ready = plan.graph.node_ids().filter(|&id| {
+            run.states[id.index()] == NodeState::Ready && self.breaker_admits(run, plan, id, now)
+        });
         match priorities {
             // FIFO (node-id order == declaration order)
             None => ready.min_by_key(|id| id.index()),
@@ -649,8 +942,9 @@ impl<'a> Executor<'a> {
 mod tests {
     use super::*;
     use crate::diff::diff;
+    use crate::resilience::DeadlinePolicy;
     use crate::resolver::DataResolver;
-    use cloudless_cloud::{Catalog, CloudConfig};
+    use cloudless_cloud::{Catalog, CloudConfig, FaultPlan};
     use cloudless_hcl::program::{expand, Manifest, ModuleLibrary, Program};
 
     fn manifest(src: &str) -> Manifest {
@@ -790,7 +1084,7 @@ resource "azure_lb" "lb" {
         let catalog = Catalog::standard();
         let data = DataResolver::new();
         let mut config = CloudConfig::exact();
-        config.faults = cloudless_cloud::FaultPlan {
+        config.faults = FaultPlan {
             transient_failure_rate: 0.4,
             hang_rate: 0.0,
             hang_factor: 1.0,
@@ -816,6 +1110,51 @@ resource "aws_s3_bucket" "b" {
         );
         assert!(report.retries > 0);
         assert_eq!(state.len(), 10);
+        // attempt accounting: every submission is attributed to a node
+        assert_eq!(report.total_attempts(), report.ops_submitted);
+        assert_eq!(
+            report
+                .node_stats
+                .values()
+                .map(|s| s.retries as u64)
+                .sum::<u64>(),
+            report.retries
+        );
+    }
+
+    #[test]
+    fn legacy_policy_reproduces_immediate_retry() {
+        // Same scenario as above under the legacy (seed-faithful) policy:
+        // zero backoff, 3 retries, no deadlines, no breaker.
+        let catalog = Catalog::standard();
+        let data = DataResolver::new();
+        let mut config = CloudConfig::exact();
+        config.faults = FaultPlan {
+            transient_failure_rate: 0.4,
+            hang_rate: 0.0,
+            hang_factor: 1.0,
+        };
+        let mut cloud = Cloud::new(config, 1234);
+        let mut state = Snapshot::new();
+        let m = manifest(
+            r#"
+resource "aws_s3_bucket" "b" {
+  count  = 10
+  bucket = "bucket-${count.index}"
+}
+"#,
+        );
+        let changes = diff(&m, &state, &catalog, &data);
+        let plan = Plan::build(changes, &state, &catalog);
+        let exec = Executor::new(Strategy::TerraformWalk { parallelism: 10 }, &data)
+            .with_resilience(ResiliencePolicy::legacy());
+        let report = exec.apply(&plan, &mut cloud, &mut state);
+        assert!(report.all_ok(), "{:?}", report.errors());
+        assert!(report.retries > 0);
+        // immediate retries add no delay: the makespan equals a single
+        // round of bucket creates (all parallel, exact latencies)
+        assert_eq!(report.timeouts, 0);
+        assert_eq!(report.breaker_trips, 0);
     }
 
     #[test]
@@ -880,6 +1219,240 @@ resource "aws_s3_bucket" "b" {
         );
         // the cloud holds exactly one vpc
         assert_eq!(cloud.records().len(), 1);
+    }
+
+    #[test]
+    fn replace_retry_resubmits_the_create_half() {
+        // Regression test for the legacy executor's inverted retry phase:
+        // a retryable failure on the *create* half of a replace must retry
+        // the create, not resubmit the delete (which would hit
+        // StateInconsistent — the record was already removed). Over 40
+        // seeds at a 50% fault rate, the delete-ok-then-create-fails
+        // sequence occurs with near certainty.
+        let catalog = Catalog::standard();
+        let data = DataResolver::new();
+        let mut exercised = false;
+        for seed in 0..40u64 {
+            let mut config = CloudConfig::exact();
+            config.faults = FaultPlan {
+                transient_failure_rate: 0.5,
+                hang_rate: 0.0,
+                hang_factor: 1.0,
+            };
+            let mut cloud = Cloud::new(config, seed);
+            let mut state = Snapshot::new();
+            let exec = Executor::new(Strategy::Sequential, &data);
+            let v1 = manifest(r#"resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }"#);
+            let plan = Plan::build(diff(&v1, &state, &catalog, &data), &state, &catalog);
+            if !exec.apply(&plan, &mut cloud, &mut state).all_ok() {
+                continue; // ~1.6% of seeds exhaust even 6 attempts
+            }
+
+            let v2 = manifest(r#"resource "aws_vpc" "v" { cidr_block = "10.99.0.0/16" }"#);
+            let plan2 = Plan::build(diff(&v2, &state, &catalog, &data), &state, &catalog);
+            let report = exec.apply(&plan2, &mut cloud, &mut state);
+            // A seed may legitimately exhaust the attempt budget — but the
+            // failure must then be the provider's transient error. The
+            // inverted-phase bug instead resubmitted the delete half and
+            // died on StateInconsistent.
+            for (addr, e) in report.errors() {
+                assert_ne!(
+                    e.code, "StateInconsistent",
+                    "seed {seed}: {addr} retried the wrong phase of the replace"
+                );
+            }
+            if !report.all_ok() {
+                continue;
+            }
+            if report.node_stats["aws_vpc.v"].retries > 0 {
+                exercised = true;
+            }
+            assert_eq!(cloud.records().len(), 1, "seed {seed}: exactly one vpc");
+            assert_eq!(
+                state
+                    .get(&"aws_vpc.v".parse().unwrap())
+                    .unwrap()
+                    .attrs
+                    .get("cidr_block"),
+                Some(&Value::from("10.99.0.0/16")),
+                "seed {seed}"
+            );
+        }
+        assert!(exercised, "no seed exercised the replace retry path");
+    }
+
+    #[test]
+    fn hung_ops_are_cancelled_and_retried() {
+        // Every op hangs at 10× its estimate; the deadline cancels at 2×
+        // and the retry budget is exhausted → the node fails *as timed
+        // out*, distinctly from a failure-retry exhaustion.
+        let catalog = Catalog::standard();
+        let data = DataResolver::new();
+        let mut config = CloudConfig::exact();
+        config.faults = FaultPlan {
+            transient_failure_rate: 0.0,
+            hang_rate: 1.0,
+            hang_factor: 10.0,
+        };
+        let mut cloud = Cloud::new(config, 7);
+        let mut state = Snapshot::new();
+        let m = manifest(r#"resource "aws_s3_bucket" "b" { bucket = "b" }"#);
+        let plan = Plan::build(diff(&m, &state, &catalog, &data), &state, &catalog);
+        let mut policy = ResiliencePolicy::standard();
+        policy.deadline = DeadlinePolicy::EstimateFactor {
+            factor: 2.0,
+            floor: SimDuration::ZERO,
+        };
+        let exec = Executor::new(Strategy::Sequential, &data).with_resilience(policy.clone());
+        let report = exec.apply(&plan, &mut cloud, &mut state);
+        assert!(!report.all_ok());
+        let NodeResult::Failed {
+            timed_out, error, ..
+        } = &report.results["aws_s3_bucket.b"]
+        else {
+            panic!("expected a failure, got {:?}", report.results);
+        };
+        assert!(
+            *timed_out,
+            "exhausting the deadline budget reports timed_out"
+        );
+        assert_eq!(error.code, "DeadlineExceeded");
+        // the full timeout budget was consumed, plus the initial attempt
+        assert_eq!(report.timeouts, policy.retry.max_timeouts_per_node as u64);
+        assert_eq!(
+            report.node_stats["aws_s3_bucket.b"].attempts,
+            policy.retry.max_timeouts_per_node + 1
+        );
+        // cancelled ops never materialize resources
+        assert!(cloud.records().is_empty());
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn deadline_rescues_partially_hung_apply() {
+        // Some ops hang at 20× their estimate. Without deadlines the apply
+        // converges but waits out every hang in full; with a 2× deadline,
+        // hung ops are cancelled early and retried, finishing much sooner.
+        let catalog = Catalog::standard();
+        let data = DataResolver::new();
+        let src = r#"
+resource "aws_virtual_machine" "vm" {
+  count = 8
+  name  = "vm-${count.index}"
+}
+"#;
+        let run_with = |policy: ResiliencePolicy| {
+            let mut config = CloudConfig::exact();
+            config.faults = FaultPlan {
+                transient_failure_rate: 0.0,
+                hang_rate: 0.4,
+                hang_factor: 20.0,
+            };
+            let mut cloud = Cloud::new(config, 11);
+            let mut state = Snapshot::new();
+            let m = manifest(src);
+            let plan = Plan::build(diff(&m, &state, &catalog, &data), &state, &catalog);
+            let exec = Executor::new(Strategy::TerraformWalk { parallelism: 10 }, &data)
+                .with_resilience(policy);
+            exec.apply(&plan, &mut cloud, &mut state)
+        };
+        let mut tight = ResiliencePolicy::standard();
+        tight.deadline = DeadlinePolicy::EstimateFactor {
+            factor: 2.0,
+            floor: SimDuration::ZERO,
+        };
+        let with_deadlines = run_with(tight);
+        let without = run_with(ResiliencePolicy::legacy());
+        assert!(with_deadlines.all_ok(), "{:?}", with_deadlines.errors());
+        assert!(without.all_ok());
+        assert!(with_deadlines.timeouts > 0, "deadlines fired");
+        assert_eq!(without.timeouts, 0);
+        assert!(
+            with_deadlines.makespan() < without.makespan(),
+            "cancel-and-retry ({}) should beat waiting out hangs ({})",
+            with_deadlines.makespan(),
+            without.makespan()
+        );
+    }
+
+    #[test]
+    fn breaker_sheds_load_during_provider_outage() {
+        // 90% failure rate: the breaker must trip. It only delays work, so
+        // node outcomes are still decided by the retry budget.
+        let catalog = Catalog::standard();
+        let data = DataResolver::new();
+        let mut config = CloudConfig::exact();
+        config.faults = FaultPlan {
+            transient_failure_rate: 0.9,
+            hang_rate: 0.0,
+            hang_factor: 1.0,
+        };
+        let mut cloud = Cloud::new(config, 3);
+        let mut state = Snapshot::new();
+        let m = manifest(
+            r#"
+resource "aws_s3_bucket" "b" {
+  count  = 20
+  bucket = "bucket-${count.index}"
+}
+"#,
+        );
+        let plan = Plan::build(diff(&m, &state, &catalog, &data), &state, &catalog);
+        let exec = Executor::new(Strategy::TerraformWalk { parallelism: 10 }, &data);
+        let report = exec.apply(&plan, &mut cloud, &mut state);
+        assert!(
+            report.breaker_trips > 0,
+            "a 90% error rate must trip the breaker"
+        );
+        // every node reached a terminal result despite the shedding
+        assert_eq!(report.results.len(), 20);
+    }
+
+    #[test]
+    fn resume_completes_partial_apply_without_duplicates() {
+        let catalog = Catalog::standard();
+        let data = DataResolver::new();
+        let mut config = CloudConfig::exact();
+        config.faults = FaultPlan {
+            transient_failure_rate: 0.5,
+            hang_rate: 0.0,
+            hang_factor: 1.0,
+        };
+        // a fragile policy: no retries at all → the first apply fails part
+        // of the graph
+        let fragile = ResiliencePolicy {
+            retry: crate::resilience::RetryPolicy {
+                max_attempts_per_node: 1,
+                ..crate::resilience::RetryPolicy::immediate()
+            },
+            ..ResiliencePolicy::legacy()
+        };
+        let mut cloud = Cloud::new(config, 5);
+        let mut state = Snapshot::new();
+        let m = manifest(WEB_APP);
+        let plan = Plan::build(diff(&m, &state, &catalog, &data), &state, &catalog);
+        let exec = Executor::new(Strategy::TerraformWalk { parallelism: 10 }, &data)
+            .with_resilience(fragile);
+        let first = exec.apply(&plan, &mut cloud, &mut state);
+        assert!(
+            !first.all_ok(),
+            "seed 5 at 50% faults with no retries must fail"
+        );
+        let completed = first.completed_addrs();
+        assert!(!completed.is_empty(), "something should have landed");
+
+        // resume with the standard policy: only the unfinished frontier
+        // runs, completed nodes are not resubmitted
+        let exec2 = Executor::new(Strategy::TerraformWalk { parallelism: 10 }, &data);
+        let second = exec2.resume(&plan, &mut cloud, &mut state, &first);
+        assert!(second.all_ok(), "{:?}", second.errors());
+        assert_eq!(state.len(), 5);
+        assert_eq!(cloud.records().len(), 5, "no duplicate resources");
+        // completed nodes were pre-marked, not re-attempted
+        for addr in &completed {
+            assert_eq!(second.node_stats[addr].attempts, 0, "{addr} resubmitted");
+        }
+        assert!(second.ops_submitted < first.results.len() as u64 + second.retries + 1);
     }
 
     #[test]

@@ -33,13 +33,17 @@ pub mod exec;
 pub mod incremental;
 pub mod plan;
 pub mod refresh;
+pub mod resilience;
 pub mod resolver;
 pub mod rollback;
 
 pub use diff::{diff, Action, PlannedChange};
-pub use exec::{ApplyReport, Executor, NodeResult, Strategy};
+pub use exec::{ApplyReport, Executor, NodeResult, NodeStats, Strategy};
 pub use incremental::{incremental_plan, IncrementalStats};
 pub use plan::{Plan, PlanNode};
 pub use refresh::{full_refresh, scoped_refresh, RefreshReport};
+pub use resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, DeadlinePolicy, ResiliencePolicy, RetryPolicy,
+};
 pub use resolver::{DataResolver, StateResolver};
 pub use rollback::{plan_rollback, RollbackPlan, RollbackStep};

@@ -2,7 +2,8 @@
 //! hangs (§3.3's "retries in case of resource hanging or failure").
 
 use cloudless::cloud::{CloudConfig, FaultPlan};
-use cloudless::deploy::Strategy;
+use cloudless::deploy::{DeadlinePolicy, ResiliencePolicy, Strategy};
+use cloudless::types::SimDuration;
 use cloudless::{Cloudless, Config};
 
 const FLEET: &str = r#"
@@ -108,4 +109,67 @@ fn state_is_exact_after_partial_failure_and_recovers_on_retry() {
     assert_eq!(calm.state().len(), 12);
     // only the missing resources were created
     assert_eq!(out2.apply.ops_submitted as usize, 12 - live);
+}
+
+#[test]
+fn deadlines_cancel_hangs_and_still_converge() {
+    // heavy hangs at 20x latency: a tight deadline (2x estimate) cancels the
+    // hung op and the retry usually lands, so the fleet converges faster
+    // than the legacy policy that waits every hang out
+    let tight_policy = {
+        let mut p = ResiliencePolicy::standard();
+        p.deadline = DeadlinePolicy::EstimateFactor {
+            factor: 2.0,
+            floor: SimDuration::ZERO,
+        };
+        p
+    };
+    let build = |resilience: ResiliencePolicy| {
+        let mut cloud = CloudConfig::exact();
+        cloud.faults = FaultPlan {
+            transient_failure_rate: 0.0,
+            hang_rate: 0.4,
+            hang_factor: 20.0,
+        };
+        Cloudless::new(Config {
+            cloud,
+            seed: 7,
+            strategy: Strategy::CriticalPath { max_in_flight: 64 },
+            resilience,
+            ..Config::default()
+        })
+    };
+
+    let mut tight = build(tight_policy);
+    let out = tight.converge(FLEET).expect("pipeline runs");
+    assert!(out.apply.all_ok(), "{:?}", out.apply.errors());
+    assert!(out.apply.timeouts > 0, "hangs were actually cancelled");
+    assert_eq!(tight.state().len(), 12);
+    assert_eq!(tight.cloud().records().len(), 12, "no orphans from cancels");
+
+    let mut legacy = build(ResiliencePolicy::legacy());
+    let legacy_out = legacy.converge(FLEET).expect("legacy runs");
+    assert!(legacy_out.apply.all_ok());
+    assert_eq!(legacy_out.apply.timeouts, 0, "legacy never cancels");
+    assert!(
+        out.apply.makespan() < legacy_out.apply.makespan(),
+        "cancel-and-retry ({}) should beat waiting out hangs ({})",
+        out.apply.makespan(),
+        legacy_out.apply.makespan()
+    );
+}
+
+#[test]
+fn retry_and_backoff_schedule_is_deterministic() {
+    // same seed → byte-identical report (results, per-node attempt counts,
+    // virtual timestamps — i.e. the whole retry/backoff schedule)
+    let run = |seed: u64| {
+        let mut e = chaotic_engine(seed, 0.3, 0.2);
+        let out = e.converge(FLEET).expect("pipeline runs");
+        format!("{:?}", out.apply)
+    };
+    let a = run(5);
+    let b = run(5);
+    assert_eq!(a, b, "identical seeds must replay identically");
+    assert!(a.contains("node_stats"), "report carries per-node stats");
 }

@@ -1,0 +1,61 @@
+//! Minimal in-tree `crossbeam` replacement for offline builds.
+//!
+//! Only `crossbeam::scope` is used by this workspace; it is implemented on
+//! top of `std::thread::scope` (stable since Rust 1.63). One behavioral
+//! difference: a panicking spawned thread propagates the panic out of
+//! `scope` rather than being captured in the returned `Result` — callers
+//! here all `.unwrap()` immediately, so a failing child aborts the test
+//! either way.
+
+/// Spawn scoped threads. The closure receives a [`Scope`] whose `spawn`
+/// mirrors crossbeam's signature (the child closure is handed the scope,
+/// so it can spawn further siblings).
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope(s))))
+}
+
+/// Wrapper over `std::thread::Scope` matching crossbeam's spawn shape.
+pub struct Scope<'scope, 'env>(&'scope std::thread::Scope<'scope, 'env>);
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.0;
+        inner.spawn(move || f(&Scope(inner)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_share_stack_data() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

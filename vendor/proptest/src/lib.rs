@@ -1,0 +1,698 @@
+//! Minimal in-tree `proptest` replacement for offline builds.
+//!
+//! Implements the surface this workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, [`strategy::Just`], `prop_oneof!`,
+//! `any::<T>()`, `proptest::collection::{vec, btree_map}`, string
+//! strategies from a regex subset, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Unlike real proptest there is no shrinking and no failure persistence:
+//! each test runs [`CASES`] deterministic cases seeded from the test name,
+//! and a failing case fails the test outright via `assert!`. That keeps
+//! the property suites meaningful (they still explore the input space
+//! deterministically) at a fraction of the machinery.
+
+/// Number of cases each `proptest!` test runs.
+pub const CASES: u32 = 64;
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic per-test RNG, seeded from the test's name so every
+    /// run explores the same inputs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        pub fn for_test(name: &str) -> TestRng {
+            // FNV-1a over the test name: stable across runs and platforms.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    use rand::Rng;
+
+    use crate::string::sample_regex;
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Build a recursive strategy: `depth` levels of `recurse` layered
+        /// over `self` as the leaf, each level choosing leaf or branch.
+        /// (`_desired_size` and `_expected_branch_size` are accepted for
+        /// signature compatibility; depth alone bounds recursion here.)
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf: BoxedStrategy<Self::Value> = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let branch = recurse(current.clone()).boxed();
+                current = Union::new(vec![leaf.clone(), branch]).boxed();
+            }
+            current
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy handle.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].sample(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.sample(rng)).sample(rng)
+        }
+    }
+
+    macro_rules! numeric_range_strategies {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        rng.gen_range(self.clone())
+                    }
+                }
+                impl Strategy for RangeInclusive<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        rng.gen_range(self.clone())
+                    }
+                }
+            )*
+        };
+    }
+
+    numeric_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f64);
+
+    /// String literals are regex strategies, as in real proptest.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_regex(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident . $idx:tt),+);)+) => {
+            $(
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+                    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                        ($(self.$idx.sample(rng),)+)
+                    }
+                }
+            )+
+        };
+    }
+
+    tuple_strategies! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+    }
+
+    /// Strategy produced by [`crate::arbitrary::any`].
+    pub struct AnyStrategy<T>(pub(crate) PhantomData<T>);
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use std::marker::PhantomData;
+
+    use rand::{Rng, RngCore};
+
+    use crate::strategy::AnyStrategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {
+            $(
+                impl Arbitrary for $t {
+                    fn arbitrary(rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // finite, sign-symmetric, spanning many magnitudes
+            let mag = rng.gen_range(-300i32..300);
+            let mantissa = rng.gen_range(-1.0f64..=1.0);
+            mantissa * 10f64.powi(mag)
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap()
+        }
+    }
+}
+
+pub mod collection {
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            if self.max <= self.min {
+                self.min
+            } else {
+                rng.gen_range(self.min..=self.max)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange {
+                min: r.start,
+                max: r.end.saturating_sub(1),
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            // duplicate keys collapse, so the map may come out smaller than
+            // the sampled size — same as real proptest
+            let len = self.size.sample(rng);
+            (0..len)
+                .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+                .collect()
+        }
+    }
+}
+
+pub(crate) mod string {
+    use rand::Rng;
+
+    use crate::test_runner::TestRng;
+
+    /// A parsed node of the supported regex subset: literals, classes,
+    /// groups with alternation, `\PC` (any printable), and the `*`, `+`,
+    /// `?`, `{m}`, `{m,n}` quantifiers.
+    enum Node {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        AnyPrintable,
+        Group(Vec<Vec<Node>>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    /// Sample a string matching `pattern` (within the supported subset).
+    pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0usize;
+        let alts = parse_alternation(&chars, &mut pos);
+        assert!(pos == chars.len(), "unsupported regex: {pattern}");
+        let mut out = String::new();
+        let i = rng.gen_range(0..alts.len());
+        for node in &alts[i] {
+            gen_node(node, rng, &mut out);
+        }
+        out
+    }
+
+    fn parse_alternation(chars: &[char], pos: &mut usize) -> Vec<Vec<Node>> {
+        let mut alts = vec![Vec::new()];
+        while *pos < chars.len() && chars[*pos] != ')' {
+            if chars[*pos] == '|' {
+                *pos += 1;
+                alts.push(Vec::new());
+                continue;
+            }
+            let node = parse_atom(chars, pos);
+            let node = parse_quantifier(chars, pos, node);
+            alts.last_mut().unwrap().push(node);
+        }
+        alts
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+        match chars[*pos] {
+            '(' => {
+                *pos += 1;
+                let alts = parse_alternation(chars, pos);
+                assert!(chars.get(*pos) == Some(&')'), "unclosed group in regex");
+                *pos += 1;
+                Node::Group(alts)
+            }
+            '[' => {
+                *pos += 1;
+                let ranges = parse_class(chars, pos);
+                Node::Class(ranges)
+            }
+            '\\' => {
+                *pos += 1;
+                let c = chars[*pos];
+                *pos += 1;
+                if c == 'P' && chars.get(*pos) == Some(&'C') {
+                    *pos += 1;
+                    Node::AnyPrintable
+                } else {
+                    Node::Lit(unescape(c))
+                }
+            }
+            '.' => {
+                *pos += 1;
+                Node::AnyPrintable
+            }
+            c => {
+                *pos += 1;
+                Node::Lit(c)
+            }
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        while *pos < chars.len() && chars[*pos] != ']' {
+            let c = if chars[*pos] == '\\' {
+                *pos += 1;
+                let e = unescape(chars[*pos]);
+                *pos += 1;
+                e
+            } else {
+                let c = chars[*pos];
+                *pos += 1;
+                c
+            };
+            // range `c-d` unless the `-` is the last char of the class
+            if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&d| d != ']') {
+                *pos += 1;
+                let d = if chars[*pos] == '\\' {
+                    *pos += 1;
+                    let e = unescape(chars[*pos]);
+                    *pos += 1;
+                    e
+                } else {
+                    let d = chars[*pos];
+                    *pos += 1;
+                    d
+                };
+                ranges.push((c, d));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        assert!(chars.get(*pos) == Some(&']'), "unclosed class in regex");
+        *pos += 1;
+        ranges
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize, node: Node) -> Node {
+        match chars.get(*pos) {
+            Some('*') => {
+                *pos += 1;
+                Node::Repeat(Box::new(node), 0, 16)
+            }
+            Some('+') => {
+                *pos += 1;
+                Node::Repeat(Box::new(node), 1, 16)
+            }
+            Some('?') => {
+                *pos += 1;
+                Node::Repeat(Box::new(node), 0, 1)
+            }
+            Some('{') => {
+                *pos += 1;
+                let mut min = 0u32;
+                while chars[*pos].is_ascii_digit() {
+                    min = min * 10 + chars[*pos].to_digit(10).unwrap();
+                    *pos += 1;
+                }
+                let max = if chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut m = 0u32;
+                    while chars[*pos].is_ascii_digit() {
+                        m = m * 10 + chars[*pos].to_digit(10).unwrap();
+                        *pos += 1;
+                    }
+                    m
+                } else {
+                    min
+                };
+                assert!(chars[*pos] == '}', "unclosed quantifier in regex");
+                *pos += 1;
+                Node::Repeat(Box::new(node), min, max)
+            }
+            _ => node,
+        }
+    }
+
+    fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                let c = char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo);
+                out.push(c);
+            }
+            Node::AnyPrintable => {
+                out.push(char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap());
+            }
+            Node::Group(alts) => {
+                let i = rng.gen_range(0..alts.len());
+                for n in &alts[i] {
+                    gen_node(n, rng, out);
+                }
+            }
+            Node::Repeat(inner, min, max) => {
+                let n = if max <= min {
+                    *min
+                } else {
+                    rng.gen_range(*min..=*max)
+                };
+                for _ in 0..n {
+                    gen_node(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run each declared test function over [`CASES`] sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..$crate::CASES {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { ::std::assert!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { ::std::assert_eq!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { ::std::assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_samples_match_shape() {
+        let mut rng = TestRng::for_test("regex");
+        for _ in 0..200 {
+            let s = crate::string::sample_regex("[a-z]{2,5}_[a-z_]{1,12}", &mut rng);
+            let (head, tail) = s.split_once('_').expect("has underscore");
+            assert!((2..=5).contains(&head.len()), "bad head {s}");
+            assert!(!tail.is_empty());
+            assert!(head.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        for _ in 0..50 {
+            let s = crate::string::sample_regex("(ab|cd)x?", &mut rng);
+            assert!(["ab", "cd", "abx", "cdx"].contains(&s.as_str()), "bad {s}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_samples_compose(
+            v in crate::collection::vec(0u32..10, 1..5),
+            flag in any::<bool>(),
+            s in "[a-z]{1,3}",
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+            let _ = flag;
+            prop_assert!((1..=3).contains(&s.len()));
+        }
+
+        #[test]
+        fn oneof_and_recursive(x in prop_oneof![Just(1u32), 2u32..5, Just(9u32)]) {
+            prop_assert!(x == 1 || (2..5).contains(&x) || x == 9);
+        }
+    }
+}

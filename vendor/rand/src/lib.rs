@@ -1,0 +1,188 @@
+//! Minimal in-tree `rand` replacement for offline builds.
+//!
+//! Supplies the subset the workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and the `Rng` extension trait with
+//! `gen_bool` and `gen_range` over integer and float ranges. The generator
+//! is xoshiro256** seeded via SplitMix64 — the distribution does not match
+//! crates-io `StdRng` bit-for-bit (nothing in this workspace depends on
+//! that), but it is deterministic for a given seed, which is what the
+//! simulator's reproducibility guarantees rest on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Uniform f64 in `[0, 1)` built from the top 53 bits.
+    fn gen_unit(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.gen_unit() < p
+    }
+
+    /// Uniform sample from a range (`a..b` or `a..=b`, integer or float).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Range types that can produce a uniform sample.
+pub trait SampleRange<T> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "gen_range: empty range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (start as i128 + offset as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range_impls!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        start + unit * (end - start)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (see crate docs for the caveat
+    /// that this does not match crates-io `StdRng` bit-for-bit).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same = (0..100)
+            .filter(|_| a.gen_range(0u64..100) == c.gen_range(0u64..100))
+            .count();
+        assert!(same < 100, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(-0.5f64..=0.5);
+            assert!((-0.5..=0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,370 @@
+//! Minimal in-tree `serde` replacement for offline builds.
+//!
+//! The real crates-io `serde` is unreachable from the build environment, so
+//! this stub supplies the exact surface the workspace relies on: the
+//! `Serialize`/`Deserialize` traits (re-deriving through the vendored
+//! `serde_derive`), a concrete [`Json`] value tree the derives target, and
+//! impls for the std types that appear in serialized structs. `serde_json`
+//! (also vendored) renders and parses [`Json`].
+//!
+//! Design note: the trait methods are named `ser`/`deser` rather than
+//! mirroring real serde's serializer-visitor architecture — every user in
+//! this workspace goes through `serde_json`, so a concrete JSON tree is a
+//! faithful and much smaller contract.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed/serializable JSON value. Integer and float variants are kept
+/// separate so that `u64` ids and timestamps round-trip exactly and floats
+/// keep serde_json's `1.0`-style rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message, optionally with the
+/// offset where parsing failed.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn new(msg: &str) -> DeError {
+        DeError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Json`] tree.
+pub trait Serialize {
+    fn ser(&self) -> Json;
+}
+
+/// Types that can be rebuilt from a [`Json`] tree.
+pub trait Deserialize: Sized {
+    fn deser(j: &Json) -> Result<Self, DeError>;
+}
+
+/// Look up a struct field by name in an object body; a missing key is
+/// treated as `null` (which lets `Option` fields default to `None`).
+pub fn get_field<T: Deserialize>(obj: &[(String, Json)], name: &str) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deser(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => T::deser(&Json::Null).map_err(|_| DeError(format!("missing field `{name}`"))),
+    }
+}
+
+// ------------------------------------------------------------- primitives
+
+impl Serialize for bool {
+    fn ser(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deser(j: &Json) -> Result<Self, DeError> {
+        match j {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
+}
+
+macro_rules! int_impls {
+    ($($signed:ty),* ; $($unsigned:ty),*) => {
+        $(
+            impl Serialize for $signed {
+                fn ser(&self) -> Json { Json::I64(*self as i64) }
+            }
+            impl Deserialize for $signed {
+                fn deser(j: &Json) -> Result<Self, DeError> {
+                    let n = match j {
+                        Json::I64(n) => *n,
+                        Json::U64(n) if *n <= i64::MAX as u64 => *n as i64,
+                        Json::F64(f) if f.fract() == 0.0 => *f as i64,
+                        _ => return Err(DeError::new("expected integer")),
+                    };
+                    <$signed>::try_from(n).map_err(|_| DeError::new("integer out of range"))
+                }
+            }
+        )*
+        $(
+            impl Serialize for $unsigned {
+                fn ser(&self) -> Json { Json::U64(*self as u64) }
+            }
+            impl Deserialize for $unsigned {
+                fn deser(j: &Json) -> Result<Self, DeError> {
+                    let n = match j {
+                        Json::U64(n) => *n,
+                        Json::I64(n) if *n >= 0 => *n as u64,
+                        Json::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                        _ => return Err(DeError::new("expected unsigned integer")),
+                    };
+                    <$unsigned>::try_from(n).map_err(|_| DeError::new("integer out of range"))
+                }
+            }
+        )*
+    };
+}
+
+int_impls!(i8, i16, i32, i64, isize ; u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn ser(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deser(j: &Json) -> Result<Self, DeError> {
+        match j {
+            Json::F64(f) => Ok(*f),
+            Json::I64(n) => Ok(*n as f64),
+            Json::U64(n) => Ok(*n as f64),
+            _ => Err(DeError::new("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn ser(&self) -> Json {
+        Json::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deser(j: &Json) -> Result<Self, DeError> {
+        f64::deser(j).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn ser(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deser(j: &Json) -> Result<Self, DeError> {
+        match j {
+            Json::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn ser(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn ser(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deser(j: &Json) -> Result<Self, DeError> {
+        match j {
+            Json::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::new("expected single-character string")),
+        }
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser(&self) -> Json {
+        (**self).ser()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn ser(&self) -> Json {
+        (**self).ser()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deser(j: &Json) -> Result<Self, DeError> {
+        T::deser(j).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser(&self) -> Json {
+        match self {
+            Some(v) => v.ser(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deser(j: &Json) -> Result<Self, DeError> {
+        match j {
+            Json::Null => Ok(None),
+            other => T::deser(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deser(j: &Json) -> Result<Self, DeError> {
+        match j {
+            Json::Arr(a) => a.iter().map(T::deser).collect(),
+            _ => Err(DeError::new("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn ser(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deser(j: &Json) -> Result<Self, DeError> {
+        match j {
+            Json::Arr(a) => a.iter().map(T::deser).collect(),
+            _ => Err(DeError::new("expected array")),
+        }
+    }
+}
+
+/// Map keys serialize through `Serialize` and must come out as a string
+/// (or integer, which serde_json also stringifies).
+fn key_to_string<K: Serialize>(k: &K) -> String {
+    match k.ser() {
+        Json::Str(s) => s,
+        Json::I64(n) => n.to_string(),
+        Json::U64(n) => n.to_string(),
+        other => panic!("map key must serialize to a string, got {other:?}"),
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn ser(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.ser()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deser(j: &Json) -> Result<Self, DeError> {
+        match j {
+            Json::Obj(o) => o
+                .iter()
+                .map(|(k, v)| Ok((K::deser(&Json::Str(k.clone()))?, V::deser(v)?)))
+                .collect(),
+            _ => Err(DeError::new("expected object")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- tuples
+
+macro_rules! tuple_impls {
+    ($(($($name:ident . $idx:tt),+) with $len:literal;)+) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn ser(&self) -> Json {
+                    Json::Arr(vec![$(self.$idx.ser()),+])
+                }
+            }
+            impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+                fn deser(j: &Json) -> Result<Self, DeError> {
+                    match j {
+                        Json::Arr(a) if a.len() == $len => {
+                            Ok(($($name::deser(&a[$idx])?,)+))
+                        }
+                        _ => Err(DeError::new("expected tuple array")),
+                    }
+                }
+            }
+        )+
+    };
+}
+
+tuple_impls! {
+    (A.0, B.1) with 2;
+    (A.0, B.1, C.2) with 3;
+    (A.0, B.1, C.2, D.3) with 4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        let v: Option<u32> = None;
+        assert_eq!(v.ser(), Json::Null);
+        assert_eq!(Option::<u32>::deser(&Json::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::deser(&Json::U64(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn map_keys_stringify() {
+        let mut m = BTreeMap::new();
+        m.insert(2u64, "b".to_string());
+        let j = m.ser();
+        assert_eq!(
+            j.get("2").and_then(|v| String::deser(v).ok()).as_deref(),
+            Some("b")
+        );
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(u64::deser(&Json::I64(7)).unwrap(), 7);
+        assert_eq!(i32::deser(&Json::U64(7)).unwrap(), 7);
+        assert!(u8::deser(&Json::I64(-1)).is_err());
+        assert_eq!(f64::deser(&Json::U64(2)).unwrap(), 2.0);
+    }
+}

@@ -1,0 +1,564 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` for the vendored `serde`
+//! stub. Parses the item's raw token stream directly (no `syn`/`quote`
+//! available offline) and emits impls of the stub's `Serialize` /
+//! `Deserialize` traits over the stub's `Json` tree.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - named-field structs (including a single type parameter, e.g. `Dag<N>`)
+//! - tuple structs (1-field serializes as the inner value, like serde
+//!   newtypes; `#[serde(transparent)]` is accepted and identical)
+//! - enums: unit variants (string), newtype/tuple/struct variants
+//!   (externally tagged `{"Variant": ...}`)
+//! - `#[serde(untagged)]` enums (first variant that deserializes wins)
+//! - `#[serde(rename_all = "lowercase")]` on unit-variant enums
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[derive(Clone)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    untagged: bool,
+    rename_lowercase: bool,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut untagged = false;
+    let mut rename_lowercase = false;
+
+    // attributes + visibility before the `struct`/`enum` keyword
+    while i < toks.len() {
+        if is_punct(&toks[i], '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                scan_serde_attr(g, &mut untagged, &mut rename_lowercase);
+            }
+            i += 2;
+        } else if is_ident(&toks[i], "struct") || is_ident(&toks[i], "enum") {
+            break;
+        } else {
+            i += 1; // `pub`, `pub(crate)` group, etc.
+        }
+    }
+    let is_enum = is_ident(&toks[i], "enum");
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected type name, found {t}"),
+    };
+    i += 1;
+
+    // generic parameters: collect type-param idents until the matching `>`
+    let mut generics = Vec::new();
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        i += 1;
+        let mut depth = 1u32;
+        let mut expect_param = true;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+                TokenTree::Punct(p) if p.as_char() == ':' => expect_param = false,
+                TokenTree::Ident(id) if expect_param => {
+                    generics.push(id.to_string());
+                    expect_param = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    let body = if is_enum {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g))
+            }
+            t => panic!("expected enum body, found {t}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_tuple_fields(g)))
+            }
+            _ => Body::Struct(Fields::Unit),
+        }
+    };
+
+    Input {
+        name,
+        generics,
+        untagged,
+        rename_lowercase,
+        body,
+    }
+}
+
+fn scan_serde_attr(g: &Group, untagged: &mut bool, rename_lowercase: &mut bool) {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() || !is_ident(&toks[0], "serde") {
+        return;
+    }
+    if let Some(TokenTree::Group(inner)) = toks.get(1) {
+        let s: Vec<TokenTree> = inner.stream().into_iter().collect();
+        let mut j = 0;
+        while j < s.len() {
+            match s[j].to_string().as_str() {
+                "untagged" => *untagged = true,
+                // transparent newtypes already serialize as the inner value
+                "transparent" => {}
+                "rename_all" => {
+                    let lit = s.get(j + 2).map(|t| t.to_string()).unwrap_or_default();
+                    assert!(
+                        lit.contains("lowercase"),
+                        "serde stub: unsupported rename_all {lit}"
+                    );
+                    *rename_lowercase = true;
+                    j += 2;
+                }
+                other => panic!("serde stub: unsupported attribute `{other}`"),
+            }
+            j += 1;
+            // skip a separating comma if present
+            if j < s.len() && is_punct(&s[j], ',') {
+                j += 1;
+            }
+        }
+    }
+}
+
+fn parse_named_fields(g: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        while i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2; // attribute: `#` + bracket group
+        }
+        if i >= toks.len() {
+            break;
+        }
+        if is_ident(&toks[i], "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1; // `pub(crate)` &c.
+            }
+        }
+        match &toks[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            t => panic!("expected field name, found {t}"),
+        }
+        i += 2; // name + ':'
+                // skip the type: everything until a comma at angle-bracket depth 0
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1usize;
+    let mut trailing_comma = false;
+    for t in &toks {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        while i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2;
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected variant name, found {t}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn impl_header(input: &Input, trait_name: &str) -> String {
+    let name = &input.name;
+    if input.generics.is_empty() {
+        format!("#[automatically_derived]\n#[allow(clippy::all)]\nimpl ::serde::{trait_name} for {name}")
+    } else {
+        let bounds = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let params = input.generics.join(", ");
+        format!(
+            "#[automatically_derived]\n#[allow(clippy::all)]\nimpl<{bounds}> ::serde::{trait_name} for {name}<{params}>"
+        )
+    }
+}
+
+fn variant_tag(input: &Input, v: &Variant) -> String {
+    if input.rename_lowercase {
+        v.name.to_lowercase()
+    } else {
+        v.name.clone()
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let header = impl_header(input, "Serialize");
+    let body = match &input.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let pushes = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::ser(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Json::Obj(::std::vec![{pushes}])")
+        }
+        Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::ser(&self.0)".to_string(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let items = (0..*n)
+                .map(|k| format!("::serde::Serialize::ser(&self.{k})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Json::Arr(::std::vec![{items}])")
+        }
+        Body::Struct(Fields::Unit) => "::serde::Json::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let tag = variant_tag(input, v);
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            let payload = if input.untagged {
+                                "::serde::Json::Null".to_string()
+                            } else {
+                                format!("::serde::Json::Str(::std::string::String::from(\"{tag}\"))")
+                            };
+                            format!("Self::{vname} => {payload},")
+                        }
+                        Fields::Tuple(n) => {
+                            let binds = (0..*n)
+                                .map(|k| format!("__f{k}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::ser(__f0)".to_string()
+                            } else {
+                                let items = (0..*n)
+                                    .map(|k| format!("::serde::Serialize::ser(__f{k})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                format!("::serde::Json::Arr(::std::vec![{items}])")
+                            };
+                            let payload = if input.untagged {
+                                inner
+                            } else {
+                                format!(
+                                    "::serde::Json::Obj(::std::vec![(::std::string::String::from(\"{tag}\"), {inner})])"
+                                )
+                            };
+                            format!("Self::{vname}({binds}) => {payload},")
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::ser({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let inner = format!("::serde::Json::Obj(::std::vec![{pushes}])");
+                            let payload = if input.untagged {
+                                inner
+                            } else {
+                                format!(
+                                    "::serde::Json::Obj(::std::vec![(::std::string::String::from(\"{tag}\"), {inner})])"
+                                )
+                            };
+                            format!("Self::{vname} {{ {binds} }} => {payload},")
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!("{header} {{\n fn ser(&self) -> ::serde::Json {{ {body} }}\n}}")
+}
+
+fn deser_named_fields(fields: &[String], obj_expr: &str, ctor: &str) -> String {
+    let inits = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::get_field({obj_expr}, \"{f}\")?,"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    format!("{ctor} {{ {inits} }}")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let header = impl_header(input, "Deserialize");
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let ctor = deser_named_fields(fields, "__o", "Self");
+            format!(
+                "match __j {{ ::serde::Json::Obj(__o) => ::std::result::Result::Ok({ctor}), \
+                 _ => ::std::result::Result::Err(::serde::DeError::new(\"expected object for {name}\")) }}"
+            )
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::deser(__j)?))".to_string()
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let items = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deser(&__a[{k}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "match __j {{ ::serde::Json::Arr(__a) if __a.len() == {n} => \
+                 ::std::result::Result::Ok(Self({items})), \
+                 _ => ::std::result::Result::Err(::serde::DeError::new(\"expected {n}-element array for {name}\")) }}"
+            )
+        }
+        Body::Struct(Fields::Unit) => "::std::result::Result::Ok(Self)".to_string(),
+        Body::Enum(variants) if input.untagged => {
+            let attempts = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "if ::std::matches!(__j, ::serde::Json::Null) {{ return ::std::result::Result::Ok(Self::{vname}); }}"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{{ let __r: ::std::result::Result<_, ::serde::DeError> = ::serde::Deserialize::deser(__j); \
+                             if let ::std::result::Result::Ok(__v) = __r {{ return ::std::result::Result::Ok(Self::{vname}(__v)); }} }}"
+                        ),
+                        Fields::Tuple(n) => {
+                            let items = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::deser(&__a[{k}])?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{{ let __try = || -> ::std::result::Result<Self, ::serde::DeError> {{ \
+                                 match __j {{ ::serde::Json::Arr(__a) if __a.len() == {n} => ::std::result::Result::Ok(Self::{vname}({items})), \
+                                 _ => ::std::result::Result::Err(::serde::DeError::new(\"shape mismatch\")) }} }}; \
+                                 if let ::std::result::Result::Ok(__v) = __try() {{ return ::std::result::Result::Ok(__v); }} }}"
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let ctor = deser_named_fields(fields, "__fo", &format!("Self::{vname}"));
+                            format!(
+                                "{{ let __try = || -> ::std::result::Result<Self, ::serde::DeError> {{ \
+                                 match __j {{ ::serde::Json::Obj(__fo) => ::std::result::Result::Ok({ctor}), \
+                                 _ => ::std::result::Result::Err(::serde::DeError::new(\"shape mismatch\")) }} }}; \
+                                 if let ::std::result::Result::Ok(__v) = __try() {{ return ::std::result::Result::Ok(__v); }} }}"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "{attempts}\n::std::result::Result::Err(::serde::DeError::new(\"no untagged variant of {name} matched\"))"
+            )
+        }
+        Body::Enum(variants) => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .collect();
+            let payload: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .collect();
+            let str_arm = if unit.is_empty() {
+                format!(
+                    "::serde::Json::Str(_) => ::std::result::Result::Err(::serde::DeError::new(\"unexpected string for {name}\")),"
+                )
+            } else {
+                let arms = unit
+                    .iter()
+                    .map(|v| {
+                        let tag = variant_tag(input, v);
+                        let vname = &v.name;
+                        format!("\"{tag}\" => ::std::result::Result::Ok(Self::{vname}),")
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                format!(
+                    "::serde::Json::Str(__s) => match __s.as_str() {{\n{arms}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::new(&::std::format!(\"unknown {name} variant {{__other}}\"))), }},"
+                )
+            };
+            let obj_arm = if payload.is_empty() {
+                String::new()
+            } else {
+                let arms = payload
+                    .iter()
+                    .map(|v| {
+                        let tag = variant_tag(input, v);
+                        let vname = &v.name;
+                        let build = match &v.fields {
+                            Fields::Tuple(1) => format!(
+                                "::std::result::Result::Ok(Self::{vname}(::serde::Deserialize::deser(__v)?))"
+                            ),
+                            Fields::Tuple(n) => {
+                                let items = (0..*n)
+                                    .map(|k| format!("::serde::Deserialize::deser(&__a[{k}])?"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                format!(
+                                    "match __v {{ ::serde::Json::Arr(__a) if __a.len() == {n} => ::std::result::Result::Ok(Self::{vname}({items})), \
+                                     _ => ::std::result::Result::Err(::serde::DeError::new(\"expected {n}-element array for {name}::{vname}\")) }}"
+                                )
+                            }
+                            Fields::Named(fields) => {
+                                let ctor =
+                                    deser_named_fields(fields, "__fo", &format!("Self::{vname}"));
+                                format!(
+                                    "match __v {{ ::serde::Json::Obj(__fo) => ::std::result::Result::Ok({ctor}), \
+                                     _ => ::std::result::Result::Err(::serde::DeError::new(\"expected object for {name}::{vname}\")) }}"
+                                )
+                            }
+                            Fields::Unit => unreachable!(),
+                        };
+                        format!("\"{tag}\" => {{ {build} }}")
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                format!(
+                    "::serde::Json::Obj(__o) if __o.len() == 1 => {{\n\
+                     let (__k, __v) = &__o[0];\n\
+                     match __k.as_str() {{\n{arms}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::new(&::std::format!(\"unknown {name} variant {{__other}}\"))), }} }},"
+                )
+            };
+            format!(
+                "match __j {{\n{str_arm}\n{obj_arm}\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::new(\"expected variant of {name}\")), }}"
+            )
+        }
+    };
+    format!(
+        "{header} {{\n fn deser(__j: &::serde::Json) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n}}"
+    )
+}
