@@ -1,0 +1,6 @@
+//! Print the observability experiment tables: the deterministic E12 table
+//! plus the machine-dependent wall-clock overhead measurement.
+fn main() {
+    println!("{}", cloudless_bench::experiments::e12_obs::run());
+    println!("{}", cloudless_bench::experiments::e12_obs::overhead());
+}

@@ -4,6 +4,7 @@
 
 pub mod e10_synth;
 pub mod e11_resilience;
+pub mod e12_obs;
 pub mod e1_deploy;
 pub mod e2_incremental;
 pub mod e3_locks;
@@ -96,5 +97,7 @@ pub fn all() -> String {
     out.push_str(&e10_synth::run());
     out.push('\n');
     out.push_str(&e11_resilience::run());
+    out.push('\n');
+    out.push_str(&e12_obs::run());
     out
 }

@@ -25,6 +25,7 @@ mod session;
 use std::process::ExitCode;
 
 use cloudless::deploy::{DeadlinePolicy, ResiliencePolicy};
+use cloudless::obs::{FlightRecorder, Recorder};
 use cloudless::types::SimDuration;
 use cloudless::{Cloudless, Config, ConvergeError};
 
@@ -46,6 +47,7 @@ fn main() -> ExitCode {
         "destroy" => cmd_destroy(&rest),
         "state" => cmd_state(&rest),
         "drift" => cmd_drift(&rest),
+        "metrics" => cmd_metrics(&rest),
         "import" => cmd_import(&rest),
         "rogue" => cmd_rogue(&rest),
         "help" | "--help" | "-h" => {
@@ -74,9 +76,12 @@ commands:
             [--legacy-retry]           immediate retries, no deadlines/breaker
             [--retries <n>]            per-node attempt budget (default 6)
             [--deadline-factor <f>]    cancel ops after f x estimate (default 4)
+            [--trace <out.json>]       write a chrome://tracing trace of the apply
+            [--events <out.jsonl>]     dump raw flight-recorder events as JSONL
   destroy   <dir>                      destroy all managed resources
   state     <dir>                      list managed resources
   drift     <dir>                      scan the cloud for drift
+  metrics   <dir>                      show metrics from the last apply
   import    <dir> [--modules]          port live cloud resources to IaC
   rogue     <dir> <addr> <key> <val>   simulate an out-of-band change";
 
@@ -204,6 +209,26 @@ fn parse_resilience(rest: &[&str]) -> Result<ResiliencePolicy, String> {
     Ok(policy)
 }
 
+/// `--trace <file>` / `--events <file>` output paths for the flight
+/// recorder's exporters.
+fn parse_obs_outputs(rest: &[&str]) -> Result<(Option<String>, Option<String>), String> {
+    let mut trace = None;
+    let mut events = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--trace" => {
+                trace = Some((*it.next().ok_or("--trace needs an output path")?).to_owned());
+            }
+            "--events" => {
+                events = Some((*it.next().ok_or("--events needs an output path")?).to_owned());
+            }
+            _ => {}
+        }
+    }
+    Ok((trace, events))
+}
+
 fn cmd_apply(rest: &[&str]) -> Result<(), String> {
     let dir = want(rest, 0, "session directory")?;
     let file = want(rest, 1, "program file")?;
@@ -212,9 +237,13 @@ fn cmd_apply(rest: &[&str]) -> Result<(), String> {
     if resume && !targets.is_empty() {
         return Err("--resume cannot be combined with --target".into());
     }
+    let (trace_out, events_out) = parse_obs_outputs(rest)?;
     let source = read_program(file)?;
     let session = Session::load(dir)?;
-    let mut engine = session.engine_with(parse_resilience(rest)?)?;
+    // every apply runs under a flight recorder: metrics are persisted for
+    // `cloudless metrics`, and --trace/--events export the event stream
+    let recorder = std::sync::Arc::new(FlightRecorder::default());
+    let mut engine = session.engine_with_obs(parse_resilience(rest)?, recorder.clone())?;
     let mut prior_completed = std::collections::BTreeSet::new();
     let converged = if resume {
         prior_completed = session.load_checkpoint()?.ok_or_else(|| {
@@ -228,6 +257,23 @@ fn cmd_apply(rest: &[&str]) -> Result<(), String> {
     } else {
         engine.converge_targeted(&source, &targets)
     };
+    let captured = recorder.events();
+    if let Some(path) = &trace_out {
+        std::fs::write(path, cloudless::obs::export::to_chrome_trace(&captured))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "trace: {} event(s) written to {path} (open in chrome://tracing)",
+            captured.len()
+        );
+    }
+    if let Some(path) = &events_out {
+        std::fs::write(path, cloudless::obs::export::to_jsonl(&captured))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("events: {} event(s) written to {path}", captured.len());
+    }
+    if let Some(metrics) = recorder.metrics() {
+        session.save_metrics(&metrics)?;
+    }
     match converged {
         Ok(outcome) => {
             print!("{}", outcome.plan_text);
@@ -314,8 +360,9 @@ fn cmd_state(rest: &[&str]) -> Result<(), String> {
 fn cmd_drift(rest: &[&str]) -> Result<(), String> {
     let dir = want(rest, 0, "session directory")?;
     let session = Session::load(dir)?;
-    let mut engine = session.engine()?;
-    let scanner = cloudless::diagnose::Scanner::new();
+    let recorder = std::sync::Arc::new(FlightRecorder::default());
+    let mut engine = session.engine_with_obs(ResiliencePolicy::standard(), recorder.clone())?;
+    let scanner = cloudless::diagnose::Scanner::new().with_recorder(recorder.clone());
     let state = engine.state().clone();
     let report = scanner.scan(engine.cloud_mut(), &state);
     if report.events.is_empty() {
@@ -335,7 +382,20 @@ fn cmd_drift(rest: &[&str]) -> Result<(), String> {
             report.api_calls
         );
     }
+    if let Some(metrics) = recorder.metrics() {
+        session.save_metrics(&metrics)?;
+    }
     session.save(&engine)?;
+    Ok(())
+}
+
+fn cmd_metrics(rest: &[&str]) -> Result<(), String> {
+    let dir = want(rest, 0, "session directory")?;
+    let session = Session::load(dir)?;
+    match session.load_metrics()? {
+        Some(snapshot) => print!("{}", snapshot.render()),
+        None => println!("(no metrics recorded yet — run `cloudless apply {dir} <file.tf>` first)"),
+    }
     Ok(())
 }
 

@@ -2,9 +2,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use cloudless::cloud::{CloudConfig, ResourceRecord};
 use cloudless::deploy::ResiliencePolicy;
+use cloudless::obs::{MetricsSnapshot, NullRecorder, Recorder};
 use cloudless::state::Snapshot;
 use cloudless::types::ResourceId;
 use cloudless::{Cloudless, Config};
@@ -60,6 +62,10 @@ impl Session {
         self.dir.join("checkpoint.json")
     }
 
+    fn metrics_path(&self) -> PathBuf {
+        self.dir.join("metrics.json")
+    }
+
     /// Reconstruct the engine from the persisted world.
     pub fn engine(&self) -> Result<Cloudless, String> {
         self.engine_with(ResiliencePolicy::standard())
@@ -68,6 +74,16 @@ impl Session {
     /// Reconstruct the engine with an explicit resilience policy (from the
     /// CLI's `--legacy-retry` / `--retries` / `--deadline-factor` flags).
     pub fn engine_with(&self, resilience: ResiliencePolicy) -> Result<Cloudless, String> {
+        self.engine_with_obs(resilience, Arc::new(NullRecorder))
+    }
+
+    /// Reconstruct the engine with a resilience policy and an observability
+    /// recorder threaded through every layer (cloud, executor, locks, drift).
+    pub fn engine_with_obs(
+        &self,
+        resilience: ResiliencePolicy,
+        recorder: Arc<dyn Recorder>,
+    ) -> Result<Cloudless, String> {
         let state_text = std::fs::read_to_string(self.state_path()).map_err(|e| e.to_string())?;
         let state =
             Snapshot::from_json(&state_text).map_err(|e| format!("state.json corrupt: {e}"))?;
@@ -77,9 +93,29 @@ impl Session {
         let config = Config {
             cloud: CloudConfig::exact(),
             resilience,
+            recorder,
             ..Config::default()
         };
         Ok(Cloudless::with_session(config, state, records))
+    }
+
+    /// Persist the metrics snapshot of the last instrumented command;
+    /// `cloudless metrics` renders it.
+    pub fn save_metrics(&self, snapshot: &MetricsSnapshot) -> Result<(), String> {
+        let json = serde_json::to_string_pretty(snapshot).map_err(|e| e.to_string())?;
+        std::fs::write(self.metrics_path(), json).map_err(|e| e.to_string())
+    }
+
+    /// The metrics snapshot of the last instrumented command, if any.
+    pub fn load_metrics(&self) -> Result<Option<MetricsSnapshot>, String> {
+        let path = self.metrics_path();
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+        let snapshot =
+            serde_json::from_str(&text).map_err(|e| format!("metrics.json corrupt: {e}"))?;
+        Ok(Some(snapshot))
     }
 
     /// Persist the completed-address checkpoint of a partially-failed

@@ -190,6 +190,123 @@ fn state_persists_across_invocations() {
 }
 
 #[test]
+fn checkpoint_resume_lifecycle() {
+    let t = TempSession::new("resume");
+    run(&["init", t.path()]);
+
+    // v1: a bucket whose *live* name we will steal out of band
+    let v1 = t.write(
+        "v1.tf",
+        r#"resource "aws_s3_bucket" "keeper" { bucket = "keep-name" }"#,
+    );
+    let out = run(&["apply", t.path(), &v1]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // out-of-band rename: the live record now holds "grabbed" while state
+    // still says "keep-name" — invisible to compile-time validation
+    let out = run(&[
+        "rogue",
+        t.path(),
+        "aws_s3_bucket.keeper",
+        "bucket",
+        "grabbed",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // v2 adds resources that succeed plus a bucket whose name collides
+    // with the stolen live name: a cloud-level-only failure
+    let v2 = t.write(
+        "v2.tf",
+        r#"
+resource "aws_s3_bucket" "keeper" { bucket = "keep-name" }
+resource "aws_vpc" "main" { cidr_block = "10.0.0.0/16" }
+resource "aws_subnet" "app" {
+  vpc_id     = aws_vpc.main.id
+  cidr_block = "10.0.1.0/24"
+}
+resource "aws_s3_bucket" "clash" { bucket = "grabbed" }
+"#,
+    );
+    let out = run(&["apply", t.path(), &v2]);
+    assert!(!out.status.success(), "collision must fail the apply");
+    assert!(
+        stderr(&out).contains("checkpoint written"),
+        "{}",
+        stderr(&out)
+    );
+    let checkpoint = t.dir.join("checkpoint.json");
+    assert!(checkpoint.exists(), "partial failure writes a checkpoint");
+    let completed = std::fs::read_to_string(&checkpoint).unwrap();
+    assert!(completed.contains("aws_vpc.main"), "{completed}");
+    assert!(!completed.contains("aws_s3_bucket.clash"), "{completed}");
+
+    // resume without fixing the cause: still failing, checkpoint survives
+    let out = run(&["apply", t.path(), &v2, "--resume"]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("resuming:"), "{}", stdout(&out));
+    assert!(checkpoint.exists());
+
+    // release the stolen name, then resume: only the frontier executes
+    let out = run(&[
+        "rogue",
+        t.path(),
+        "aws_s3_bucket.keeper",
+        "bucket",
+        "keep-name",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = run(&["apply", t.path(), &v2, "--resume"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("resuming:"), "{text}");
+    assert!(text.contains("4 resource(s) under management"), "{text}");
+    assert!(!checkpoint.exists(), "clean apply removes the checkpoint");
+
+    // a plain re-apply converges to a no-op
+    let out = run(&["apply", t.path(), &v2]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("0 to add, 0 to change, 0 to destroy"));
+}
+
+#[test]
+fn trace_export_and_metrics_command() {
+    let t = TempSession::new("obs");
+    run(&["init", t.path()]);
+    let tf = t.write("infra.tf", PROGRAM);
+    let trace = t.dir.join("trace.json");
+    let events = t.dir.join("events.jsonl");
+    let out = run(&[
+        "apply",
+        t.path(),
+        &tf,
+        "--trace",
+        trace.to_str().unwrap(),
+        "--events",
+        events.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("chrome://tracing"),
+        "{}",
+        stdout(&out)
+    );
+
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_text.contains("\"traceEvents\""));
+    assert!(trace_text.contains("\"ph\":\"B\""), "span enters exported");
+    let events_text = std::fs::read_to_string(&events).unwrap();
+    assert!(events_text.lines().count() > 4);
+    assert!(events_text.contains("\"component\":\"cloud\""));
+
+    // the apply persisted metrics; the metrics command renders them
+    let out = run(&["metrics", t.path()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("cloud.ops_submitted"), "{text}");
+    assert!(text.contains("deploy.nodes_ok"), "{text}");
+}
+
+#[test]
 fn targeted_apply_touches_only_the_closure() {
     let t = TempSession::new("target");
     run(&["init", t.path()]);

@@ -179,4 +179,58 @@ mod tests {
         assert!(batch.is_empty());
         assert_eq!(cursor, 0);
     }
+
+    #[test]
+    fn empty_log_reads_cleanly_from_zero() {
+        let log = ActivityLog::new();
+        assert!(log.is_empty());
+        let (batch, cursor) = log.events_since(0);
+        assert!(batch.is_empty());
+        assert_eq!(cursor, 0);
+    }
+
+    #[test]
+    fn cursor_past_end_of_nonempty_log_clamps_and_recovers() {
+        let mut log = ActivityLog::new();
+        ev(&mut log, 1);
+        ev(&mut log, 2);
+        // a stale-future cursor (e.g. from a watcher of a different log)
+        // reads nothing, and the returned cursor re-anchors to the real end
+        let (batch, cursor) = log.events_since(1_000);
+        assert!(batch.is_empty());
+        assert_eq!(cursor, 2);
+        // from there, new appends are visible again
+        ev(&mut log, 3);
+        let (batch, cursor) = log.events_since(cursor);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].seq, 2);
+        assert_eq!(cursor, 3);
+    }
+
+    #[test]
+    fn interleaved_appends_reach_every_watcher_exactly_once() {
+        let mut log = ActivityLog::new();
+        // two independent cursors polling at different cadences while
+        // appends interleave: neither loses nor double-reads an event
+        let mut fast = 0u64;
+        let mut slow = 0u64;
+        let mut fast_seen = Vec::new();
+        let mut slow_seen = Vec::new();
+        for t in 0..10u64 {
+            ev(&mut log, t);
+            let (batch, next) = log.events_since(fast);
+            fast_seen.extend(batch.iter().map(|e| e.seq));
+            fast = next;
+            if t % 3 == 2 {
+                let (batch, next) = log.events_since(slow);
+                slow_seen.extend(batch.iter().map(|e| e.seq));
+                slow = next;
+            }
+        }
+        let (batch, _) = log.events_since(slow);
+        slow_seen.extend(batch.iter().map(|e| e.seq));
+        let want: Vec<u64> = (0..10).collect();
+        assert_eq!(fast_seen, want);
+        assert_eq!(slow_seen, want);
+    }
 }

@@ -12,7 +12,9 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
 
+use cloudless_obs::{Event, NullRecorder, Recorder};
 use cloudless_types::{
     Attrs, Provider, Region, ResourceId, ResourceTypeName, SimDuration, SimTime, Value,
 };
@@ -139,6 +141,9 @@ pub struct Cloud {
     next_op: u64,
     next_resource: u64,
     calls: BTreeMap<Provider, ApiCallStats>,
+    /// Observability sink. The default [`NullRecorder`] drops everything,
+    /// so recording is strictly opt-in and never perturbs determinism.
+    obs: Arc<dyn Recorder>,
 }
 
 impl Cloud {
@@ -165,7 +170,19 @@ impl Cloud {
             next_op: 0,
             next_resource: 0,
             calls: BTreeMap::new(),
+            obs: Arc::new(NullRecorder),
         }
+    }
+
+    /// Install an observability recorder (events for submit/complete/
+    /// cancel plus queue-wait and latency metrics flow into it).
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.obs = recorder;
+    }
+
+    /// The installed recorder (a [`NullRecorder`] unless one was set).
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.obs
     }
 
     /// Current virtual time.
@@ -235,6 +252,11 @@ impl Cloud {
         let was_pending = self.pending.remove(&op).is_some();
         if was_pending {
             self.drop_stale_queue_heads();
+            self.obs.counter("cloud.ops_cancelled", 1);
+            if self.obs.enabled() {
+                self.obs
+                    .record(Event::instant("cloud", "cancel", self.now).field("op_id", op.0));
+            }
         }
         was_pending
     }
@@ -318,6 +340,25 @@ impl Cloud {
 
         let op_id = OpId(self.next_op);
         self.next_op += 1;
+
+        self.obs.counter("cloud.ops_submitted", 1);
+        let queue_wait = start.since(self.now);
+        if queue_wait > SimDuration::ZERO {
+            self.obs.counter("cloud.ops_throttled", 1);
+        }
+        self.obs
+            .observe("cloud.queue_wait_ms", queue_wait.millis() as f64);
+        if self.obs.enabled() {
+            self.obs.record(
+                Event::instant("cloud", "submit", self.now)
+                    .field("op_id", op_id.0)
+                    .field("op", request.op.verb())
+                    .field("provider", provider.prefix())
+                    .field("queue_wait_ms", queue_wait.millis())
+                    .field("duration_ms", duration.millis()),
+            );
+        }
+
         self.queue.push(Reverse((completes_at, op_id)));
         self.pending.insert(
             op_id,
@@ -435,6 +476,38 @@ impl Cloud {
         debug_assert_eq!(at, pending.completes_at);
         self.now = self.now.max(at);
         let outcome = self.execute(&pending);
+
+        let ok = outcome.error().is_none();
+        self.obs.counter(
+            if ok {
+                "cloud.ops_ok"
+            } else {
+                "cloud.ops_failed"
+            },
+            1,
+        );
+        self.obs.observe(
+            "cloud.op_latency_ms",
+            at.since(pending.started_at).millis() as f64,
+        );
+        if self.obs.enabled() {
+            // An enter/exit pair spanning the op's provider-side execution
+            // (admission to completion), so traces show ops as bars.
+            let span = self.obs.next_span();
+            self.obs.record(
+                Event::enter("cloud", "op", pending.started_at)
+                    .span(span)
+                    .field("op_id", op_id.0)
+                    .field("op", pending.request.op.verb()),
+            );
+            self.obs.record(
+                Event::exit("cloud", "op", at)
+                    .span(span)
+                    .field("op_id", op_id.0)
+                    .field("ok", ok),
+            );
+        }
+
         Some(OpCompletion {
             op_id,
             at,

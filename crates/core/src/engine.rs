@@ -7,6 +7,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use cloudless_cloud::{ApiOp, ApiRequest, Cloud, CloudConfig, OpOutcome};
 use cloudless_deploy::diff::{diff, Action as DiffAction};
@@ -18,9 +19,12 @@ use cloudless_deploy::{
 use cloudless_diagnose::{explain, DriftReport, Explanation, LogWatcher};
 use cloudless_hcl::program::{expand, Manifest, ModuleLibrary, Program};
 use cloudless_hcl::Diagnostics;
+use cloudless_obs::{MetricsSnapshot, NullRecorder, Recorder};
 use cloudless_policy::observe::PlanSummary;
 use cloudless_policy::{Action, Controller, CostModel, LifecyclePhase, Observation};
-use cloudless_state::{History, LockManager, LockScope, ResourceLockManager, Snapshot, StateStore};
+use cloudless_state::{
+    History, LockManager, LockScope, ObservedLockManager, ResourceLockManager, Snapshot, StateStore,
+};
 use cloudless_types::{Region, Value};
 use cloudless_validate::{validate, SpecMiner, ValidationLevel, ValidationReport};
 
@@ -39,6 +43,11 @@ pub struct Config {
     pub inputs: BTreeMap<String, Value>,
     /// Module sources for `module` blocks.
     pub modules: ModuleLibrary,
+    /// Observability sink shared by every layer (cloud ops, executor spans,
+    /// lock manager, drift watcher). The default [`NullRecorder`] makes every
+    /// emission a no-op; install a `cloudless_obs::FlightRecorder` to capture
+    /// spans, metrics, and exportable traces.
+    pub recorder: Arc<dyn Recorder>,
 }
 
 impl Default for Config {
@@ -52,6 +61,7 @@ impl Default for Config {
             resilience: ResiliencePolicy::standard(),
             inputs: BTreeMap::new(),
             modules: ModuleLibrary::new(),
+            recorder: Arc::new(NullRecorder),
         }
     }
 }
@@ -108,7 +118,7 @@ pub struct Cloudless {
     data: DataResolver,
     controller: Controller,
     miner: SpecMiner,
-    locks: std::sync::Arc<ResourceLockManager>,
+    locks: ObservedLockManager<std::sync::Arc<ResourceLockManager>>,
     watcher: LogWatcher,
     cost: CostModel,
     config: Config,
@@ -116,8 +126,12 @@ pub struct Cloudless {
 
 impl Cloudless {
     pub fn new(config: Config) -> Self {
-        let cloud = Cloud::new(config.cloud.clone(), config.seed);
-        let watcher = LogWatcher::new([config.principal.clone()]);
+        let mut cloud = Cloud::new(config.cloud.clone(), config.seed);
+        cloud.set_recorder(Arc::clone(&config.recorder));
+        let watcher =
+            LogWatcher::new([config.principal.clone()]).with_recorder(Arc::clone(&config.recorder));
+        let locks =
+            ObservedLockManager::new(ResourceLockManager::new(), Arc::clone(&config.recorder));
         Cloudless {
             cloud,
             store: StateStore::new(),
@@ -125,7 +139,7 @@ impl Cloudless {
             data: DataResolver::new(),
             controller: Controller::new(),
             miner: SpecMiner::new(),
-            locks: ResourceLockManager::new(),
+            locks,
             watcher,
             cost: CostModel::new(),
             config,
@@ -179,6 +193,17 @@ impl Cloudless {
     /// The cost model.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// The observability recorder every layer emits into.
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.config.recorder
+    }
+
+    /// Snapshot of the engine-wide metrics registry, or `None` when the
+    /// configured recorder keeps no metrics (the default [`NullRecorder`]).
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        self.config.recorder.metrics()
     }
 
     /// Program outputs as of the last apply (deferred outputs are resolved
@@ -390,7 +415,8 @@ impl Cloudless {
 
         let mut state = self.store.current().clone();
         let executor = Executor::new(self.config.strategy, &self.data)
-            .with_resilience(self.config.resilience.clone());
+            .with_resilience(self.config.resilience.clone())
+            .with_recorder(Arc::clone(&self.config.recorder));
         let apply = executor.resume_from(&plan, &mut self.cloud, &mut state, completed);
 
         // finalize program outputs against the post-apply state (§2.1's
@@ -791,6 +817,39 @@ resource "aws_vpc" "b" { cidr_block = "10.1.0.0/16" }
                 .attr("name"),
             Some(&Value::from("renamed"))
         );
+    }
+
+    #[test]
+    fn flight_recorder_captures_whole_pipeline() {
+        let rec = cloudless_obs::FlightRecorder::shared(4096);
+        let mut e = Cloudless::new(Config {
+            cloud: CloudConfig::exact(),
+            recorder: rec.clone(),
+            ..Config::default()
+        });
+        assert!(e.converge(WEB).expect("converges").apply.all_ok());
+        let events = rec.events();
+        assert!(!events.is_empty());
+        // spans from the deploy layer and ops from the cloud layer
+        assert!(events
+            .iter()
+            .any(|ev| ev.component == "deploy" && ev.name == "apply"));
+        assert!(events
+            .iter()
+            .any(|ev| ev.component == "cloud" && ev.name == "op"));
+        // the lock manager measured the converge's acquisition
+        let m = e.metrics().expect("flight recorder keeps metrics");
+        assert_eq!(m.counter("lock.acquisitions"), 1);
+        assert!(m.counter("cloud.ops_submitted") >= 4);
+        // exporters accept the stream
+        assert!(cloudless_obs::export::to_chrome_trace(&events).contains("traceEvents"));
+        // and a default-config engine records nothing
+        let mut silent = Cloudless::new(Config {
+            cloud: CloudConfig::exact(),
+            ..Config::default()
+        });
+        silent.converge(WEB).expect("converges");
+        assert!(silent.metrics().is_none());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | Updating IaC | §3.4 | [`state`] (golden state, per-resource locks, transactions, time machine), [`deploy::rollback`] |
 //! | Diagnosing IaC | §3.5 | [`diagnose`] (log-native drift detection, error translation) |
 //! | Policing IaC | §3.6 | [`policy`] (observations/actions controller) |
+//! | Observing the stack | §3.5–3.6 | [`obs`] (flight recorder, metrics registry, trace export) |
 //!
 //! The substrate is a deterministic discrete-event multi-cloud simulator
 //! ([`cloud`]) with realistic provisioning latencies, API rate limits,
@@ -42,6 +43,7 @@ pub use cloudless_deploy as deploy;
 pub use cloudless_diagnose as diagnose;
 pub use cloudless_graph as graph;
 pub use cloudless_hcl as hcl;
+pub use cloudless_obs as obs;
 pub use cloudless_policy as policy;
 pub use cloudless_port as port;
 pub use cloudless_state as state;

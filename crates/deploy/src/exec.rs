@@ -30,11 +30,13 @@
 //! partially-failed applies via [`Executor::resume`].
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use cloudless_cloud::{ApiOp, ApiRequest, Cloud, CloudError, OpId, OpOutcome};
 use cloudless_graph::critical::CriticalPathAnalysis;
 use cloudless_graph::NodeId;
 use cloudless_hcl::eval::{eval, Resolver};
+use cloudless_obs::{Event, NullRecorder, Recorder, SpanId};
 use cloudless_state::{DeployedResource, Snapshot};
 use cloudless_types::{
     Attrs, Provider, Region, ResourceAddr, ResourceId, SimDuration, SimTime, Value,
@@ -234,6 +236,11 @@ struct Run {
     retries: u64,
     timeouts: u64,
     in_flight: usize,
+    /// Observability: the apply-level span and one span per node, opened
+    /// at first submission and closed at terminal state. `SpanId::NONE`
+    /// when the recorder is disabled or the node never started.
+    apply_span: SpanId,
+    node_spans: Vec<SpanId>,
 }
 
 fn release_successors(plan: &Plan, states: &mut [NodeState], node: NodeId) {
@@ -260,6 +267,8 @@ pub struct Executor<'a> {
     pub data: &'a dyn Resolver,
     /// Retry / deadline / circuit-breaker configuration.
     pub resilience: ResiliencePolicy,
+    /// Observability sink (a [`NullRecorder`] unless one is installed).
+    pub obs: Arc<dyn Recorder>,
 }
 
 impl<'a> Executor<'a> {
@@ -270,12 +279,19 @@ impl<'a> Executor<'a> {
             principal: "cloudless-engine".to_owned(),
             data,
             resilience: ResiliencePolicy::standard(),
+            obs: Arc::new(NullRecorder),
         }
     }
 
     /// Replace the resilience policy (builder-style).
     pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
         self.resilience = resilience;
+        self
+    }
+
+    /// Install an observability recorder (builder-style).
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.obs = recorder;
         self
     }
 
@@ -366,7 +382,19 @@ impl<'a> Executor<'a> {
             retries: 0,
             timeouts: 0,
             in_flight: 0,
+            apply_span: SpanId::NONE,
+            node_spans: vec![SpanId::NONE; n],
         };
+
+        if self.obs.enabled() {
+            run.apply_span = self.obs.next_span();
+            self.obs.record(
+                Event::enter("deploy", "apply", started_at)
+                    .span(run.apply_span)
+                    .field("strategy", self.strategy.name())
+                    .field("nodes", n),
+            );
+        }
 
         // Resume: pre-mark previously-completed nodes, then release their
         // dependents. Two passes so a node with several completed
@@ -417,9 +445,16 @@ impl<'a> Executor<'a> {
                     continue;
                 };
                 run.in_flight -= 1;
-                if let Some(b) = self.node_breaker(&mut run, plan, node) {
-                    b.on_outcome(now, false);
+                self.obs.counter("deploy.deadline_cancels", 1);
+                if self.obs.enabled() {
+                    self.obs.record(
+                        Event::instant("deploy", "deadline_cancel", now)
+                            .parent(run.node_spans[node.index()])
+                            .field("addr", plan.graph.node(node).change.addr.to_string())
+                            .field("op_id", op.0),
+                    );
                 }
+                self.breaker_outcome(&mut run, plan, node, now, false);
                 let err = CloudError::transient(
                     "DeadlineExceeded",
                     format!(
@@ -479,7 +514,10 @@ impl<'a> Executor<'a> {
                 match self.submit_node(next, plan, cloud, state, cbd) {
                     Ok(op) => self.note_submit(&mut run, plan, cloud, next, op),
                     // front-door rejection or finalization failure
-                    Err(error) => self.fail_node(&mut run, plan, next, error, false),
+                    Err(error) => {
+                        let now = cloud.now();
+                        self.fail_node(&mut run, plan, next, error, false, now)
+                    }
                 }
             }
 
@@ -526,16 +564,14 @@ impl<'a> Executor<'a> {
             run.in_flight -= 1;
             let at = completion.at;
             let ok = !matches!(completion.outcome, OpOutcome::Failed(_));
-            if let Some(b) = self.node_breaker(&mut run, plan, node) {
-                b.on_outcome(at, ok);
-            }
+            self.breaker_outcome(&mut run, plan, node, at, ok);
 
             match completion.outcome {
                 OpOutcome::Failed(err) if err.retryable => {
                     self.handle_retryable(&mut run, plan, cloud, node, err, false);
                 }
                 OpOutcome::Failed(err) => {
-                    self.fail_node(&mut run, plan, node, err, false);
+                    self.fail_node(&mut run, plan, node, err, false, at);
                 }
                 outcome => match run.states[node.index()] {
                     // create-before-destroy: the create landed → record the
@@ -544,7 +580,7 @@ impl<'a> Executor<'a> {
                         self.record_success(node, plan, state, outcome, at);
                         match run.cbd_old.get(&node).cloned() {
                             // nothing to delete (state had no prior record)
-                            None => self.complete_node(&mut run, plan, node),
+                            None => self.complete_node(&mut run, plan, node, at),
                             Some(old_id) => {
                                 match cloud.submit(ApiRequest::new(
                                     ApiOp::Delete { id: old_id },
@@ -560,6 +596,7 @@ impl<'a> Executor<'a> {
                                         node,
                                         CloudError::constraint("ApiRejected", e.to_string()),
                                         false,
+                                        at,
                                     ),
                                 }
                             }
@@ -568,7 +605,7 @@ impl<'a> Executor<'a> {
                     // trailing CBD delete done → the node is complete (the
                     // new resource is already in state; do NOT remove the
                     // address)
-                    NodeState::ReplacingCbdDelete => self.complete_node(&mut run, plan, node),
+                    NodeState::ReplacingCbdDelete => self.complete_node(&mut run, plan, node, at),
                     // delete half of a replace done → remove from state,
                     // submit the create half
                     NodeState::Replacing => {
@@ -576,15 +613,30 @@ impl<'a> Executor<'a> {
                         run.states[node.index()] = NodeState::InFlight;
                         match self.submit_node(node, plan, cloud, state, true) {
                             Ok(op) => self.note_submit(&mut run, plan, cloud, node, op),
-                            Err(error) => self.fail_node(&mut run, plan, node, error, false),
+                            Err(error) => self.fail_node(&mut run, plan, node, error, false, at),
                         }
                     }
                     _ => {
                         self.record_success(node, plan, state, outcome, at);
-                        self.complete_node(&mut run, plan, node);
+                        self.complete_node(&mut run, plan, node, at);
                     }
                 },
             }
+        }
+
+        let finished_at = cloud.now();
+        self.obs.observe(
+            "deploy.apply_makespan_ms",
+            finished_at.since(started_at).millis() as f64,
+        );
+        if self.obs.enabled() {
+            self.obs.record(
+                Event::exit("deploy", "apply", finished_at)
+                    .span(run.apply_span)
+                    .field("ops_submitted", run.ops_submitted)
+                    .field("retries", run.retries)
+                    .field("timeouts", run.timeouts),
+            );
         }
 
         let node_stats = plan
@@ -618,8 +670,24 @@ impl<'a> Executor<'a> {
         run.op_to_node.insert(op, node);
         run.in_flight += 1;
         let now = cloud.now();
+        if self.obs.enabled() && run.node_spans[node.index()].is_none() {
+            // First submission opens the node's lifecycle span.
+            let span = self.obs.next_span();
+            run.node_spans[node.index()] = span;
+            self.obs.record(
+                Event::enter("deploy", "node", now)
+                    .span(span)
+                    .parent(run.apply_span)
+                    .field("addr", plan.graph.node(node).change.addr.to_string()),
+            );
+        }
         if let Some(b) = self.node_breaker(run, plan, node) {
+            let before = b.state().label();
             b.on_submit(now);
+            let after = b.state().label();
+            if before != after {
+                self.emit_breaker_transition(plan, node, now, before, after);
+            }
         }
         if let Some(allowance) = self
             .resilience
@@ -647,7 +715,8 @@ impl<'a> Executor<'a> {
             // the trailing CBD delete retries directly by the saved id
             NodeState::ReplacingCbdDelete => {
                 let Some(old_id) = run.cbd_old.get(&node).cloned() else {
-                    self.complete_node(run, plan, node);
+                    let now = cloud.now();
+                    self.complete_node(run, plan, node, now);
                     return;
                 };
                 cloud
@@ -668,7 +737,10 @@ impl<'a> Executor<'a> {
         };
         match submitted {
             Ok(op) => self.note_submit(run, plan, cloud, node, op),
-            Err(error) => self.fail_node(run, plan, node, error, false),
+            Err(error) => {
+                let now = cloud.now();
+                self.fail_node(run, plan, node, error, false, now)
+            }
         }
     }
 
@@ -695,7 +767,7 @@ impl<'a> Executor<'a> {
             .max_retries_per_apply
             .is_none_or(|cap| run.retries + run.timeouts < cap);
         if !node_budget_ok || !apply_budget_ok {
-            self.fail_node(run, plan, node, error, timed_out);
+            self.fail_node(run, plan, node, error, timed_out, cloud.now());
             return;
         }
         let retry_index = s.retries + s.timeouts;
@@ -710,6 +782,24 @@ impl<'a> Executor<'a> {
                 run.retries += 1;
             }
         }
+        self.obs.counter(
+            if timed_out {
+                "deploy.timeouts"
+            } else {
+                "deploy.retries"
+            },
+            1,
+        );
+        self.obs.observe("deploy.backoff_ms", delay.millis() as f64);
+        if self.obs.enabled() {
+            self.obs.record(
+                Event::instant("deploy", "backoff", cloud.now())
+                    .parent(run.node_spans[node.index()])
+                    .field("addr", plan.graph.node(node).change.addr.to_string())
+                    .field("delay_ms", delay.millis())
+                    .field("timed_out", timed_out),
+            );
+        }
         run.backoffs.insert((cloud.now() + delay, node));
     }
 
@@ -721,8 +811,11 @@ impl<'a> Executor<'a> {
         node: NodeId,
         error: CloudError,
         timed_out: bool,
+        at: SimTime,
     ) {
         run.states[node.index()] = NodeState::Failed;
+        self.obs.counter("deploy.nodes_failed", 1);
+        self.close_node_span(run, node, at, false);
         run.results.insert(
             plan.graph.node(node).change.addr.to_string(),
             NodeResult::Failed {
@@ -735,13 +828,73 @@ impl<'a> Executor<'a> {
     }
 
     /// Successful terminal state: record it and release dependents.
-    fn complete_node(&self, run: &mut Run, plan: &Plan, node: NodeId) {
+    fn complete_node(&self, run: &mut Run, plan: &Plan, node: NodeId, at: SimTime) {
         run.states[node.index()] = NodeState::Done;
+        self.obs.counter("deploy.nodes_ok", 1);
+        self.close_node_span(run, node, at, true);
         run.results.insert(
             plan.graph.node(node).change.addr.to_string(),
             NodeResult::Ok,
         );
         release_successors(plan, &mut run.states, node);
+    }
+
+    /// Close a node's lifecycle span, if one was opened.
+    fn close_node_span(&self, run: &mut Run, node: NodeId, at: SimTime, ok: bool) {
+        let span = run.node_spans[node.index()];
+        if span.is_none() {
+            return;
+        }
+        run.node_spans[node.index()] = SpanId::NONE;
+        self.obs.record(
+            Event::exit("deploy", "node", at)
+                .span(span)
+                .parent(run.apply_span)
+                .field("ok", ok),
+        );
+    }
+
+    /// Feed an op outcome to the node's provider breaker, emitting a
+    /// trace event and counter whenever the breaker changes state
+    /// (closed → open, open → half-open, half-open → closed/open).
+    fn breaker_outcome(&self, run: &mut Run, plan: &Plan, node: NodeId, at: SimTime, ok: bool) {
+        let Some(b) = self.node_breaker(run, plan, node) else {
+            return;
+        };
+        let before = b.state().label();
+        b.on_outcome(at, ok);
+        let after = b.state().label();
+        if before != after {
+            self.emit_breaker_transition(plan, node, at, before, after);
+        }
+    }
+
+    fn emit_breaker_transition(
+        &self,
+        plan: &Plan,
+        node: NodeId,
+        at: SimTime,
+        from: &'static str,
+        to: &'static str,
+    ) {
+        self.obs.counter("deploy.breaker_transitions", 1);
+        if self.obs.enabled() {
+            self.obs.record(
+                Event::instant("deploy", "breaker", at)
+                    .field(
+                        "provider",
+                        plan.graph
+                            .node(node)
+                            .change
+                            .addr
+                            .rtype
+                            .provider_prefix()
+                            .to_string(),
+                    )
+                    .field("from", from)
+                    .field("to", to),
+            );
+        }
     }
 
     /// The breaker guarding this node's provider, if any.

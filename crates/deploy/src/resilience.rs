@@ -146,6 +146,17 @@ pub enum BreakerState {
     HalfOpen { probing: bool },
 }
 
+impl BreakerState {
+    /// Stable short name for logs, metrics, and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen { .. } => "half-open",
+        }
+    }
+}
+
 /// A per-provider circuit breaker over a rolling outcome window.
 #[derive(Debug, Clone)]
 pub struct CircuitBreaker {

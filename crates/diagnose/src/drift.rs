@@ -16,8 +16,10 @@
 //! polling interval.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use cloudless_cloud::{ActivityKind, ApiOp, ApiRequest, Cloud, OpOutcome};
+use cloudless_obs::{Event, NullRecorder, Recorder};
 use cloudless_state::Snapshot;
 use cloudless_types::{Provider, ResourceAddr, ResourceId, SimTime};
 use serde::{Deserialize, Serialize};
@@ -75,6 +77,7 @@ pub struct Scanner {
     pub principal: String,
     /// Providers to scan.
     pub providers: Vec<Provider>,
+    obs: Arc<dyn Recorder>,
 }
 
 impl Default for Scanner {
@@ -82,6 +85,7 @@ impl Default for Scanner {
         Scanner {
             principal: "drift-scanner".to_owned(),
             providers: Provider::ALL.to_vec(),
+            obs: Arc::new(NullRecorder),
         }
     }
 }
@@ -91,10 +95,28 @@ impl Scanner {
         Self::default()
     }
 
+    /// Attach a recorder: each scan pass becomes a span carrying its API
+    /// cost, so traces show what a driftctl-style baseline burns per pass.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.obs = recorder;
+        self
+    }
+
     /// One full scan pass.
     pub fn scan(&self, cloud: &mut Cloud, state: &Snapshot) -> DriftReport {
         let started = cloud.now();
         let calls_before = cloud.total_api_calls();
+        let scan_span = if self.obs.enabled() {
+            let span = self.obs.next_span();
+            self.obs.record(
+                Event::enter("diagnose", "scan", started)
+                    .span(span)
+                    .field("managed", state.len() as u64),
+            );
+            span
+        } else {
+            cloudless_obs::SpanId::NONE
+        };
         let mut report = DriftReport::default();
 
         // 1. List every provider.
@@ -176,6 +198,19 @@ impl Scanner {
 
         report.api_calls = cloud.total_api_calls() - calls_before;
         report.duration = finished.since(started);
+        self.obs.counter("diagnose.scan_passes", 1);
+        self.obs
+            .counter("diagnose.scan_api_calls", report.api_calls);
+        self.obs
+            .observe("diagnose.scan_duration_ms", report.duration.millis() as f64);
+        if !scan_span.is_none() {
+            self.obs.record(
+                Event::exit("diagnose", "scan", finished)
+                    .span(scan_span)
+                    .field("api_calls", report.api_calls)
+                    .field("drift_events", report.events.len() as u64),
+            );
+        }
         report
     }
 }
@@ -189,6 +224,7 @@ pub struct LogWatcher {
     /// Principals whose mutations are *not* drift (the IaC engine itself).
     pub trusted_principals: BTreeSet<String>,
     cursor: u64,
+    obs: Arc<dyn Recorder>,
 }
 
 impl LogWatcher {
@@ -196,7 +232,16 @@ impl LogWatcher {
         LogWatcher {
             trusted_principals: trusted.into_iter().collect(),
             cursor: 0,
+            obs: Arc::new(NullRecorder),
         }
+    }
+
+    /// Attach a recorder: each poll emits an instant with the number of log
+    /// events examined and drift events found — the log-native cost signal
+    /// that E5 contrasts with [`Scanner`] API spend.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.obs = recorder;
+        self
     }
 
     /// Start watching from the current end of the log (ignore history).
@@ -211,6 +256,7 @@ impl LogWatcher {
     pub fn poll(&mut self, cloud: &Cloud, state: &Snapshot) -> DriftReport {
         let now = cloud.now();
         let (events, next) = cloud.activity().events_since(self.cursor);
+        let examined = events.len();
         let mut report = DriftReport::default();
         for ev in events {
             if self.trusted_principals.contains(ev.principal.as_str()) {
@@ -239,6 +285,18 @@ impl LogWatcher {
             });
         }
         self.cursor = next;
+        self.obs.counter("diagnose.watch_polls", 1);
+        self.obs
+            .counter("diagnose.watch_events_examined", examined as u64);
+        self.obs
+            .counter("diagnose.drift_detected", report.events.len() as u64);
+        if self.obs.enabled() {
+            self.obs.record(
+                Event::instant("diagnose", "poll", now)
+                    .field("examined", examined as u64)
+                    .field("drift_events", report.events.len() as u64),
+            );
+        }
         report
     }
 }

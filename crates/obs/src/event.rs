@@ -1,0 +1,213 @@
+//! Structured events: the unit of record for the flight recorder.
+//!
+//! Every event carries *two* timestamps: the simulator's virtual clock
+//! (what the modelled cloud was doing) and a monotonic wall clock in
+//! nanoseconds since the recorder was created (what the host was doing).
+//! Spans tie enter/exit pairs together and may nest via `parent`.
+
+use cloudless_types::time::SimTime;
+
+/// Identifier for a span. Allocated by [`crate::Recorder::next_span`];
+/// unique per recorder. `SpanId(0)` is reserved for "no span" and is what
+/// the null recorder hands out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    pub const NONE: SpanId = SpanId(0);
+
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// What an event marks on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Start of a span.
+    Enter,
+    /// End of a span.
+    Exit,
+    /// A point-in-time occurrence (no duration).
+    Instant,
+}
+
+impl EventKind {
+    /// Chrome trace-event phase letter.
+    pub fn phase(self) -> &'static str {
+        match self {
+            EventKind::Enter => "B",
+            EventKind::Exit => "E",
+            EventKind::Instant => "i",
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Enter => "enter",
+            EventKind::Exit => "exit",
+            EventKind::Instant => "instant",
+        }
+    }
+}
+
+/// A typed field attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One structured record in the flight recorder.
+///
+/// `seq` and `wall_ns` are stamped by the recorder at `record()` time;
+/// builders leave them zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number (recorder-assigned).
+    pub seq: u64,
+    /// Virtual (simulation) timestamp.
+    pub virtual_ts: SimTime,
+    /// Monotonic wall-clock nanoseconds since recorder birth
+    /// (recorder-assigned).
+    pub wall_ns: u64,
+    /// Which subsystem emitted this ("cloud", "deploy", "lock", ...).
+    pub component: &'static str,
+    /// Event/span name ("op", "node", "backoff", ...).
+    pub name: &'static str,
+    /// The span this event belongs to (`SpanId::NONE` for bare instants).
+    pub span: SpanId,
+    /// Enclosing span, if any.
+    pub parent: SpanId,
+    pub kind: EventKind,
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    pub fn new(
+        kind: EventKind,
+        component: &'static str,
+        name: &'static str,
+        virtual_ts: SimTime,
+    ) -> Event {
+        Event {
+            seq: 0,
+            virtual_ts,
+            wall_ns: 0,
+            component,
+            name,
+            span: SpanId::NONE,
+            parent: SpanId::NONE,
+            kind,
+            fields: Vec::new(),
+        }
+    }
+
+    pub fn enter(component: &'static str, name: &'static str, ts: SimTime) -> Event {
+        Event::new(EventKind::Enter, component, name, ts)
+    }
+
+    pub fn exit(component: &'static str, name: &'static str, ts: SimTime) -> Event {
+        Event::new(EventKind::Exit, component, name, ts)
+    }
+
+    pub fn instant(component: &'static str, name: &'static str, ts: SimTime) -> Event {
+        Event::new(EventKind::Instant, component, name, ts)
+    }
+
+    pub fn span(mut self, span: SpanId) -> Event {
+        self.span = span;
+        self
+    }
+
+    pub fn parent(mut self, parent: SpanId) -> Event {
+        self.parent = parent;
+        self
+    }
+
+    pub fn field(mut self, key: &'static str, value: impl Into<FieldValue>) -> Event {
+        self.fields.push((key, value.into()));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let e = Event::enter("cloud", "op", SimTime(120))
+            .span(SpanId(3))
+            .parent(SpanId(1))
+            .field("op_id", 7u64)
+            .field("kind", "Create")
+            .field("ok", true);
+        assert_eq!(e.kind, EventKind::Enter);
+        assert_eq!(e.component, "cloud");
+        assert_eq!(e.span, SpanId(3));
+        assert_eq!(e.parent, SpanId(1));
+        assert_eq!(e.fields.len(), 3);
+        assert_eq!(e.fields[0], ("op_id", FieldValue::U64(7)));
+        assert_eq!(e.fields[2], ("ok", FieldValue::Bool(true)));
+        assert_eq!(e.seq, 0, "seq is recorder-assigned");
+    }
+
+    #[test]
+    fn phases() {
+        assert_eq!(EventKind::Enter.phase(), "B");
+        assert_eq!(EventKind::Exit.phase(), "E");
+        assert_eq!(EventKind::Instant.phase(), "i");
+    }
+
+    #[test]
+    fn span_id_none() {
+        assert!(SpanId::NONE.is_none());
+        assert!(!SpanId(1).is_none());
+        assert_eq!(SpanId::default(), SpanId::NONE);
+    }
+}

@@ -1,0 +1,213 @@
+//! Exporters: JSONL event dumps and Chrome trace-event JSON.
+//!
+//! The Chrome format is the "Trace Event Format" consumed by
+//! `chrome://tracing` and Perfetto: a JSON object with a `traceEvents`
+//! array of `{name, cat, ph, ts, pid, tid, args}` records, `ts` in
+//! microseconds. We map the virtual clock (milliseconds) to `ts` so the
+//! timeline shows *simulated* time, and assign one `tid` per component
+//! so each subsystem gets its own track, labelled via `M`
+//! (metadata/thread_name) records.
+//!
+//! JSON is written by hand: events carry `&'static str` keys and a small
+//! closed set of value types, and hand-rolling keeps the exporters free
+//! of any serializer quirks (the vendored serde is minimal).
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, FieldValue};
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn field_json(v: &FieldValue) -> String {
+    match v {
+        FieldValue::I64(n) => n.to_string(),
+        FieldValue::U64(n) => n.to_string(),
+        FieldValue::F64(n) if n.is_finite() => {
+            // Ensure a stable, JSON-valid float rendering.
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                format!("{n:.1}")
+            } else {
+                format!("{n}")
+            }
+        }
+        FieldValue::F64(n) => format!("\"{n}\""),
+        FieldValue::Bool(b) => b.to_string(),
+        FieldValue::Str(s) => format!("\"{}\"", escape(s)),
+    }
+}
+
+fn fields_json(fields: &[(&'static str, FieldValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", escape(k), field_json(v)));
+    }
+    out.push('}');
+    out
+}
+
+/// One JSON object per line, every event field included. Suitable for
+/// `jq`/grep-style post-processing.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!(
+            "{{\"seq\":{},\"virtual_ms\":{},\"wall_ns\":{},\"component\":\"{}\",\"name\":\"{}\",\"kind\":\"{}\",\"span\":{},\"parent\":{},\"fields\":{}}}\n",
+            e.seq,
+            e.virtual_ts.millis(),
+            e.wall_ns,
+            escape(e.component),
+            escape(e.name),
+            e.kind.label(),
+            e.span.0,
+            e.parent.0,
+            fields_json(&e.fields),
+        ));
+    }
+    out
+}
+
+/// Chrome trace-event JSON over the *virtual* clock (1 virtual ms =
+/// 1000 trace µs). Loadable in `chrome://tracing` or
+/// <https://ui.perfetto.dev>.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    // One track (tid) per component, in first-appearance order.
+    let mut tids: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for e in events {
+        let next = tids.len() as u64 + 1;
+        tids.entry(e.component).or_insert(next);
+    }
+
+    let mut records = Vec::with_capacity(events.len() + tids.len());
+    for (component, tid) in &tids {
+        records.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            tid,
+            escape(component),
+        ));
+    }
+    for e in events {
+        let tid = tids[e.component];
+        let ts_us = e.virtual_ts.millis() * 1_000;
+        let mut rec = format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+            escape(e.name),
+            escape(e.component),
+            e.kind.phase(),
+            ts_us,
+            tid,
+        );
+        if e.kind == crate::event::EventKind::Instant {
+            // Instant scope: thread-level.
+            rec.push_str(",\"s\":\"t\"");
+        }
+        let mut args = fields_json(&e.fields);
+        if !e.span.is_none() {
+            // Splice span/parent ids into args for correlation.
+            let extra = format!("\"span\":{},\"parent\":{}", e.span.0, e.parent.0);
+            if args == "{}" {
+                args = format!("{{{extra}}}");
+            } else {
+                args.insert_str(1, &format!("{extra},"));
+            }
+        }
+        rec.push_str(&format!(",\"args\":{args}}}"));
+        records.push(rec);
+    }
+
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        records.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, SpanId};
+    use cloudless_types::time::SimTime;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event::enter("cloud", "op", SimTime(10))
+                .span(SpanId(1))
+                .field("op_id", 7u64),
+            Event::instant("deploy", "backoff", SimTime(15)).field("node", "aws_s3_bucket.a"),
+            Event::exit("cloud", "op", SimTime(20))
+                .span(SpanId(1))
+                .field("ok", true),
+        ]
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let text = to_jsonl(&sample());
+        let lines: Vec<&str> = text.trim_end().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"virtual_ms\":10"));
+        assert!(lines[0].contains("\"kind\":\"enter\""));
+        assert!(lines[1].contains("\"node\":\"aws_s3_bucket.a\""));
+        // each line parses as standalone JSON
+        for line in lines {
+            serde_json::from_str::<serde::Json>(line).expect("valid JSON line");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_tracks() {
+        let text = to_chrome_trace(&sample());
+        serde_json::from_str::<serde::Json>(&text).expect("valid JSON");
+        // Two components -> two thread_name metadata records.
+        assert_eq!(text.matches("thread_name").count(), 2);
+        // Virtual ms scaled to µs.
+        assert!(text.contains("\"ts\":10000"));
+        assert!(text.contains("\"ph\":\"B\""));
+        assert!(text.contains("\"ph\":\"E\""));
+        assert!(text.contains("\"ph\":\"i\""));
+        // span id spliced into args
+        assert!(text.contains("\"span\":1"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        let e = Event::instant("x", "y", SimTime::ZERO).field("msg", "say \"hi\"\n");
+        let line = to_jsonl(&[e]);
+        serde_json::from_str::<serde::Json>(line.trim_end()).expect("valid JSON");
+    }
+
+    #[test]
+    fn float_fields_render_as_json_numbers() {
+        assert_eq!(field_json(&FieldValue::F64(2.0)), "2.0");
+        assert_eq!(field_json(&FieldValue::F64(2.5)), "2.5");
+        assert_eq!(field_json(&FieldValue::F64(f64::INFINITY)), "\"inf\"");
+        assert_eq!(field_json(&FieldValue::I64(-3)), "-3");
+        assert_eq!(field_json(&FieldValue::Bool(false)), "false");
+    }
+
+    #[test]
+    fn empty_input_still_valid() {
+        assert_eq!(to_jsonl(&[]), "");
+        let trace = to_chrome_trace(&[]);
+        serde_json::from_str::<serde::Json>(&trace).expect("valid JSON");
+        assert!(trace.contains("traceEvents"));
+    }
+}

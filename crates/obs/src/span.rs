@@ -1,0 +1,178 @@
+//! RAII span guards and the `obs_span!` macro.
+//!
+//! Spans on the *virtual* clock have a wrinkle: exit time is usually
+//! known explicitly (the simulator computed when the op completes), so
+//! guards expose [`SpanGuard::finish`] taking the exit timestamp. If a
+//! guard is dropped without `finish` — an early return, a panic unwind —
+//! it still emits the Exit event (at the enter timestamp) so traces
+//! never contain dangling `B` phases, which Chrome's viewer renders as
+//! spans extending to infinity.
+
+use cloudless_types::time::SimTime;
+
+use crate::event::{Event, FieldValue, SpanId};
+use crate::recorder::Recorder;
+
+/// An open span. Emits Enter on creation and Exit on `finish` (or on
+/// drop, as a fallback).
+pub struct SpanGuard<'a> {
+    rec: &'a dyn Recorder,
+    component: &'static str,
+    name: &'static str,
+    span: SpanId,
+    parent: SpanId,
+    enter_ts: SimTime,
+    finished: bool,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Open a span and emit its Enter event. On a disabled recorder this
+    /// is a no-op shell (no events, `SpanId::NONE`).
+    pub fn enter(
+        rec: &'a dyn Recorder,
+        component: &'static str,
+        name: &'static str,
+        ts: SimTime,
+    ) -> SpanGuard<'a> {
+        SpanGuard::enter_with(rec, component, name, ts, SpanId::NONE, Vec::new())
+    }
+
+    /// Open a span with a parent and initial fields.
+    pub fn enter_with(
+        rec: &'a dyn Recorder,
+        component: &'static str,
+        name: &'static str,
+        ts: SimTime,
+        parent: SpanId,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) -> SpanGuard<'a> {
+        let span = if rec.enabled() {
+            let span = rec.next_span();
+            let mut ev = Event::enter(component, name, ts).span(span).parent(parent);
+            ev.fields = fields;
+            rec.record(ev);
+            span
+        } else {
+            SpanId::NONE
+        };
+        SpanGuard {
+            rec,
+            component,
+            name,
+            span,
+            parent,
+            enter_ts: ts,
+            finished: false,
+        }
+    }
+
+    pub fn id(&self) -> SpanId {
+        self.span
+    }
+
+    /// Close the span at an explicit virtual timestamp.
+    pub fn finish(self, ts: SimTime) {
+        self.finish_with(ts, Vec::new());
+    }
+
+    /// Close the span with result fields (outcome, counts, ...).
+    pub fn finish_with(mut self, ts: SimTime, fields: Vec<(&'static str, FieldValue)>) {
+        if self.rec.enabled() {
+            let mut ev = Event::exit(self.component, self.name, ts)
+                .span(self.span)
+                .parent(self.parent);
+            ev.fields = fields;
+            self.rec.record(ev);
+        }
+        self.finished = true;
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if !self.finished && self.rec.enabled() {
+            self.rec.record(
+                Event::exit(self.component, self.name, self.enter_ts)
+                    .span(self.span)
+                    .parent(self.parent)
+                    .field("abandoned", true),
+            );
+        }
+    }
+}
+
+/// Open a span: `let span = obs_span!(rec, "deploy", "apply", now);`
+/// optionally with a parent: `obs_span!(rec, "cloud", "op", now, parent)`.
+#[macro_export]
+macro_rules! obs_span {
+    ($rec:expr, $component:expr, $name:expr, $ts:expr) => {
+        $crate::SpanGuard::enter(&*$rec, $component, $name, $ts)
+    };
+    ($rec:expr, $component:expr, $name:expr, $ts:expr, $parent:expr) => {
+        $crate::SpanGuard::enter_with(
+            &*$rec,
+            $component,
+            $name,
+            $ts,
+            $parent,
+            ::std::vec::Vec::new(),
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::recorder::{FlightRecorder, NullRecorder};
+
+    #[test]
+    fn enter_finish_emits_pair() {
+        let rec = FlightRecorder::new(8);
+        let span = SpanGuard::enter(&rec, "deploy", "apply", SimTime(10));
+        let id = span.id();
+        span.finish_with(SimTime(42), vec![("ok", true.into())]);
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Enter);
+        assert_eq!(events[0].virtual_ts, SimTime(10));
+        assert_eq!(events[1].kind, EventKind::Exit);
+        assert_eq!(events[1].virtual_ts, SimTime(42));
+        assert_eq!(events[0].span, id);
+        assert_eq!(events[1].span, id);
+    }
+
+    #[test]
+    fn drop_without_finish_closes_span() {
+        let rec = FlightRecorder::new(8);
+        {
+            let _span = SpanGuard::enter(&rec, "cloud", "op", SimTime(7));
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].kind, EventKind::Exit);
+        assert_eq!(events[1].virtual_ts, SimTime(7), "fallback uses enter ts");
+        assert_eq!(events[1].fields[0].0, "abandoned");
+    }
+
+    #[test]
+    fn null_recorder_spans_cost_nothing() {
+        let rec = NullRecorder;
+        let span = SpanGuard::enter(&rec, "x", "y", SimTime::ZERO);
+        assert!(span.id().is_none());
+        span.finish(SimTime(1));
+    }
+
+    #[test]
+    fn macro_forms() {
+        let rec = FlightRecorder::new(8);
+        let outer = obs_span!(&rec, "a", "outer", SimTime(1));
+        let inner = obs_span!(&rec, "a", "inner", SimTime(2), outer.id());
+        let outer_id = outer.id();
+        inner.finish(SimTime(3));
+        outer.finish(SimTime(4));
+        let events = rec.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[1].parent, outer_id);
+    }
+}

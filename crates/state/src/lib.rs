@@ -33,7 +33,8 @@ pub mod txn;
 
 pub use history::{History, HistoryEntry};
 pub use lock::{
-    FairResourceLockManager, GlobalLock, LockGuard, LockManager, LockScope, ResourceLockManager,
+    FairResourceLockManager, GlobalLock, LockGuard, LockManager, LockScope, ObservedLockManager,
+    ResourceLockManager,
 };
 pub use snapshot::{DeployedResource, Snapshot};
 pub use store::StateStore;

@@ -16,8 +16,11 @@
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
-use cloudless_types::ResourceAddr;
+use cloudless_obs::{Event, Recorder};
+use cloudless_types::{ResourceAddr, SimTime};
 use parking_lot::{Condvar, Mutex};
 
 /// What a lock request covers.
@@ -379,6 +382,84 @@ impl LockManager for std::sync::Arc<FairResourceLockManager> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Observed lock manager (obs instrumentation)
+// ---------------------------------------------------------------------------
+
+/// Transparent wrapper adding observability to any [`LockManager`]:
+/// acquire *wait* and guard *hold* times flow into the recorder as
+/// `lock.wait_us` / `lock.hold_us` histograms plus per-acquire events.
+///
+/// Locks guard real OS threads, so both measurements are wall-clock
+/// microseconds; the events carry `SimTime::ZERO` as their virtual
+/// timestamp (there is no meaningful virtual time on this path — the
+/// wall-clock `wall_ns` stamp orders them in exports).
+pub struct ObservedLockManager<M> {
+    inner: M,
+    obs: Arc<dyn Recorder>,
+}
+
+impl<M: LockManager> ObservedLockManager<M> {
+    pub fn new(inner: M, obs: Arc<dyn Recorder>) -> Self {
+        ObservedLockManager { inner, obs }
+    }
+
+    fn observe_guard(
+        &self,
+        guard: LockGuard,
+        scope_size: usize,
+        wait: std::time::Duration,
+    ) -> LockGuard {
+        self.obs.counter("lock.acquisitions", 1);
+        self.obs.observe("lock.wait_us", wait.as_micros() as f64);
+        if self.obs.enabled() {
+            self.obs.record(
+                Event::instant("lock", "acquire", SimTime::ZERO)
+                    .field("scope_size", scope_size)
+                    .field("wait_us", wait.as_micros() as u64),
+            );
+        }
+        let obs = Arc::clone(&self.obs);
+        let held_from = Instant::now();
+        // Wrap the release so the hold time lands in the registry when the
+        // caller drops the guard.
+        LockGuard::new(move || {
+            drop(guard);
+            obs.observe("lock.hold_us", held_from.elapsed().as_micros() as f64);
+        })
+    }
+}
+
+fn scope_size(scope: &LockScope) -> usize {
+    match scope {
+        LockScope::All => 0,
+        LockScope::Resources(addrs) => addrs.len(),
+    }
+}
+
+impl<M: LockManager> LockManager for ObservedLockManager<M> {
+    fn acquire(&self, scope: LockScope) -> LockGuard {
+        let size = scope_size(&scope);
+        let t0 = Instant::now();
+        let guard = self.inner.acquire(scope);
+        self.observe_guard(guard, size, t0.elapsed())
+    }
+
+    fn try_acquire(&self, scope: LockScope) -> Option<LockGuard> {
+        let size = scope_size(&scope);
+        let guard = self.inner.try_acquire(scope)?;
+        Some(self.observe_guard(guard, size, std::time::Duration::ZERO))
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn stats(&self) -> LockStats {
+        self.inner.stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -528,6 +609,35 @@ mod tests {
         .unwrap();
         assert_eq!(m.stats().acquisitions, 400);
         assert_eq!(m.stats().contended, 0, "disjoint scopes never contend");
+    }
+
+    #[test]
+    fn observed_manager_is_transparent_and_measures() {
+        use cloudless_obs::FlightRecorder;
+        let rec = FlightRecorder::shared(64);
+        let m =
+            ObservedLockManager::new(ResourceLockManager::new(), rec.clone() as Arc<dyn Recorder>);
+        assert_eq!(m.name(), "per-resource-lock");
+        let g = m.acquire(scope(&["aws_vpc.a", "aws_vm.b"]));
+        // overlapping try fails through the wrapper, without recording
+        assert!(m.try_acquire(scope(&["aws_vpc.a"])).is_none());
+        // disjoint try succeeds through the wrapper
+        let g2 = m.try_acquire(scope(&["aws_db.c"])).expect("disjoint");
+        drop(g2);
+        drop(g);
+        assert_eq!(m.stats().acquisitions, 2);
+        let snap = rec.metrics().unwrap();
+        assert_eq!(snap.counter("lock.acquisitions"), 2);
+        assert_eq!(snap.histogram("lock.wait_us").unwrap().count, 2);
+        // both guards dropped → both holds observed
+        assert_eq!(snap.histogram("lock.hold_us").unwrap().count, 2);
+        // one acquire event per successful acquisition
+        let acquires = rec
+            .events()
+            .iter()
+            .filter(|e| e.component == "lock" && e.name == "acquire")
+            .count();
+        assert_eq!(acquires, 2);
     }
 
     #[test]

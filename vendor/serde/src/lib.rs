@@ -41,6 +41,21 @@ impl Json {
     }
 }
 
+// `Json` is its own serialization (mirrors real serde_json::Value), which
+// lets callers parse arbitrary JSON without a target type — e.g. to
+// validate exporter output.
+impl Serialize for Json {
+    fn ser(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn deser(j: &Json) -> Result<Self, DeError> {
+        Ok(j.clone())
+    }
+}
+
 /// Deserialization error: a human-readable message, optionally with the
 /// offset where parsing failed.
 #[derive(Debug, Clone)]
