@@ -1,0 +1,193 @@
+//! Plan-graph hazard analysis.
+//!
+//! The planner builds a [`cloudless_graph::Dag`], which is acyclic *by
+//! construction*: `Plan::build` silently drops any edge that would close a
+//! cycle, so a program whose blocks reference each other circularly plans
+//! "successfully" and then fails (or mis-orders) at apply time. The same
+//! goes for write-write conflicts — two blocks managing the same cloud-side
+//! entity race each other under a parallel strategy — and for dangling
+//! dependencies on blocks that expand to zero instances. This pass builds
+//! the *block-level* dependency digraph (before expansion) with
+//! [`cloudless_graph::cycles::Digraph`], which, unlike `Dag`, can represent
+//! and report cycles.
+
+use std::collections::BTreeMap;
+
+use cloudless_graph::cycles::Digraph;
+use cloudless_hcl::ast::Reference;
+use cloudless_hcl::program::Program;
+use cloudless_types::{Span, Value};
+
+use crate::dataflow::{walk_refs_scoped, FoldEnv};
+use crate::report::Sink;
+
+/// Attributes that name the cloud-side entity a resource manages. Two
+/// blocks of the same type agreeing on one of these manage the same thing.
+const IDENTITY_ATTRS: &[&str] = &["name", "bucket"];
+
+fn block_target(r: &Reference, p: &Program) -> Option<usize> {
+    if r.parts.len() < 2 {
+        return None;
+    }
+    p.resources
+        .iter()
+        .position(|b| b.rtype == r.parts[0] && b.name == r.parts[1])
+}
+
+pub(crate) fn pass_hazards(p: &Program, sink: &mut Sink<'_>) {
+    let file = &p.filename;
+    let env = FoldEnv::build(p);
+    let n = p.resources.len();
+
+    // --- block-level dependency digraph: edge dependency -> dependent
+    let mut g = Digraph::new(n);
+    // (from, to) -> first span that creates the edge, for reporting
+    let mut edge_spans: BTreeMap<(usize, usize), Span> = BTreeMap::new();
+    for (i, r) in p.resources.iter().enumerate() {
+        let mut note = |dep: &Reference, span: Span| {
+            if let Some(j) = block_target(dep, p) {
+                g.add_edge(j, i);
+                edge_spans.entry((j, i)).or_insert(span);
+            }
+        };
+        if let Some(c) = &r.count {
+            let mut bound = Vec::new();
+            walk_refs_scoped(c, &mut bound, &mut note);
+        }
+        if let Some(fe) = &r.for_each {
+            let mut bound = Vec::new();
+            walk_refs_scoped(fe, &mut bound, &mut note);
+        }
+        for a in &r.attrs {
+            let mut bound = Vec::new();
+            walk_refs_scoped(&a.value, &mut bound, &mut note);
+        }
+        for dep in &r.depends_on {
+            note(dep, r.span);
+        }
+    }
+
+    // --- ANA404 self-reference (report before the generic cycle finding)
+    let mut self_ref = vec![false; n];
+    for (i, flag) in self_ref.iter_mut().enumerate() {
+        if g.has_edge(i, i) {
+            *flag = true;
+            let r = &p.resources[i];
+            sink.emit(
+                "ANA404",
+                file,
+                edge_spans.get(&(i, i)).copied().unwrap_or(r.span),
+                format!(
+                    "{}.{} references its own attributes; the value can never resolve",
+                    r.rtype, r.name
+                ),
+                Some("break the self-dependency (use a variable or a second resource)"),
+            );
+        }
+    }
+
+    // --- ANA401 reference cycle (ignoring pure self-loops, already reported)
+    let mut acyclic = g.clone();
+    for (i, &is_self) in self_ref.iter().enumerate() {
+        if is_self {
+            acyclic.remove_edge(i, i);
+        }
+    }
+    if let Some(cycle) = acyclic.find_cycle() {
+        let names: Vec<String> = cycle
+            .iter()
+            .map(|&i| format!("{}.{}", p.resources[i].rtype, p.resources[i].name))
+            .collect();
+        let first = cycle[0];
+        let span = edge_spans
+            .get(&(*cycle.last().expect("cycle nonempty"), first))
+            .copied()
+            .unwrap_or(p.resources[first].span);
+        sink.emit(
+            "ANA401",
+            file,
+            span,
+            format!(
+                "dependency cycle: {} -> {}; the planner silently drops one edge and the apply fails or runs out of order",
+                names.join(" -> "),
+                names[0]
+            ),
+            Some("break the cycle with a third resource or restructure the references"),
+        );
+    }
+
+    // --- ANA403 dangling dependency: edges into blocks whose count folds to 0
+    for (i, r) in p.resources.iter().enumerate() {
+        let Some(c) = &r.count else { continue };
+        if !matches!(env.fold(c), cloudless_hcl::Folded::Known(Value::Num(x)) if x == 0.0) {
+            continue;
+        }
+        for ((from, to), span) in &edge_spans {
+            if *from != i || *to == i {
+                continue;
+            }
+            let d = &p.resources[*to];
+            sink.emit(
+                "ANA403",
+                file,
+                *span,
+                format!(
+                    "{}.{} depends on {}.{}, whose count folds to 0 — no instance will ever exist to resolve it",
+                    d.rtype, d.name, r.rtype, r.name
+                ),
+                Some("guard the dependent with the same count, or make the count non-zero"),
+            );
+        }
+    }
+
+    // --- ANA402 write-write conflict: same (type, identity attr value)
+    let mut claims: BTreeMap<(String, String, String), Vec<usize>> = BTreeMap::new();
+    for (i, r) in p.resources.iter().enumerate() {
+        // A block disabled by a folded count of 0 claims nothing.
+        if let Some(c) = &r.count {
+            if matches!(env.fold(c), cloudless_hcl::Folded::Known(Value::Num(x)) if x == 0.0) {
+                continue;
+            }
+        }
+        // Counted/for_each blocks stamp out distinct entities per instance
+        // (names typically interpolate count.index) — skip unless the
+        // identity attr folds to a constant even under iteration.
+        let iterated = r.count.is_some() || r.for_each.is_some();
+        for a in &r.attrs {
+            if !IDENTITY_ATTRS.contains(&a.name.as_str()) {
+                continue;
+            }
+            if let cloudless_hcl::Folded::Known(Value::Str(s)) = env.fold(&a.value) {
+                // Under iteration the fold uses count_index = None, so a
+                // Known result means the name does NOT vary per instance —
+                // exactly the conflicting case. Non-iterated blocks always
+                // claim their folded name.
+                let _ = iterated;
+                claims
+                    .entry((r.rtype.clone(), a.name.clone(), s))
+                    .or_default()
+                    .push(i);
+            }
+        }
+    }
+    for ((rtype, attr, value), holders) in &claims {
+        if holders.len() < 2 {
+            continue;
+        }
+        let names: Vec<String> = holders
+            .iter()
+            .map(|&i| format!("{}.{}", p.resources[i].rtype, p.resources[i].name))
+            .collect();
+        let second = &p.resources[holders[1]];
+        sink.emit(
+            "ANA402",
+            file,
+            second.span,
+            format!(
+                "{} manage the same cloud-side entity ({rtype} with {attr} = {value:?}); a parallel apply races them",
+                names.join(" and ")
+            ),
+            Some("merge the blocks or give each a distinct identity"),
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! Machine- and human-readable lint output.
+//!
+//! Findings reuse [`cloudless_hcl::Diagnostic`] (same spans, same codes) so
+//! the CLI renders lint results through the exact pretty-printer `validate`
+//! uses. The JSON form round-trips through serde; [`LintReport::to_sarif`]
+//! emits a SARIF-style document (runs → tool.driver.rules + results) for CI
+//! annotation tooling.
+
+use cloudless_hcl::{Diagnostic, Diagnostics, Severity, SourceMap};
+use serde::{Deserialize, Serialize};
+
+use crate::rules::{rule, LintConfig, RULES};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Kebab-case rule name (`unused-variable`); the id is the
+    /// diagnostic's `code`.
+    pub rule: String,
+    pub diagnostic: Diagnostic,
+}
+
+/// The result of a lint run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LintReport {
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by the allow list.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    pub fn count(&self, sev: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.diagnostic.severity == sev)
+            .count()
+    }
+
+    /// Whether the run fails under the config's `fail_on` threshold.
+    pub fn fails(&self, config: &LintConfig) -> bool {
+        self.findings
+            .iter()
+            .any(|f| f.diagnostic.severity >= config.fail_on)
+    }
+
+    /// Findings at or above the failing severity.
+    pub fn deny_level(&self, config: &LintConfig) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.diagnostic.severity >= config.fail_on)
+            .count()
+    }
+
+    /// The findings as a [`Diagnostics`] batch (for the shared renderer).
+    pub fn diagnostics(&self) -> Diagnostics {
+        let mut d = Diagnostics::new();
+        for f in &self.findings {
+            d.push(f.diagnostic.clone());
+        }
+        d
+    }
+
+    /// Human-readable output through the unified span pretty-printer.
+    pub fn render_text(&self, sources: &SourceMap) -> String {
+        if self.findings.is_empty() {
+            return "ok: no findings\n".to_owned();
+        }
+        let mut out = self.diagnostics().render_pretty(sources);
+        out.push_str(&format!(
+            "\n\n{} finding(s): {} error(s), {} warning(s), {} note(s)\n",
+            self.findings.len(),
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Note),
+        ));
+        out
+    }
+
+    /// Machine output; round-trips through [`LintReport::from_json`].
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("{e:?}"))
+    }
+
+    /// SARIF-style output (static analysis interchange: one run, the rule
+    /// registry as `tool.driver.rules`, findings as `results`).
+    pub fn to_sarif(&self) -> String {
+        #[allow(non_snake_case)]
+        #[derive(Serialize)]
+        struct Sarif {
+            version: String,
+            runs: Vec<Run>,
+        }
+        #[derive(Serialize)]
+        struct Run {
+            tool: Tool,
+            results: Vec<SarifResult>,
+        }
+        #[derive(Serialize)]
+        struct Tool {
+            driver: Driver,
+        }
+        #[derive(Serialize)]
+        struct Driver {
+            name: String,
+            rules: Vec<SarifRule>,
+        }
+        #[allow(non_snake_case)]
+        #[derive(Serialize)]
+        struct SarifRule {
+            id: String,
+            name: String,
+            shortDescription: Text,
+        }
+        #[derive(Serialize)]
+        struct Text {
+            text: String,
+        }
+        #[allow(non_snake_case)]
+        #[derive(Serialize)]
+        struct SarifResult {
+            ruleId: String,
+            level: String,
+            message: Text,
+            locations: Vec<Location>,
+        }
+        #[allow(non_snake_case)]
+        #[derive(Serialize)]
+        struct Location {
+            physicalLocation: PhysicalLocation,
+        }
+        #[allow(non_snake_case)]
+        #[derive(Serialize)]
+        struct PhysicalLocation {
+            artifactLocation: Artifact,
+            region: Region,
+        }
+        #[derive(Serialize)]
+        struct Artifact {
+            uri: String,
+        }
+        #[allow(non_snake_case)]
+        #[derive(Serialize)]
+        struct Region {
+            startLine: u32,
+            startColumn: u32,
+            endLine: u32,
+            endColumn: u32,
+        }
+
+        let doc = Sarif {
+            version: "2.1.0".to_owned(),
+            runs: vec![Run {
+                tool: Tool {
+                    driver: Driver {
+                        name: "cloudless-analyze".to_owned(),
+                        rules: RULES
+                            .iter()
+                            .map(|r| SarifRule {
+                                id: r.id.to_owned(),
+                                name: r.name.to_owned(),
+                                shortDescription: Text {
+                                    text: r.summary.to_owned(),
+                                },
+                            })
+                            .collect(),
+                    },
+                },
+                results: self
+                    .findings
+                    .iter()
+                    .map(|f| SarifResult {
+                        ruleId: f.diagnostic.code.clone(),
+                        level: match f.diagnostic.severity {
+                            Severity::Error => "error",
+                            Severity::Warning => "warning",
+                            Severity::Note => "note",
+                        }
+                        .to_owned(),
+                        message: Text {
+                            text: f.diagnostic.message.clone(),
+                        },
+                        locations: vec![Location {
+                            physicalLocation: PhysicalLocation {
+                                artifactLocation: Artifact {
+                                    uri: f.diagnostic.file.clone(),
+                                },
+                                region: Region {
+                                    startLine: f.diagnostic.span.start.line,
+                                    startColumn: f.diagnostic.span.start.col,
+                                    endLine: f.diagnostic.span.end.line,
+                                    endColumn: f.diagnostic.span.end.col,
+                                },
+                            },
+                        }],
+                    })
+                    .collect(),
+            }],
+        };
+        serde_json::to_string_pretty(&doc).expect("sarif serializes")
+    }
+}
+
+/// Finding collector used by the passes: applies the allow list and the
+/// deny escalation as findings are emitted.
+pub(crate) struct Sink<'c> {
+    config: &'c LintConfig,
+    pub report: LintReport,
+}
+
+impl<'c> Sink<'c> {
+    pub fn new(config: &'c LintConfig) -> Self {
+        Sink {
+            config,
+            report: LintReport::default(),
+        }
+    }
+
+    /// Emit a finding for `rule_id` unless the config suppresses it.
+    pub fn emit(
+        &mut self,
+        rule_id: &str,
+        file: &str,
+        span: cloudless_types::Span,
+        message: String,
+        suggestion: Option<&str>,
+    ) {
+        let info = rule(rule_id).expect("emit uses registered rule ids");
+        self.emit_with(
+            info,
+            self.config.severity_of(info),
+            file,
+            span,
+            message,
+            suggestion,
+        );
+    }
+
+    /// Emit at an explicit base severity (for "possible" findings below a
+    /// rule's default level). Deny-listing the rule still escalates.
+    pub fn emit_at(
+        &mut self,
+        rule_id: &str,
+        severity: Severity,
+        file: &str,
+        span: cloudless_types::Span,
+        message: String,
+        suggestion: Option<&str>,
+    ) {
+        let info = rule(rule_id).expect("emit uses registered rule ids");
+        let sev = severity.max(match self.config.severity_of(info) {
+            Severity::Error if info.severity != Severity::Error => Severity::Error,
+            _ => Severity::Note,
+        });
+        self.emit_with(info, sev, file, span, message, suggestion);
+    }
+
+    fn emit_with(
+        &mut self,
+        info: &'static crate::rules::RuleInfo,
+        severity: Severity,
+        file: &str,
+        span: cloudless_types::Span,
+        message: String,
+        suggestion: Option<&str>,
+    ) {
+        if self.config.allows(info) {
+            self.report.suppressed += 1;
+            return;
+        }
+        let mut d = match severity {
+            Severity::Error => Diagnostic::error(info.id, file, span, message),
+            Severity::Warning => Diagnostic::warning(info.id, file, span, message),
+            Severity::Note => Diagnostic::note(info.id, file, span, message),
+        };
+        if let Some(s) = suggestion {
+            d = d.with_suggestion(s);
+        }
+        self.report.findings.push(Finding {
+            rule: info.name.to_owned(),
+            diagnostic: d,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudless_types::{SourcePos, Span};
+
+    fn sample() -> LintReport {
+        let cfg = LintConfig::default();
+        let mut sink = Sink::new(&cfg);
+        sink.emit(
+            "ANA101",
+            "main.tf",
+            Span::new(SourcePos::new(2, 1, 10), SourcePos::new(2, 8, 17)),
+            "variable \"unused\" is never referenced".to_owned(),
+            Some("remove it"),
+        );
+        sink.report
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        let json = report.to_json();
+        let back = LintReport::from_json(&json).expect("parse back");
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn sarif_has_rules_and_results() {
+        let sarif = sample().to_sarif();
+        assert!(sarif.contains("\"version\""));
+        assert!(sarif.contains("cloudless-analyze"));
+        assert!(sarif.contains("ANA101"));
+        assert!(sarif.contains("startLine"));
+    }
+
+    #[test]
+    fn fail_threshold() {
+        let report = sample(); // one warning
+        let mut cfg = LintConfig::default();
+        assert!(!report.fails(&cfg), "warnings pass under fail_on=Error");
+        cfg.fail_on = Severity::Warning;
+        assert!(report.fails(&cfg));
+        assert_eq!(report.deny_level(&cfg), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! The rule registry: every lint rule's stable id, default severity and
+//! one-line summary, plus the allow/deny configuration that callers (CLI
+//! flags, the engine's lint gate) use to tune them.
+
+use cloudless_hcl::Severity;
+
+/// Static metadata of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// Stable machine id, e.g. `ANA101` — the `code` of every diagnostic
+    /// the rule emits.
+    pub id: &'static str,
+    /// Short kebab-case name used in allow/deny lists.
+    pub name: &'static str,
+    pub severity: Severity,
+    pub summary: &'static str,
+}
+
+/// Every rule the engine knows, in id order. Dataflow rules are `ANA1xx`
+/// (def-use) and `ANA2xx` (constant folding + intervals) and `ANA3xx`
+/// (taint); plan-graph hazard rules are `ANA4xx`.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "ANA101",
+        name: "unused-variable",
+        severity: Severity::Warning,
+        summary: "a declared variable is never referenced",
+    },
+    RuleInfo {
+        id: "ANA102",
+        name: "unused-local",
+        severity: Severity::Warning,
+        summary: "a declared local is never referenced",
+    },
+    RuleInfo {
+        id: "ANA103",
+        name: "undefined-reference",
+        severity: Severity::Error,
+        summary: "a reference points at nothing that is declared (including in dead branches and count-disabled blocks the expander never evaluates)",
+    },
+    RuleInfo {
+        id: "ANA104",
+        name: "duplicate-definition",
+        severity: Severity::Warning,
+        summary: "a variable, local, output or resource block is defined twice; the later definition silently wins",
+    },
+    RuleInfo {
+        id: "ANA105",
+        name: "unknown-module-input",
+        severity: Severity::Warning,
+        summary: "a module call passes an input the child module never declares",
+    },
+    RuleInfo {
+        id: "ANA201",
+        name: "count-range",
+        severity: Severity::Error,
+        summary: "a count expression folds to a negative or non-integer value",
+    },
+    RuleInfo {
+        id: "ANA202",
+        name: "port-range",
+        severity: Severity::Error,
+        summary: "a port expression folds (or is bounded) outside 0..=65535",
+    },
+    RuleInfo {
+        id: "ANA203",
+        name: "cidr-form",
+        severity: Severity::Error,
+        summary: "a CIDR expression folds to a string that does not parse as a CIDR",
+    },
+    RuleInfo {
+        id: "ANA301",
+        name: "sensitive-output",
+        severity: Severity::Error,
+        summary: "a sensitive variable flows into a plain output",
+    },
+    RuleInfo {
+        id: "ANA302",
+        name: "sensitive-plaintext",
+        severity: Severity::Error,
+        summary: "a sensitive variable flows into a logged plaintext attribute",
+    },
+    RuleInfo {
+        id: "ANA401",
+        name: "reference-cycle",
+        severity: Severity::Error,
+        summary: "resource blocks reference each other in a cycle; the planner would silently drop an edge and the apply fails or misorders",
+    },
+    RuleInfo {
+        id: "ANA402",
+        name: "write-write-conflict",
+        severity: Severity::Warning,
+        summary: "two resource blocks manage the same cloud-side entity; a parallel apply races them",
+    },
+    RuleInfo {
+        id: "ANA403",
+        name: "dangling-dependency",
+        severity: Severity::Error,
+        summary: "a reference or depends_on targets a block whose count/for_each expands to zero instances",
+    },
+    RuleInfo {
+        id: "ANA404",
+        name: "self-reference",
+        severity: Severity::Error,
+        summary: "a resource references its own attributes; the value can never resolve",
+    },
+];
+
+/// Look a rule up by id (`ANA101`) or kebab name (`unused-variable`).
+pub fn rule(key: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == key || r.name == key)
+}
+
+/// Allow/deny configuration for a lint run.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Rules (by id or name) to suppress entirely.
+    pub allow: Vec<String>,
+    /// Rules (by id or name) escalated to [`Severity::Error`].
+    pub deny: Vec<String>,
+    /// Findings at or above this severity make the run *fail* (non-zero
+    /// exit, converge refusal). `--deny warn` maps to
+    /// [`Severity::Warning`].
+    pub fail_on: Severity,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            allow: Vec::new(),
+            deny: Vec::new(),
+            fail_on: Severity::Error,
+        }
+    }
+}
+
+impl LintConfig {
+    fn matches(list: &[String], info: &RuleInfo) -> bool {
+        list.iter().any(|k| k == info.id || k == info.name)
+    }
+
+    /// Whether the rule is suppressed.
+    pub fn allows(&self, info: &RuleInfo) -> bool {
+        Self::matches(&self.allow, info)
+    }
+
+    /// Effective severity of a rule under this config.
+    pub fn severity_of(&self, info: &RuleInfo) -> Severity {
+        if Self::matches(&self.deny, info) {
+            Severity::Error
+        } else {
+            info.severity
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_sorted() {
+        let ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted, "rule ids must be unique and in order");
+    }
+
+    #[test]
+    fn lookup_by_id_and_name() {
+        assert_eq!(rule("ANA101").unwrap().name, "unused-variable");
+        assert_eq!(rule("unused-variable").unwrap().id, "ANA101");
+        assert!(rule("nope").is_none());
+    }
+
+    #[test]
+    fn deny_escalates_and_allow_suppresses() {
+        let info = rule("ANA101").unwrap();
+        let mut cfg = LintConfig::default();
+        assert_eq!(cfg.severity_of(info), Severity::Warning);
+        cfg.deny.push("unused-variable".into());
+        assert_eq!(cfg.severity_of(info), Severity::Error);
+        cfg.allow.push("ANA101".into());
+        assert!(cfg.allows(info));
+    }
+}

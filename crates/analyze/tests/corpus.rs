@@ -1,0 +1,51 @@
+//! The shipped HCL corpus must lint clean — the same guarantee CI enforces
+//! through the `cloudless lint` CLI (`scripts/check_lint_clean.sh`).
+
+use cloudless_analyze::{lint_source, LintConfig};
+use cloudless_hcl::program::ModuleLibrary;
+
+const CORPUS: &[(&str, &str)] = &[
+    (
+        "examples/hcl/quickstart.tf",
+        include_str!("../../../examples/hcl/quickstart.tf"),
+    ),
+    (
+        "examples/hcl/web_stack.tf",
+        include_str!("../../../examples/hcl/web_stack.tf"),
+    ),
+    (
+        "examples/hcl/multicloud.tf",
+        include_str!("../../../examples/hcl/multicloud.tf"),
+    ),
+    (
+        "examples/hcl/network_module.tf",
+        include_str!("../../../examples/hcl/network_module.tf"),
+    ),
+    (
+        "crates/hcl/tests/figure2/figure2.tf",
+        include_str!("../../hcl/tests/figure2/figure2.tf"),
+    ),
+];
+
+#[test]
+fn shipped_corpus_lints_clean() {
+    let mut modules = ModuleLibrary::new();
+    modules.insert(
+        "modules/network",
+        include_str!("../../../examples/hcl/network_module.tf"),
+    );
+    for (name, src) in CORPUS {
+        let report =
+            lint_source(src, name, &modules, &LintConfig::default()).expect("corpus parses");
+        assert!(
+            report.is_clean(),
+            "{name} must lint clean, found: {}",
+            report
+                .findings
+                .iter()
+                .map(|f| format!("{} {}", f.rule, f.diagnostic.message))
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+}

@@ -1,0 +1,4 @@
+//! Print the dataflow-lint experiment table.
+fn main() {
+    println!("{}", cloudless_bench::experiments::e13_analyze::run());
+}

@@ -5,6 +5,7 @@
 pub mod e10_synth;
 pub mod e11_resilience;
 pub mod e12_obs;
+pub mod e13_analyze;
 pub mod e1_deploy;
 pub mod e2_incremental;
 pub mod e3_locks;
@@ -99,5 +100,7 @@ pub fn all() -> String {
     out.push_str(&e11_resilience::run());
     out.push('\n');
     out.push_str(&e12_obs::run());
+    out.push('\n');
+    out.push_str(&e13_analyze::run());
     out
 }

@@ -8,6 +8,7 @@
 //! ```text
 //! cloudless init      <dir>                 # create a session
 //! cloudless validate  <file.tf>             # compile-time checks only
+//! cloudless lint      <file.tf>             # dataflow lint (analyze) only
 //! cloudless plan      <dir> <file.tf>       # show what would change
 //! cloudless apply     <dir> <file.tf>       # converge (validate→plan→apply)
 //! cloudless destroy   <dir>                 # tear everything down
@@ -42,6 +43,7 @@ fn main() -> ExitCode {
     let result = match command {
         "init" => cmd_init(&rest),
         "validate" => cmd_validate(&rest),
+        "lint" => cmd_lint(&rest),
         "plan" => cmd_plan(&rest),
         "apply" => cmd_apply(&rest),
         "destroy" => cmd_destroy(&rest),
@@ -70,6 +72,11 @@ const USAGE: &str = "usage: cloudless <command> [args]
 commands:
   init      <dir>                      create a session directory
   validate  <file.tf>                  run compile-time validation only
+  lint      <file.tf>                  run the dataflow lint engine only
+            [--deny warn]              fail on warnings, not just errors
+            [--deny <rule>]            escalate a rule (id or name) to error
+            [--allow <rule>]           suppress a rule entirely
+            [--format text|json|sarif] output format (default text)
   plan      <dir> <file.tf> [--target <addr>]   show the execution plan
   apply     <dir> <file.tf> [--target <addr>]   validate, plan and apply
             [--resume]                 continue a partially-failed apply
@@ -106,10 +113,12 @@ fn cmd_init(rest: &[&str]) -> Result<(), String> {
 fn cmd_validate(rest: &[&str]) -> Result<(), String> {
     let file = want(rest, 0, "program file")?;
     let source = read_program(file)?;
+    // the engine names every parsed file "main.tf"; key the map to match
+    let sources = cloudless::hcl::SourceMap::single("main.tf", &source);
     let engine = Cloudless::new(Config::default());
     let manifest = engine
         .load(&source)
-        .map_err(|d| format!("program rejected:\n{d}"))?;
+        .map_err(|d| format!("program rejected:\n{}", d.render_pretty(&sources)))?;
     let report = engine.validate(&manifest);
     if report.diagnostics.is_empty() {
         println!(
@@ -117,12 +126,69 @@ fn cmd_validate(rest: &[&str]) -> Result<(), String> {
             manifest.instances.len()
         );
     } else {
-        println!("{}", report.diagnostics);
+        println!("{}", report.diagnostics.render_pretty(&sources));
     }
     if report.ok() {
         Ok(())
     } else {
         Err(format!("{} validation error(s)", report.error_count()))
+    }
+}
+
+fn cmd_lint(rest: &[&str]) -> Result<(), String> {
+    let file = want(rest, 0, "program file")?;
+    let mut config = cloudless::LintConfig::default();
+    let mut format = "text";
+    let mut it = rest.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--deny" => {
+                let what = it.next().ok_or("--deny needs `warn` or a rule")?;
+                if *what == "warn" {
+                    config.fail_on = cloudless::hcl::Severity::Warning;
+                } else if cloudless::analyze::rule(what).is_some() {
+                    config.deny.push((*what).to_owned());
+                } else {
+                    return Err(format!("--deny: unknown rule {what:?}"));
+                }
+            }
+            "--allow" => {
+                let what = it.next().ok_or("--allow needs a rule id or name")?;
+                if cloudless::analyze::rule(what).is_none() {
+                    return Err(format!("--allow: unknown rule {what:?}"));
+                }
+                config.allow.push((*what).to_owned());
+            }
+            "--format" => {
+                format = it.next().ok_or("--format needs text, json or sarif")?;
+                if !matches!(format, "text" | "json" | "sarif") {
+                    return Err(format!("--format: unknown format {format:?}"));
+                }
+            }
+            other => return Err(format!("unknown lint option {other:?}\n{USAGE}")),
+        }
+    }
+    let source = read_program(file)?;
+    let sources = cloudless::hcl::SourceMap::single(file, &source);
+    let report = cloudless::analyze::lint_source(
+        &source,
+        file,
+        &cloudless::hcl::ModuleLibrary::new(),
+        &config,
+    )
+    .map_err(|d| format!("program rejected:\n{}", d.render_pretty(&sources)))?;
+    match format {
+        "json" => println!("{}", report.to_json()),
+        "sarif" => println!("{}", report.to_sarif()),
+        _ => print!("{}", report.render_text(&sources)),
+    }
+    if report.fails(&config) {
+        Err(format!(
+            "{} deny-level finding(s)",
+            report.deny_level(&config)
+        ))
+    } else {
+        Ok(())
     }
 }
 
@@ -308,8 +374,25 @@ fn cmd_apply(rest: &[&str]) -> Result<(), String> {
                 ))
             }
         }
-        Err(ConvergeError::Frontend(d)) => Err(format!("program rejected:\n{d}")),
-        Err(ConvergeError::Validation(r)) => Err(format!("validation failed:\n{}", r.diagnostics)),
+        Err(ConvergeError::Frontend(d)) => {
+            let sources = cloudless::hcl::SourceMap::single("main.tf", &source);
+            Err(format!("program rejected:\n{}", d.render_pretty(&sources)))
+        }
+        Err(ConvergeError::Lint(r)) => {
+            let sources = cloudless::hcl::SourceMap::single("main.tf", &source);
+            Err(format!(
+                "lint failed ({} finding(s)); fix them or rerun with a relaxed gate:\n{}",
+                r.findings.len(),
+                r.render_text(&sources)
+            ))
+        }
+        Err(ConvergeError::Validation(r)) => {
+            let sources = cloudless::hcl::SourceMap::single("main.tf", &source);
+            Err(format!(
+                "validation failed:\n{}",
+                r.diagnostics.render_pretty(&sources)
+            ))
+        }
         Err(ConvergeError::PolicyDenied(actions)) => {
             let mut msg = String::from("plan denied by policy:");
             for a in actions {

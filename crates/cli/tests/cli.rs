@@ -148,17 +148,134 @@ resource "azure_virtual_machine" "vm" {
 fn apply_refuses_invalid_program_and_session_survives() {
     let t = TempSession::new("invalid");
     run(&["init", t.path()]);
+    // a literal bad CIDR is now caught by the lint gate, even earlier than
+    // validation
     let bad = t.write(
         "bad.tf",
         r#"resource "aws_vpc" "v" { cidr_block = "nope" }"#,
     );
     let out = run(&["apply", t.path(), &bad]);
     assert!(!out.status.success());
-    assert!(stderr(&out).contains("validation failed"));
+    assert!(stderr(&out).contains("lint failed"), "{}", stderr(&out));
+    // a cross-resource defect lint cannot see still fails at validation
+    let bad2 = t.write(
+        "bad2.tf",
+        r#"
+resource "azure_network_interface" "n" {
+  name     = "n"
+  location = "westeurope"
+}
+resource "azure_virtual_machine" "vm" {
+  name     = "vm"
+  location = "eastus"
+  nic_ids  = [azure_network_interface.n.id]
+}
+"#,
+    );
+    let out = run(&["apply", t.path(), &bad2]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("validation failed"),
+        "{}",
+        stderr(&out)
+    );
     // the session is still usable
     let good = t.write("good.tf", PROGRAM);
     let out = run(&["apply", t.path(), &good]);
     assert!(out.status.success(), "{}", stderr(&out));
+}
+
+#[test]
+fn lint_clean_program_exits_zero() {
+    let t = TempSession::new("lint-clean");
+    std::fs::create_dir_all(&t.dir).unwrap();
+    let tf = t.write("good.tf", PROGRAM);
+    let out = run(&["lint", &tf]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("no findings"), "{}", stdout(&out));
+}
+
+#[test]
+fn lint_deny_findings_exit_nonzero_with_spans() {
+    let t = TempSession::new("lint-bad");
+    std::fs::create_dir_all(&t.dir).unwrap();
+    let tf = t.write(
+        "bad.tf",
+        r#"resource "aws_vpc" "v" {
+  cidr_block = "10.0.0.0/16"
+  name       = var.missing
+}
+"#,
+    );
+    let out = run(&["lint", &tf]);
+    assert!(!out.status.success(), "undefined reference is deny-level");
+    let text = stdout(&out);
+    assert!(text.contains("ANA103"), "{text}");
+    // the unified pretty-printer shows the offending source line + carets
+    assert!(text.contains("var.missing"), "{text}");
+    assert!(text.contains("^"), "caret underline rendered: {text}");
+    assert!(
+        stderr(&out).contains("deny-level finding"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn lint_warnings_gate_allow_and_formats() {
+    let t = TempSession::new("lint-flags");
+    std::fs::create_dir_all(&t.dir).unwrap();
+    let tf = t.write(
+        "warn.tf",
+        r#"variable "unused" { default = 1 }
+resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }
+"#,
+    );
+    // warnings pass by default…
+    let out = run(&["lint", &tf]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    // …fail under --deny warn…
+    let out = run(&["lint", &tf, "--deny", "warn"]);
+    assert!(!out.status.success());
+    // …and --allow suppresses the rule entirely
+    let out = run(&["lint", &tf, "--deny", "warn", "--allow", "unused-variable"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // machine formats
+    let out = run(&["lint", &tf, "--format", "json"]);
+    let text = stdout(&out);
+    assert!(text.contains("\"findings\""), "{text}");
+    assert!(text.contains("ANA101"), "{text}");
+    let out = run(&["lint", &tf, "--format", "sarif"]);
+    let text = stdout(&out);
+    assert!(text.contains("\"runs\""), "{text}");
+    assert!(text.contains("cloudless-analyze"), "{text}");
+
+    // unknown rules and formats are rejected
+    let out = run(&["lint", &tf, "--deny", "nope"]);
+    assert!(!out.status.success());
+    let out = run(&["lint", &tf, "--format", "yaml"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn apply_refuses_lint_errors_before_planning() {
+    let t = TempSession::new("lint-gate");
+    run(&["init", t.path()]);
+    let tf = t.write(
+        "cycle.tf",
+        r#"
+resource "aws_virtual_machine" "a" { name = aws_virtual_machine.b.name }
+resource "aws_virtual_machine" "b" { name = aws_virtual_machine.a.name }
+"#,
+    );
+    let out = run(&["apply", t.path(), &tf]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("lint failed"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("ANA401"), "{}", stderr(&out));
+    // nothing reached the cloud; the session stays usable
+    let out = run(&["state", t.path()]);
+    assert!(stdout(&out).contains("no resources under management"));
 }
 
 #[test]

@@ -27,6 +27,8 @@
 //! *semantic* attribute types (§3.2) that `cloudless-validate` uses to
 //! type-check references at compile time.
 
+#![forbid(unsafe_code)]
+
 pub mod activity;
 pub mod api;
 pub mod catalog;

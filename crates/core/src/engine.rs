@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+use cloudless_analyze::{lint_program, LintGate, LintReport};
 use cloudless_cloud::{ApiOp, ApiRequest, Cloud, CloudConfig, OpOutcome};
 use cloudless_deploy::diff::{diff, Action as DiffAction};
 use cloudless_deploy::resolver::DataResolver;
@@ -35,6 +36,11 @@ pub struct Config {
     pub strategy: Strategy,
     pub principal: String,
     pub validation_level: ValidationLevel,
+    /// Static-analysis gate run on the *un-expanded* program before
+    /// planning: [`LintGate::DenyErrors`] (the default) refuses to plan on
+    /// error-level lint findings, [`LintGate::DenyWarnings`] on warnings
+    /// too, [`LintGate::Off`] skips the analyzer.
+    pub lint: LintGate,
     /// Retry / deadline / circuit-breaker behavior of applies
     /// ([`ResiliencePolicy::standard`] unless configured otherwise;
     /// [`ResiliencePolicy::legacy`] restores the pre-resilience executor).
@@ -58,6 +64,7 @@ impl Default for Config {
             strategy: Strategy::CriticalPath { max_in_flight: 64 },
             principal: "cloudless-engine".to_owned(),
             validation_level: ValidationLevel::CloudRules,
+            lint: LintGate::default(),
             resilience: ResiliencePolicy::standard(),
             inputs: BTreeMap::new(),
             modules: ModuleLibrary::new(),
@@ -71,6 +78,9 @@ impl Default for Config {
 pub enum ConvergeError {
     /// The program does not parse/expand.
     Frontend(Diagnostics),
+    /// The static-analysis gate found deny-level defects (§3.2: reject the
+    /// program before any cloud API is considered).
+    Lint(LintReport),
     /// Compile-time validation rejected the program.
     Validation(ValidationReport),
     /// A policy denied the plan.
@@ -81,6 +91,14 @@ impl fmt::Display for ConvergeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConvergeError::Frontend(d) => write!(f, "program rejected:\n{d}"),
+            ConvergeError::Lint(r) => {
+                write!(
+                    f,
+                    "lint failed ({} finding(s)):\n{}",
+                    r.findings.len(),
+                    r.diagnostics()
+                )
+            }
             ConvergeError::Validation(r) => {
                 write!(
                     f,
@@ -229,6 +247,17 @@ impl Cloudless {
         )
     }
 
+    /// Run the static-analysis passes over a program (§3.2): def-use
+    /// chains, constant folding + interval checks, sensitive-value taint,
+    /// and plan-graph hazards — all on the *un-expanded* program, so
+    /// defects in code the expander never evaluates are still found. Uses
+    /// the gate's configuration (default rules when the gate is off).
+    pub fn lint(&self, source: &str) -> Result<LintReport, Diagnostics> {
+        let program = cloudless_hcl::load(source, "main.tf")?;
+        let cfg = self.config.lint.config().unwrap_or_default();
+        Ok(lint_program(&program, &self.config.modules, &cfg))
+    }
+
     /// Compile-time validation at the configured level (§3.2).
     pub fn validate(&self, manifest: &Manifest) -> ValidationReport {
         validate(
@@ -331,7 +360,22 @@ impl Cloudless {
         targets: &[cloudless_types::ResourceAddr],
         completed: &std::collections::BTreeSet<String>,
     ) -> Result<ConvergeOutcome, ConvergeError> {
-        let manifest = self.load(source).map_err(ConvergeError::Frontend)?;
+        let program = Program::from_file(
+            cloudless_hcl::parse(source, "main.tf").map_err(ConvergeError::Frontend)?,
+        )
+        .map_err(ConvergeError::Frontend)?;
+        // Static-analysis gate: refuse to plan on deny-level findings. The
+        // analyzer sees the un-expanded program, so this also covers code
+        // the expander would never evaluate.
+        if let Some(lint_cfg) = self.config.lint.config() {
+            let report = lint_program(&program, &self.config.modules, &lint_cfg);
+            if report.fails(&lint_cfg) {
+                return Err(ConvergeError::Lint(report));
+            }
+        }
+        let manifest = self
+            .expand_program(&program)
+            .map_err(ConvergeError::Frontend)?;
         let validation = self.validate(&manifest);
         if !validation.ok() {
             return Err(ConvergeError::Validation(validation));
@@ -850,6 +894,65 @@ resource "aws_vpc" "b" { cidr_block = "10.1.0.0/16" }
         });
         silent.converge(WEB).expect("converges");
         assert!(silent.metrics().is_none());
+    }
+
+    #[test]
+    fn lint_gate_refuses_to_plan_on_deny_findings() {
+        let mut e = engine();
+        // reference cycle: validate can't see it (both instances expand,
+        // deferring on each other), the planner would silently drop an edge
+        let err = e
+            .converge(
+                r#"
+resource "aws_virtual_machine" "a" { name = aws_virtual_machine.b.name }
+resource "aws_virtual_machine" "b" { name = aws_virtual_machine.a.name }
+"#,
+            )
+            .unwrap_err();
+        match err {
+            ConvergeError::Lint(r) => {
+                assert!(r.findings.iter().any(|f| f.diagnostic.code == "ANA401"));
+            }
+            other => panic!("expected lint refusal, got {other:?}"),
+        }
+        assert_eq!(e.cloud().total_api_calls(), 0, "caught before planning");
+    }
+
+    #[test]
+    fn lint_gate_off_lets_the_cycle_through_to_the_planner() {
+        let mut e = Cloudless::new(Config {
+            cloud: CloudConfig::exact(),
+            lint: LintGate::Off,
+            ..Config::default()
+        });
+        // with the gate off the old behavior returns: the plan silently
+        // drops one edge and the apply fails at deploy time instead of
+        // being rejected up front
+        let out = e
+            .converge(
+                r#"
+resource "aws_virtual_machine" "a" { name = aws_virtual_machine.b.name }
+resource "aws_virtual_machine" "b" { name = aws_virtual_machine.a.name }
+"#,
+            )
+            .expect("gate off: plan proceeds");
+        assert!(
+            !out.apply.all_ok(),
+            "cycle surfaces as a deploy-time failure"
+        );
+    }
+
+    #[test]
+    fn engine_lint_reports_without_converging() {
+        let e = engine();
+        let report = e
+            .lint(r#"variable "unused" { default = 1 }"#)
+            .expect("parses");
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.diagnostic.code == "ANA101"));
+        assert_eq!(e.cloud().total_api_calls(), 0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! | stage | paper § | subsystem |
 //! |---|---|---|
 //! | Developing IaC | §3.1 | [`synth`] (type-guided synthesis), [`port`] (import + optimizer) |
-//! | Validating IaC | §3.2 | [`validate`] (schema, semantic types, cloud rules, spec mining) |
+//! | Validating IaC | §3.2 | [`validate`] (schema, semantic types, cloud rules, spec mining), [`analyze`] (dataflow lint: def-use, folding + intervals, taint, plan-graph hazards) |
 //! | Deploying IaC | §3.3 | [`deploy`] (critical-path scheduling, incremental updates) |
 //! | Updating IaC | §3.4 | [`state`] (golden state, per-resource locks, transactions, time machine), [`deploy::rollback`] |
 //! | Diagnosing IaC | §3.5 | [`diagnose`] (log-native drift detection, error translation) |
@@ -38,6 +38,9 @@
 //! assert_eq!(engine.state().len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use cloudless_analyze as analyze;
 pub use cloudless_cloud as cloud;
 pub use cloudless_deploy as deploy;
 pub use cloudless_diagnose as diagnose;
@@ -53,4 +56,5 @@ pub use cloudless_validate as validate;
 
 mod engine;
 
+pub use cloudless_analyze::{LintConfig, LintGate, LintReport};
 pub use engine::{Cloudless, Config, ConvergeError, ConvergeOutcome};

@@ -28,6 +28,8 @@
 //! [`Manifest`]: cloudless_hcl::Manifest
 //! [`Snapshot`]: cloudless_state::Snapshot
 
+#![forbid(unsafe_code)]
+
 pub mod diff;
 pub mod exec;
 pub mod incremental;

@@ -36,6 +36,13 @@ pub struct Plan {
     pub graph: Dag<PlanNode>,
     /// Index from address to node.
     pub index: BTreeMap<String, NodeId>,
+    /// Ordering edges `(dependency, dependent)` the [`Dag`] refused because
+    /// they would close a cycle. A non-empty list means the plan is
+    /// *under-constrained*: some dependency will not be awaited and the
+    /// apply can fail or run out of order. `cloudless-analyze` reports the
+    /// cycle itself (ANA401) before planning; this field is the runtime
+    /// witness.
+    pub dropped_edges: Vec<(ResourceAddr, ResourceAddr)>,
 }
 
 impl Plan {
@@ -57,14 +64,20 @@ impl Plan {
             actionable.push(id);
         }
         // Forward edges from desired-instance dependencies.
+        let mut dropped_edges = Vec::new();
         for &id in &actionable {
             let node = graph.node(id).clone();
             if let Some(desired) = &node.change.desired {
                 for dep in &desired.depends_on {
                     if let Some(&dep_id) = index.get(&dep.to_string()) {
                         // delete nodes never gate creates this way
-                        if !matches!(graph.node(dep_id).change.action, Action::Delete) {
-                            let _ = graph.add_edge(dep_id, id);
+                        if !matches!(graph.node(dep_id).change.action, Action::Delete)
+                            && graph.add_edge(dep_id, id).is_err()
+                        {
+                            dropped_edges.push((
+                                graph.node(dep_id).change.addr.clone(),
+                                node.change.addr.clone(),
+                            ));
                         }
                     }
                 }
@@ -83,13 +96,22 @@ impl Plan {
                         if matches!(graph.node(dep_id).change.action, Action::Delete) {
                             // this (dependent) delete must precede the
                             // dependency's delete
-                            let _ = graph.add_edge(id, dep_id);
+                            if graph.add_edge(id, dep_id).is_err() {
+                                dropped_edges.push((
+                                    node.change.addr.clone(),
+                                    graph.node(dep_id).change.addr.clone(),
+                                ));
+                            }
                         }
                     }
                 }
             }
         }
-        Plan { graph, index }
+        Plan {
+            graph,
+            index,
+            dropped_edges,
+        }
     }
 
     /// Number of actionable nodes.
@@ -181,10 +203,15 @@ impl Plan {
             let from_key = original.graph.node(from).change.addr.to_string();
             let to_key = original.graph.node(to).change.addr.to_string();
             if let (Some(&f), Some(&t)) = (index.get(&from_key), index.get(&to_key)) {
+                // edges of an already-acyclic graph cannot close a cycle
                 let _ = graph.add_edge(f, t);
             }
         }
-        Plan { graph, index }
+        Plan {
+            graph,
+            index,
+            dropped_edges: original.dropped_edges.clone(),
+        }
     }
 }
 
@@ -401,6 +428,25 @@ resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }
         let (restricted, dropped) = plan.restrict_to(&["aws_vpc.ghost".parse().unwrap()]);
         assert!(restricted.is_empty());
         assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn cyclic_dependencies_are_recorded_not_silently_dropped() {
+        let plan = plan_for(
+            r#"
+resource "aws_virtual_machine" "a" { name = aws_virtual_machine.b.name }
+resource "aws_virtual_machine" "b" { name = aws_virtual_machine.a.name }
+"#,
+            &Snapshot::new(),
+        );
+        assert_eq!(plan.len(), 2);
+        assert_eq!(
+            plan.dropped_edges.len(),
+            1,
+            "one edge of the 2-cycle refused"
+        );
+        let (dep, dependent) = &plan.dropped_edges[0];
+        assert_ne!(dep, dependent);
     }
 
     #[test]

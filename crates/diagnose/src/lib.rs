@@ -16,6 +16,8 @@
 //!   found") into root causes anchored at exact source lines, with fix
 //!   suggestions.
 
+#![forbid(unsafe_code)]
+
 pub mod drift;
 pub mod explain;
 

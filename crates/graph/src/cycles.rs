@@ -1,0 +1,154 @@
+//! Cycle detection over a *plain* directed graph.
+//!
+//! [`crate::dag::Dag`] is acyclic by construction — `add_edge` rejects any
+//! edge that would close a cycle — which is exactly why it cannot be used to
+//! *report* cycles: by the time a plan graph exists, the offending edge has
+//! already been dropped. The static hazard passes in `cloudless-analyze`
+//! need to see the cycle itself (and name its participants in the
+//! diagnostic), so they build this unchecked digraph from raw reference
+//! edges and ask for a witness cycle.
+
+/// A minimal adjacency-list digraph over `0..n` node indices.
+#[derive(Debug, Clone, Default)]
+pub struct Digraph {
+    adj: Vec<Vec<usize>>,
+}
+
+impl Digraph {
+    pub fn new(nodes: usize) -> Self {
+        Digraph {
+            adj: vec![Vec::new(); nodes],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Add an edge `from → to`. Self-loops and duplicates are allowed —
+    /// callers feed raw reference edges, hazards included.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(from < self.adj.len() && to < self.adj.len(), "node bounds");
+        if !self.adj[from].contains(&to) {
+            self.adj[from].push(to);
+        }
+    }
+
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.adj.get(from).is_some_and(|v| v.contains(&to))
+    }
+
+    pub fn remove_edge(&mut self, from: usize, to: usize) {
+        if let Some(v) = self.adj.get_mut(from) {
+            v.retain(|&t| t != to);
+        }
+    }
+
+    /// Find one cycle, if any, as the list of nodes along it (first node
+    /// repeated implicitly: `[a, b, c]` means `a → b → c → a`). Iterative
+    /// three-color DFS; deterministic (lowest-numbered roots and edges in
+    /// insertion order) so diagnostics are stable.
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.adj.len();
+        let mut color = vec![Color::White; n];
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        for root in 0..n {
+            if color[root] != Color::White {
+                continue;
+            }
+            // stack of (node, next-edge-index)
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            color[root] = Color::Gray;
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                if *next < self.adj[node].len() {
+                    let to = self.adj[node][*next];
+                    *next += 1;
+                    match color[to] {
+                        Color::Gray => {
+                            // back edge: walk parents from `node` to `to`
+                            let mut cycle = vec![node];
+                            let mut cur = node;
+                            while cur != to {
+                                cur = parent[cur].expect("gray nodes have parents");
+                                cycle.push(cur);
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        Color::White => {
+                            color[to] = Color::Gray;
+                            parent[to] = Some(node);
+                            stack.push((to, 0));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[node] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_graph_has_no_cycle() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 3);
+        g.add_edge(3, 2);
+        assert_eq!(g.find_cycle(), None);
+    }
+
+    #[test]
+    fn two_cycle_found() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        let c = g.find_cycle().expect("cycle");
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(&0) && c.contains(&1));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = Digraph::new(2);
+        g.add_edge(1, 1);
+        assert_eq!(g.find_cycle(), Some(vec![1]));
+    }
+
+    #[test]
+    fn longer_cycle_reported_in_order() {
+        let mut g = Digraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 1);
+        let c = g.find_cycle().expect("cycle");
+        assert_eq!(c, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.find_cycle(), None);
+    }
+}

@@ -22,7 +22,10 @@
 //! The graph is generic over its node payload so the same algorithms serve
 //! resource plans, module graphs and policy dependency tracking.
 
+#![forbid(unsafe_code)]
+
 pub mod critical;
+pub mod cycles;
 pub mod dag;
 pub mod impact;
 pub mod topo;

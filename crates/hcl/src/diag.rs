@@ -164,6 +164,97 @@ impl fmt::Display for Diagnostics {
 
 impl std::error::Error for Diagnostics {}
 
+/// Sources for the pretty renderer, keyed by the filename diagnostics carry.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    files: std::collections::BTreeMap<String, String>,
+}
+
+impl SourceMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A map with a single file — the common CLI case.
+    pub fn single(filename: impl Into<String>, source: impl Into<String>) -> Self {
+        let mut m = Self::default();
+        m.insert(filename, source);
+        m
+    }
+
+    pub fn insert(&mut self, filename: impl Into<String>, source: impl Into<String>) -> &mut Self {
+        self.files.insert(filename.into(), source.into());
+        self
+    }
+
+    fn line(&self, file: &str, line: u32) -> Option<&str> {
+        let src = self.files.get(file)?;
+        src.lines().nth(line.saturating_sub(1) as usize)
+    }
+}
+
+impl Diagnostic {
+    /// Render with a source excerpt and caret underline:
+    ///
+    /// ```text
+    /// error[VAL302] main.tf:15:3: admin_password is set but …
+    ///    15 |   admin_password = "hunter2"
+    ///       |   ^^^^^^^^^^^^^^
+    ///    = help: add `disable_password_authentication = false`
+    /// ```
+    ///
+    /// This is the *single* span pretty-printer: `cloudless validate`,
+    /// `cloudless lint` and the analyze report all render through it.
+    pub fn render_pretty(&self, sources: &SourceMap) -> String {
+        let mut out = format!(
+            "{}[{}] {}:{}: {}",
+            self.severity, self.code, self.file, self.span, self.message
+        );
+        if !self.span.is_synthetic() {
+            if let Some(line) = sources.line(&self.file, self.span.start.line) {
+                let lineno = self.span.start.line.to_string();
+                let gutter = " ".repeat(lineno.len());
+                out.push_str(&format!("\n   {lineno} | {line}"));
+                // caret run: from start.col to end.col on single-line spans,
+                // to the end of the line otherwise (cols are 1-based)
+                let from = (self.span.start.col.saturating_sub(1)) as usize;
+                let to = if self.span.end.line == self.span.start.line
+                    && self.span.end.col > self.span.start.col
+                {
+                    (self.span.end.col.saturating_sub(1)) as usize
+                } else {
+                    line.chars().count()
+                };
+                let width = to.saturating_sub(from).max(1);
+                out.push_str(&format!(
+                    "\n   {gutter} | {}{}",
+                    " ".repeat(from),
+                    "^".repeat(width)
+                ));
+            }
+        }
+        if let Some(s) = &self.suggestion {
+            out.push_str(&format!("\n   = help: {s}"));
+        }
+        out
+    }
+}
+
+impl Diagnostics {
+    /// Render every diagnostic through [`Diagnostic::render_pretty`],
+    /// separated by blank lines.
+    pub fn render_pretty(&self, sources: &SourceMap) -> String {
+        let mut out = String::new();
+        for (i, d) in self.items.iter().enumerate() {
+            if i > 0 {
+                out.push_str("\n\n");
+            }
+            out.push_str(&d.render_pretty(sources));
+        }
+        out
+    }
+}
+
 impl From<Diagnostic> for Diagnostics {
     fn from(d: Diagnostic) -> Self {
         Diagnostics { items: vec![d] }

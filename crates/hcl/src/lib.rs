@@ -31,9 +31,12 @@
 //! [`Manifest`]: crate::program::Manifest
 //! [`ResourceInstance`]: crate::program::ResourceInstance
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod diag;
 pub mod eval;
+pub mod fold;
 pub mod funcs;
 pub mod lexer;
 pub mod parser;
@@ -42,8 +45,9 @@ pub mod render;
 pub mod token;
 
 pub use ast::{Attribute, Block, BlockBody, Expr, File};
-pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use diag::{Diagnostic, Diagnostics, Severity, SourceMap};
 pub use eval::{EvalError, Refs, Resolver, Scope};
+pub use fold::{fold, Folded};
 pub use parser::parse;
 pub use program::{expand, DeferredAttr, Manifest, ModuleLibrary, Program, ResourceInstance};
 pub use render::render_file;

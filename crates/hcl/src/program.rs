@@ -30,6 +30,10 @@ pub struct Variable {
     pub ty: Option<String>,
     pub default: Option<Expr>,
     pub description: Option<String>,
+    /// `sensitive = true`: the value must never reach a plaintext sink
+    /// (logged attributes, unencrypted stores, plain outputs). Enforced by
+    /// the taint pass in `cloudless-analyze`.
+    pub sensitive: bool,
     pub span: Span,
 }
 
@@ -131,11 +135,16 @@ impl Program {
                             .body
                             .attr("description")
                             .and_then(|a| a.value.as_plain_str().map(str::to_owned));
+                        let sensitive = matches!(
+                            block.body.attr("sensitive").map(|a| &a.value),
+                            Some(Expr::Bool(true, _))
+                        );
                         p.variables.push(Variable {
                             name: name.to_owned(),
                             ty,
                             default: block.body.attr("default").map(|a| a.value.clone()),
                             description,
+                            sensitive,
                             span: block.span,
                         });
                     }

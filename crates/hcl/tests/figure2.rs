@@ -9,26 +9,9 @@ use cloudless_types::value::vmap;
 use cloudless_types::Value;
 
 /// Figure 2 of the paper, reproduced character-for-character (with the `=`
-/// signs as printed).
-const FIGURE2: &str = r#"/* Simplified Terraform code snippet */
-
-data "aws_region" "current" {}
-
-variable "vmName" {
-  type    = string
-  default = "cloudless"
-}
-
-resource "aws_network_interface" "n1" {
-  name     = "example-nic"
-  location = data.aws_region.current.name
-}
-
-resource "aws_virtual_machine" "vm1" {
-  name    = var.vmName
-  nic_ids = [aws_network_interface.n1.id]
-}
-"#;
+/// signs as printed). Kept as an on-disk fixture so the CI lint sweep can
+/// check it with the `cloudless lint` CLI too.
+const FIGURE2: &str = include_str!("figure2/figure2.tf");
 
 #[test]
 fn figure2_parses() {

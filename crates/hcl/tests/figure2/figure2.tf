@@ -1,0 +1,18 @@
+/* Simplified Terraform code snippet */
+
+data "aws_region" "current" {}
+
+variable "vmName" {
+  type    = string
+  default = "cloudless"
+}
+
+resource "aws_network_interface" "n1" {
+  name     = "example-nic"
+  location = data.aws_region.current.name
+}
+
+resource "aws_virtual_machine" "vm1" {
+  name    = var.vmName
+  nic_ids = [aws_network_interface.n1.id]
+}

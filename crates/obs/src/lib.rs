@@ -26,6 +26,8 @@
 //! (scan vs. log-native cost) and the `Cloudless` facade. Experiment E12
 //! quantifies the recorder's overhead.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod export;
 pub mod metrics;

@@ -31,6 +31,8 @@
 //! [`Policy`]: engine::Policy
 //! [`Controller`]: engine::Controller
 
+#![forbid(unsafe_code)]
+
 pub mod action;
 pub mod builtin;
 pub mod cost;

@@ -24,6 +24,8 @@
 //! diff to all-no-ops against the imported state (see `tests` in
 //! `optimize`).
 
+#![forbid(unsafe_code)]
+
 pub mod metrics;
 pub mod modules;
 pub mod naive;

@@ -25,6 +25,8 @@
 //! * [`txn`] — optimistic transactions over the golden state with
 //!   per-resource versions and first-committer-wins conflict detection.
 
+#![forbid(unsafe_code)]
+
 pub mod history;
 pub mod lock;
 pub mod snapshot;

@@ -24,6 +24,8 @@
 //! * [`intent`] — what the user asks for.
 //! * [`synth`] — the guided synthesizer + the unguided baseline.
 
+#![forbid(unsafe_code)]
+
 pub mod intent;
 pub mod synth;
 

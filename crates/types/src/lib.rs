@@ -13,6 +13,8 @@
 //! * [`SimTime`] / [`SimDuration`] — the virtual clock used by the
 //!   discrete-event cloud simulator.
 
+#![forbid(unsafe_code)]
+
 pub mod addr;
 pub mod cidr;
 pub mod provider;

@@ -22,6 +22,8 @@
 //! Every diagnostic carries the source span of the offending attribute, so
 //! the error points at the user's line — not at a cloud API payload.
 
+#![forbid(unsafe_code)]
+
 pub mod mining;
 pub mod pipeline;
 pub mod rules;

@@ -13,8 +13,9 @@
 use std::collections::BTreeMap;
 
 use cloudless_cloud::Catalog;
+use cloudless_hcl::eval::DeferAll;
 use cloudless_hcl::program::{Manifest, ResourceInstance};
-use cloudless_hcl::{Diagnostic, Diagnostics};
+use cloudless_hcl::{fold, Diagnostic, Diagnostics, Folded};
 use cloudless_types::cidr::Cidr;
 use cloudless_types::{Provider, Span, Value};
 
@@ -131,17 +132,33 @@ fn rule_vm_nic_region(inst: &ResourceInstance, index: &InstanceIndex, diags: &mu
 
 /// §3.2: "Azure VMs could specify a password only if another
 /// disable_password attribute is explicitly set to false."
+///
+/// An `admin_password` whose value is an expression deferred to apply time
+/// is *not* necessarily present: `var.use_password ? var.pw : null`
+/// evaluates to null in one arm. Partial evaluation
+/// ([`cloudless_hcl::fold`]) resolves the foldable cases exactly; when the
+/// value is genuinely unknowable at plan time the finding is downgraded to
+/// a warning instead of flatly claiming the password "is set".
 fn rule_password_flag(inst: &ResourceInstance, diags: &mut Diagnostics) {
     if inst.addr.rtype.as_str() != "azure_virtual_machine" {
         return;
     }
-    let has_password = inst
+    // Definitely present / definitely absent / unknowable at plan time.
+    let mut definite = inst
         .attrs
         .get("admin_password")
         .map(|v| !v.is_null())
-        .unwrap_or(false)
-        || inst.deferred.iter().any(|d| d.name == "admin_password");
-    if !has_password {
+        .unwrap_or(false);
+    let mut possible = false;
+    if !definite {
+        if let Some(d) = inst.deferred.iter().find(|d| d.name == "admin_password") {
+            match fold(&d.expr, &inst.env.scope(&DeferAll)) {
+                Folded::Known(v) => definite = !v.is_null(),
+                Folded::Unknown => possible = true,
+            }
+        }
+    }
+    if !definite && !possible {
         return;
     }
     let flag_ok = matches!(
@@ -149,7 +166,7 @@ fn rule_password_flag(inst: &ResourceInstance, diags: &mut Diagnostics) {
         Some(Value::Bool(false))
     );
     if !flag_ok {
-        diags.push(
+        let d = if definite {
             Diagnostic::error(
                 "VAL302",
                 &inst.file,
@@ -159,8 +176,18 @@ fn rule_password_flag(inst: &ResourceInstance, diags: &mut Diagnostics) {
                     inst.addr
                 ),
             )
-            .with_suggestion("add `disable_password_authentication = false`"),
-        );
+        } else {
+            Diagnostic::warning(
+                "VAL302",
+                &inst.file,
+                span_of(inst, "admin_password"),
+                format!(
+                    "{}: admin_password may resolve to a value at apply time, but disable_password_authentication is not explicitly false",
+                    inst.addr
+                ),
+            )
+        };
+        diags.push(d.with_suggestion("add `disable_password_authentication = false`"));
     }
 }
 
@@ -419,6 +446,78 @@ resource "azure_virtual_machine" "vm" {
 "#,
         );
         assert!(!good.items.iter().any(|x| x.code == "VAL302"));
+    }
+
+    #[test]
+    fn password_expression_folding_to_null_passes() {
+        // Deferred expression that partial evaluation resolves to null: the
+        // VM has no password, so requiring the disable flag was a false
+        // positive before folding was applied here.
+        let d = diags(
+            r#"
+resource "azure_virtual_machine" "other" {
+  name     = "other"
+  location = "eastus"
+  nic_ids  = []
+}
+resource "azure_virtual_machine" "vm" {
+  name           = "vm"
+  location       = "eastus"
+  nic_ids        = []
+  admin_password = false ? azure_virtual_machine.other.id : null
+}
+"#,
+        );
+        assert!(
+            !d.items.iter().any(|x| x.code == "VAL302"),
+            "folds to null, no password: {d}"
+        );
+    }
+
+    #[test]
+    fn password_expression_folding_to_value_is_error() {
+        let d = diags(
+            r#"
+resource "azure_virtual_machine" "other" {
+  name     = "other"
+  location = "eastus"
+  nic_ids  = []
+}
+resource "azure_virtual_machine" "vm" {
+  name           = "vm"
+  location       = "eastus"
+  nic_ids        = []
+  admin_password = false ? azure_virtual_machine.other.id : "hunter2"
+}
+"#,
+        );
+        let f = d.items.iter().find(|x| x.code == "VAL302").expect("VAL302");
+        assert_eq!(f.severity, cloudless_hcl::Severity::Error);
+    }
+
+    #[test]
+    fn password_expression_truly_unknown_downgrades_to_warning() {
+        let d = diags(
+            r#"
+resource "azure_virtual_machine" "other" {
+  name     = "other"
+  location = "eastus"
+  nic_ids  = []
+}
+resource "azure_virtual_machine" "vm" {
+  name           = "vm"
+  location       = "eastus"
+  nic_ids        = []
+  admin_password = azure_virtual_machine.other.id
+}
+"#,
+        );
+        let f = d.items.iter().find(|x| x.code == "VAL302").expect("VAL302");
+        assert_eq!(
+            f.severity,
+            cloudless_hcl::Severity::Warning,
+            "unknowable at plan time must not be a hard error: {d}"
+        );
     }
 
     #[test]

@@ -1,0 +1,10 @@
+# A reusable network module (per provider conventions kept simple).
+# Used by multicloud.tf as `modules/network`; also linted standalone.
+
+variable "cidr" {}
+resource "aws_vpc" "main" { cidr_block = var.cidr }
+resource "aws_subnet" "app" {
+  vpc_id     = aws_vpc.main.id
+  cidr_block = cidrsubnet(var.cidr, 8, 1)
+}
+output "subnet" { value = "app" }

@@ -1,0 +1,37 @@
+# A small single-provider web stack: network, firewall, compute, storage.
+# Part of the lint-clean corpus — `cloudless lint` must report no findings.
+
+variable "env" { default = "prod" }
+
+locals {
+  vpc_cidr = "10.42.0.0/16"
+}
+
+resource "aws_vpc" "main" {
+  cidr_block = local.vpc_cidr
+  name       = "web-${var.env}"
+}
+
+resource "aws_subnet" "app" {
+  vpc_id     = aws_vpc.main.id
+  cidr_block = "10.42.1.0/24"
+}
+
+resource "aws_security_group" "edge" {
+  name   = "edge-${var.env}"
+  vpc_id = aws_vpc.main.id
+  ingress { port = 443 }
+  ingress { port = 80 }
+}
+
+resource "aws_virtual_machine" "web" {
+  name      = "web-${var.env}"
+  subnet_id = aws_subnet.app.id
+}
+
+resource "aws_s3_bucket" "assets" {
+  bucket = "web-assets-${var.env}"
+}
+
+output "web_id" { value = aws_virtual_machine.web.id }
+output "assets_arn" { value = aws_s3_bucket.assets.arn }

@@ -12,62 +12,9 @@ use cloudless::hcl::program::ModuleLibrary;
 use cloudless::{Cloudless, Config};
 
 /// A reusable network module (per provider conventions kept simple).
-const NETWORK_MODULE: &str = r#"
-variable "cidr" {}
-resource "aws_vpc" "main" { cidr_block = var.cidr }
-resource "aws_subnet" "app" {
-  vpc_id     = aws_vpc.main.id
-  cidr_block = cidrsubnet(var.cidr, 8, 1)
-}
-output "subnet" { value = "app" }
-"#;
+const NETWORK_MODULE: &str = include_str!("hcl/network_module.tf");
 
-const MULTI: &str = r#"
-# --- AWS leg: web fleet behind a load balancer, plus a VPN gateway ---
-module "net" {
-  source = "modules/network"
-  cidr   = "10.10.0.0/16"
-}
-resource "aws_virtual_machine" "web" {
-  count = 3
-  name  = "web-${count.index}"
-}
-resource "aws_load_balancer" "lb" {
-  name       = "web-lb"
-  target_ids = [aws_virtual_machine.web[0].id, aws_virtual_machine.web[1].id, aws_virtual_machine.web[2].id]
-}
-resource "aws_vpc" "edge" { cidr_block = "10.20.0.0/16" }
-resource "aws_vpn_gateway" "gw" {
-  vpc_id        = aws_vpc.edge.id
-  name          = "edge-gw"
-  capacity_mbps = 1000
-}
-
-# --- Azure leg: storage per environment via for_each ---
-resource "azure_resource_group" "rg" {
-  name     = "sky"
-  location = "westeurope"
-}
-resource "azure_storage_account" "store" {
-  for_each       = ["dev", "staging", "prod"]
-  name           = "sky${each.key}"
-  resource_group = azure_resource_group.rg.id
-  location       = "westeurope"
-}
-
-# --- GCP leg: batch workers ---
-resource "gcp_network" "batch" { name = "batch-net" }
-resource "gcp_subnetwork" "batch" {
-  name          = "batch-subnet"
-  network_id    = gcp_network.batch.id
-  ip_cidr_range = "10.30.0.0/20"
-}
-resource "gcp_compute_instance" "worker" {
-  count         = 4
-  name          = "worker-${count.index}"
-  subnetwork_id = gcp_subnetwork.batch.id
-}
-"#;
+const MULTI: &str = include_str!("hcl/multicloud.tf");
 
 fn run(strategy: Strategy) -> (cloudless::deploy::ApplyReport, usize) {
     let mut modules = ModuleLibrary::new();

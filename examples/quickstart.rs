@@ -13,25 +13,7 @@ use cloudless::cloud::CloudConfig;
 use cloudless::{Cloudless, Config};
 
 /// Figure 2 of the paper (with a concrete region pin via provider config).
-const FIGURE2: &str = r#"/* Simplified Terraform code snippet */
-
-data "aws_region" "current" {}
-
-variable "vmName" {
-  type    = string
-  default = "cloudless"
-}
-
-resource "aws_network_interface" "n1" {
-  name     = "example-nic"
-  location = data.aws_region.current.name
-}
-
-resource "aws_virtual_machine" "vm1" {
-  name    = var.vmName
-  nic_ids = [aws_network_interface.n1.id]
-}
-"#;
+const FIGURE2: &str = include_str!("hcl/quickstart.tf");
 
 fn main() {
     let mut engine = Cloudless::new(Config {

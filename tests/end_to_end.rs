@@ -205,9 +205,30 @@ resource "aws_s3_bucket" "clash" { bucket = "taken" }
 
 #[test]
 fn validation_error_never_reaches_cloud() {
+    // a foldable bad CIDR is refused even earlier, by the lint gate
     let mut e = engine();
     let err = e
         .converge(r#"resource "aws_vpc" "v" { cidr_block = "not-a-cidr" }"#)
+        .unwrap_err();
+    assert!(matches!(err, ConvergeError::Lint(_)));
+    assert_eq!(e.cloud().total_api_calls(), 0);
+
+    // a cross-resource defect the lint cannot see still stops at validation
+    let mut e = engine();
+    let err = e
+        .converge(
+            r#"
+resource "azure_network_interface" "nic" {
+  name     = "nic"
+  location = "westeurope"
+}
+resource "azure_virtual_machine" "vm" {
+  name     = "vm"
+  location = "eastus"
+  nic_ids  = [azure_network_interface.nic.id]
+}
+"#,
+        )
         .unwrap_err();
     assert!(matches!(err, ConvergeError::Validation(_)));
     assert_eq!(e.cloud().total_api_calls(), 0);
