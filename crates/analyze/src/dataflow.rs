@@ -10,7 +10,7 @@
 //!   definitions (including in dead code), duplicate definitions, module
 //!   inputs the child never declares;
 //! * **constant folding + intervals** — count/port/CIDR constraints checked
-//!   even when written as expressions ([`cloudless_hcl::fold`] resolves
+//!   even when written as expressions ([`cloudless_hcl::fold()`] resolves
 //!   what it can; a small interval analysis bounds what it can't);
 //! * **taint** — values of `sensitive = true` variables must not flow into
 //!   plain outputs or logged plaintext attributes.

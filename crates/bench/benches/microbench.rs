@@ -11,7 +11,7 @@ use cloudless::cloud::Catalog;
 use cloudless::deploy::resolver::DataResolver;
 use cloudless::deploy::{diff, incremental, Plan};
 use cloudless::graph::critical::CriticalPathAnalysis;
-use cloudless::graph::{Dag, ImpactScope, NodeId};
+use cloudless::graph::{Dag, DagBuilder, ImpactScope, NodeId};
 use cloudless::hcl::program::{expand, Manifest, ModuleLibrary, Program};
 use cloudless::state::{LockManager, LockScope, ResourceLockManager, Snapshot};
 use cloudless::validate::{validate, ValidationLevel};
@@ -60,13 +60,16 @@ fn bench_graph_algorithms(c: &mut Criterion) {
     let mut g = c.benchmark_group("graph");
     for n in [200usize, 2000] {
         // layered random DAG
-        let mut dag: Dag<u64> = Dag::new();
-        let ids: Vec<NodeId> = (0..n).map(|i| dag.add_node((i % 97) as u64 + 1)).collect();
+        let mut builder: DagBuilder<u64> = DagBuilder::with_capacity(n);
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| builder.add_node((i % 97) as u64 + 1))
+            .collect();
         for i in 1..n {
             for d in 1..=3.min(i) {
-                let _ = dag.add_edge(ids[i - d], ids[i]);
+                let _ = builder.add_edge(ids[i - d], ids[i]);
             }
         }
+        let dag: Dag<u64> = builder.seal().unwrap();
         g.bench_with_input(BenchmarkId::new("critical_path", n), &dag, |b, dag| {
             b.iter(|| CriticalPathAnalysis::compute(dag, |_, &w| w).unwrap());
         });

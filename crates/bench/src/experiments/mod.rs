@@ -6,6 +6,7 @@ pub mod e10_synth;
 pub mod e11_resilience;
 pub mod e12_obs;
 pub mod e13_analyze;
+pub mod e14_scale;
 pub mod e1_deploy;
 pub mod e2_incremental;
 pub mod e3_locks;
@@ -102,5 +103,8 @@ pub fn all() -> String {
     out.push_str(&e12_obs::run());
     out.push('\n');
     out.push_str(&e13_analyze::run());
+    // E14 (scale) is intentionally absent: it times host wall-clock and
+    // would make the snapshot machine-dependent. See the `exp_scale` binary
+    // and `scripts/check_bench.sh`.
     out
 }

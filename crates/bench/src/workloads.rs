@@ -137,7 +137,8 @@ resource "aws_vpn_gateway" "corp" {{
 /// earlier ones, types drawn with heterogeneous latencies.
 pub fn random_dag(n: usize, seed: u64) -> String {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = String::from("resource \"aws_vpc\" \"r0\" { cidr_block = \"10.0.0.0/8\" }\n");
+    let mut out = String::with_capacity(n.saturating_mul(110));
+    out.push_str("resource \"aws_vpc\" \"r0\" { cidr_block = \"10.0.0.0/8\" }\n");
     let types = [
         ("aws_s3_bucket", "bucket"),
         ("aws_security_group", "name"),
@@ -170,6 +171,70 @@ pub fn random_dag(n: usize, seed: u64) -> String {
         );
     }
     out
+}
+
+/// A layered random DAG built for the scale experiments (E14): `n`
+/// resources in layers of width `max(8, n/64)`, each node depending on 1–3
+/// random nodes of the *previous* layer. Generation is strictly O(n) in
+/// time and output size, so 100k-resource programs are cheap to produce;
+/// the layering gives the scheduler real parallelism at every depth.
+pub fn random_layered(n: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let width = (n / 64).max(8);
+    let types = [
+        ("aws_s3_bucket", "bucket"),
+        ("aws_security_group", "name"),
+        ("aws_network_interface", "name"),
+        ("aws_virtual_machine", "name"),
+        ("aws_db_instance", "name"),
+    ];
+    let mut out = String::with_capacity(n.saturating_mul(140));
+    let mut type_of: Vec<&'static str> = Vec::with_capacity(n);
+    for i in 0..n {
+        let layer = i / width;
+        let (rtype, name_attr) = types[rng.gen_range(0..types.len())];
+        type_of.push(rtype);
+        let extra = if rtype == "aws_db_instance" {
+            "\n  engine = \"postgres\""
+        } else {
+            ""
+        };
+        let _ = write!(
+            out,
+            "resource \"{rtype}\" \"r{i}\" {{\n  {name_attr} = \"r-{i}\"{extra}"
+        );
+        if layer > 0 {
+            // depend on 1–3 distinct-ish nodes of the previous layer
+            let prev_start = (layer - 1) * width;
+            let prev_end = layer * width;
+            let deps = rng.gen_range(1..=3);
+            let mut dep_list: Vec<String> = (0..deps)
+                .map(|_| {
+                    let d = rng.gen_range(prev_start..prev_end.min(i));
+                    format!("{}.r{d}", type_of[d])
+                })
+                .collect();
+            dep_list.sort();
+            dep_list.dedup();
+            let _ = write!(out, "\n  depends_on = [{}]", dep_list.join(", "));
+        }
+        out.push_str("\n}\n");
+    }
+    out
+}
+
+/// Named workloads shared by the scale experiment, the CI bench check, and
+/// the regression tests. `random-200` is the historical
+/// [`random_dag`]-based topology used by E1/E11/E12; the larger sizes use
+/// the O(n) [`random_layered`] generator.
+pub fn named(name: &str) -> Option<String> {
+    Some(match name {
+        "random-200" => random_dag(200, crate::SEED),
+        "random-1k" => random_layered(1_000, crate::SEED),
+        "random-10k" => random_layered(10_000, crate::SEED),
+        "random-100k" => random_layered(100_000, crate::SEED),
+        _ => return None,
+    })
 }
 
 /// A ClickOps-style flat fleet for porting experiments: `groups` replica
@@ -260,5 +325,21 @@ mod tests {
     fn random_dag_is_deterministic() {
         assert_eq!(random_dag(30, 1), random_dag(30, 1));
         assert_ne!(random_dag(30, 1), random_dag(30, 2));
+    }
+
+    #[test]
+    fn layered_generator_is_valid_and_deterministic() {
+        assert_eq!(expands(&random_layered(300, 7)), 300);
+        assert_eq!(random_layered(300, 7), random_layered(300, 7));
+        assert_ne!(random_layered(300, 7), random_layered(300, 8));
+    }
+
+    #[test]
+    fn named_registry_resolves_scale_workloads() {
+        assert_eq!(expands(&named("random-200").unwrap()), 200);
+        assert!(named("random-1k").is_some());
+        assert!(named("random-10k").is_some());
+        assert!(named("random-100k").is_some());
+        assert!(named("random-42").is_none());
     }
 }

@@ -15,7 +15,7 @@
 //! re-implements the same predicates as *compile-time* checks; experiment E6
 //! measures how many deployment failures that eliminates.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use cloudless_types::cidr::Cidr;
 use cloudless_types::{Attrs, Region, ResourceId, ResourceTypeName, Value};
@@ -37,6 +37,10 @@ pub struct PendingResource<'a> {
 pub struct StateView<'a> {
     pub records: &'a BTreeMap<ResourceId, ResourceRecord>,
     pub catalog: &'a Catalog,
+    /// Optional unique-name index (rtype → name value → live ids carrying
+    /// it). With it, the globally-unique-name check is a map probe; without
+    /// it, the check scans `records` — O(state) per create.
+    pub names: Option<&'a HashMap<String, HashMap<String, BTreeSet<ResourceId>>>>,
 }
 
 impl<'a> StateView<'a> {
@@ -231,25 +235,38 @@ fn check_ports(p: &PendingResource<'_>) -> Option<CloudError> {
     None
 }
 
+/// The unique-name attribute and conflict error code of a
+/// globally-unique-name type (buckets, storage accounts), if any. Shared
+/// with the engine's incremental name index.
+pub fn unique_name_attr(rtype: &str) -> Option<(&'static str, &'static str)> {
+    match rtype {
+        "aws_s3_bucket" => Some(("bucket", "BucketAlreadyExists")),
+        "azure_storage_account" => Some(("name", "StorageAccountAlreadyTaken")),
+        "gcp_storage_bucket" => Some(("name", "BucketNameUnavailable")),
+        _ => None,
+    }
+}
+
 /// Globally-unique-name types (buckets, storage accounts).
 fn check_unique_name(p: &PendingResource<'_>, s: &StateView<'_>) -> Option<CloudError> {
-    let (name_attr, code) = match p.rtype.as_str() {
-        "aws_s3_bucket" => ("bucket", "BucketAlreadyExists"),
-        "azure_storage_account" => ("name", "StorageAccountAlreadyTaken"),
-        "gcp_storage_bucket" => ("name", "BucketNameUnavailable"),
-        _ => return None,
-    };
+    let (name_attr, code) = unique_name_attr(p.rtype.as_str())?;
     let name = p.attrs.get(name_attr)?.as_str()?;
-    for rec in s.records.values() {
-        if &rec.rtype == p.rtype
-            && Some(&rec.id) != p.id
-            && rec.attrs.get(name_attr).and_then(Value::as_str) == Some(name)
-        {
-            return Some(CloudError::constraint(
-                code,
-                format!("the requested name '{name}' is not available"),
-            ));
-        }
+    let taken = match s.names {
+        Some(idx) => idx
+            .get(p.rtype.as_str())
+            .and_then(|by_name| by_name.get(name))
+            .is_some_and(|ids| ids.iter().any(|id| Some(id) != p.id)),
+        None => s.records.values().any(|rec| {
+            &rec.rtype == p.rtype
+                && Some(&rec.id) != p.id
+                && rec.attrs.get(name_attr).and_then(Value::as_str) == Some(name)
+        }),
+    };
+    if taken {
+        return Some(CloudError::constraint(
+            code,
+            format!("the requested name '{name}' is not available"),
+        ));
     }
     None
 }
@@ -294,6 +311,7 @@ mod tests {
             &StateView {
                 records: &records,
                 catalog: &catalog,
+                names: None,
             },
         )
     }

@@ -11,7 +11,7 @@
 //! Everything is deterministic under the construction seed.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use cloudless_obs::{Event, NullRecorder, Recorder};
@@ -103,6 +103,80 @@ impl CloudConfig {
     }
 }
 
+/// Incremental indexes over the live records, so per-create admission
+/// checks are map probes instead of full-state scans (quota counting and
+/// unique-name enforcement both fire on every create — scanning makes an
+/// apply quadratic in the deployment size).
+#[derive(Debug, Default)]
+struct LiveIndex {
+    /// rtype → region → live count, for quota admission.
+    counts: HashMap<ResourceTypeName, HashMap<Region, u32>>,
+    /// rtype → unique-name value → ids carrying it. Only populated for the
+    /// globally-unique-name types (see [`constraints::unique_name_attr`]).
+    names: HashMap<String, HashMap<String, BTreeSet<ResourceId>>>,
+}
+
+impl LiveIndex {
+    fn build(records: &BTreeMap<ResourceId, ResourceRecord>) -> Self {
+        let mut idx = LiveIndex::default();
+        for rec in records.values() {
+            idx.insert(rec);
+        }
+        idx
+    }
+
+    fn insert(&mut self, rec: &ResourceRecord) {
+        *self
+            .counts
+            .entry(rec.rtype.clone())
+            .or_default()
+            .entry(rec.region.clone())
+            .or_insert(0) += 1;
+        if let Some(name) = Self::unique_name(rec) {
+            self.names
+                .entry(rec.rtype.as_str().to_owned())
+                .or_default()
+                .entry(name.to_owned())
+                .or_default()
+                .insert(rec.id.clone());
+        }
+    }
+
+    fn remove(&mut self, rec: &ResourceRecord) {
+        if let Some(c) = self
+            .counts
+            .get_mut(&rec.rtype)
+            .and_then(|by_region| by_region.get_mut(&rec.region))
+        {
+            *c = c.saturating_sub(1);
+        }
+        if let Some(name) = Self::unique_name(rec) {
+            if let Some(by_name) = self.names.get_mut(rec.rtype.as_str()) {
+                if let Some(ids) = by_name.get_mut(name) {
+                    ids.remove(&rec.id);
+                    if ids.is_empty() {
+                        by_name.remove(name);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Live instances of `rtype` in `region`.
+    fn count(&self, rtype: &ResourceTypeName, region: &Region) -> u32 {
+        self.counts
+            .get(rtype)
+            .and_then(|by_region| by_region.get(region))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn unique_name(rec: &ResourceRecord) -> Option<&str> {
+        let (attr, _) = constraints::unique_name_attr(rec.rtype.as_str())?;
+        rec.attrs.get(attr)?.as_str()
+    }
+}
+
 /// An operation in flight.
 #[derive(Debug, Clone)]
 struct Pending {
@@ -133,6 +207,8 @@ pub struct Cloud {
     config: CloudConfig,
     now: SimTime,
     records: BTreeMap<ResourceId, ResourceRecord>,
+    /// Kept in sync with `records` by every mutation path.
+    live: LiveIndex,
     buckets: BTreeMap<Provider, TokenBucket>,
     queue: BinaryHeap<Reverse<(SimTime, OpId)>>,
     pending: BTreeMap<OpId, Pending>,
@@ -162,6 +238,7 @@ impl Cloud {
             config,
             now: SimTime::ZERO,
             records: BTreeMap::new(),
+            live: LiveIndex::default(),
             buckets,
             queue: BinaryHeap::new(),
             pending: BTreeMap::new(),
@@ -280,8 +357,81 @@ impl Cloud {
     /// API front door); everything else completes asynchronously via
     /// [`Cloud::step`].
     pub fn submit(&mut self, request: ApiRequest) -> Result<OpId, ApiError> {
+        let provider = self.validate_front_door(&request)?;
+        let verb = request.op.verb();
+        let (op_id, queue_wait, duration) = self.schedule_op(request, provider);
+        self.obs.counter("cloud.ops_submitted", 1);
+        if queue_wait > SimDuration::ZERO {
+            self.obs.counter("cloud.ops_throttled", 1);
+        }
+        self.obs
+            .observe("cloud.queue_wait_ms", queue_wait.millis() as f64);
+        if self.obs.enabled() {
+            self.obs.record(
+                Event::instant("cloud", "submit", self.now)
+                    .field("op_id", op_id.0)
+                    .field("op", verb)
+                    .field("provider", provider.prefix())
+                    .field("queue_wait_ms", queue_wait.millis())
+                    .field("duration_ms", duration.millis()),
+            );
+        }
+        Ok(op_id)
+    }
+
+    /// Submit a batch of operations collected in one scheduler tick.
+    ///
+    /// Per-op semantics are identical to calling [`Cloud::submit`] on each
+    /// request in order — same admission order, same RNG draw order, so the
+    /// simulated outcomes are byte-for-byte those of sequential submission.
+    /// The batch amortizes the per-call bookkeeping (counter updates are
+    /// coalesced into one delta per counter), which is what the deploy
+    /// executor wants when it releases a whole wave of ready nodes at once.
+    pub fn submit_batch(&mut self, requests: Vec<ApiRequest>) -> Vec<Result<OpId, ApiError>> {
+        let mut out = Vec::with_capacity(requests.len());
+        let mut submitted = 0u64;
+        let mut throttled = 0u64;
+        let record = self.obs.enabled();
+        for request in requests {
+            match self.validate_front_door(&request) {
+                Err(e) => out.push(Err(e)),
+                Ok(provider) => {
+                    let verb = request.op.verb();
+                    let (op_id, queue_wait, duration) = self.schedule_op(request, provider);
+                    submitted += 1;
+                    if queue_wait > SimDuration::ZERO {
+                        throttled += 1;
+                    }
+                    self.obs
+                        .observe("cloud.queue_wait_ms", queue_wait.millis() as f64);
+                    if record {
+                        self.obs.record(
+                            Event::instant("cloud", "submit", self.now)
+                                .field("op_id", op_id.0)
+                                .field("op", verb)
+                                .field("provider", provider.prefix())
+                                .field("queue_wait_ms", queue_wait.millis())
+                                .field("duration_ms", duration.millis()),
+                        );
+                    }
+                    out.push(Ok(op_id));
+                }
+            }
+        }
+        if submitted > 0 {
+            self.obs.counter("cloud.ops_submitted", submitted);
+        }
+        if throttled > 0 {
+            self.obs.counter("cloud.ops_throttled", throttled);
+        }
+        out
+    }
+
+    /// Synchronous front-door checks: schema validation for creates and
+    /// updates, existence for id-addressed ops. Returns the provider that
+    /// will serve the op.
+    fn validate_front_door(&self, request: &ApiRequest) -> Result<Provider, ApiError> {
         let provider = self.op_provider(&request.op)?;
-        // Front-door validation for creates/updates.
         match &request.op {
             ApiOp::Create {
                 rtype,
@@ -315,7 +465,17 @@ impl Cloud {
             }
             ApiOp::Delete { .. } | ApiOp::Read { .. } | ApiOp::List { .. } => {}
         }
+        Ok(provider)
+    }
 
+    /// Admit a validated op through the rate limiter, roll its latency and
+    /// fault, and enqueue its completion. Returns `(op, queue_wait,
+    /// duration)`; the caller emits telemetry.
+    fn schedule_op(
+        &mut self,
+        request: ApiRequest,
+        provider: Provider,
+    ) -> (OpId, SimDuration, SimDuration) {
         // Rate limiting delays the start; latency model sets the duration.
         let bucket = self.buckets.get_mut(&provider).expect("all providers");
         let start = bucket.admit(self.now);
@@ -340,24 +500,7 @@ impl Cloud {
 
         let op_id = OpId(self.next_op);
         self.next_op += 1;
-
-        self.obs.counter("cloud.ops_submitted", 1);
         let queue_wait = start.since(self.now);
-        if queue_wait > SimDuration::ZERO {
-            self.obs.counter("cloud.ops_throttled", 1);
-        }
-        self.obs
-            .observe("cloud.queue_wait_ms", queue_wait.millis() as f64);
-        if self.obs.enabled() {
-            self.obs.record(
-                Event::instant("cloud", "submit", self.now)
-                    .field("op_id", op_id.0)
-                    .field("op", request.op.verb())
-                    .field("provider", provider.prefix())
-                    .field("queue_wait_ms", queue_wait.millis())
-                    .field("duration_ms", duration.millis()),
-            );
-        }
 
         self.queue.push(Reverse((completes_at, op_id)));
         self.pending.insert(
@@ -370,7 +513,7 @@ impl Cloud {
                 fault,
             },
         );
-        Ok(op_id)
+        (op_id, queue_wait, duration)
     }
 
     fn op_provider(&self, op: &ApiOp) -> Result<Provider, ApiError> {
@@ -581,11 +724,7 @@ impl Cloud {
             .copied()
             .or_else(|| self.config.catalog.get(rtype).map(|s| s.default_quota))
             .unwrap_or(u32::MAX);
-        let live = self
-            .records
-            .values()
-            .filter(|r| &r.rtype == rtype && &r.region == region)
-            .count() as u32;
+        let live = self.live.count(rtype, region);
         if live >= quota {
             self.log_failure(p);
             return OpOutcome::Failed(CloudError::constraint(
@@ -599,6 +738,7 @@ impl Cloud {
         let view = StateView {
             records: &self.records,
             catalog: &self.config.catalog,
+            names: Some(&self.live.names),
         };
         let pending_res = PendingResource {
             rtype,
@@ -623,6 +763,7 @@ impl Cloud {
             created_at: self.now,
             updated_at: self.now,
         };
+        self.live.insert(&record);
         self.records.insert(id.clone(), record);
         self.log.append(
             self.now,
@@ -677,6 +818,7 @@ impl Cloud {
         let view = StateView {
             records: &self.records,
             catalog: &self.config.catalog,
+            names: Some(&self.live.names),
         };
         let pending_res = PendingResource {
             rtype: &existing.rtype,
@@ -692,6 +834,11 @@ impl Cloud {
         rec.attrs = merged.clone();
         rec.updated_at = self.now;
         let (rtype, region) = (rec.rtype.clone(), rec.region.clone());
+        // re-index: the update may have changed a unique-name attribute
+        // (counts are unaffected — type and region are immutable)
+        let updated = rec.clone();
+        self.live.remove(&existing);
+        self.live.insert(&updated);
         self.log.append(
             self.now,
             ActivityKind::Updated,
@@ -710,6 +857,7 @@ impl Cloud {
     fn exec_delete(&mut self, p: &Pending, id: &ResourceId) -> OpOutcome {
         match self.records.remove(id) {
             Some(rec) => {
+                self.live.remove(&rec);
                 self.log.append(
                     self.now,
                     ActivityKind::Deleted,
@@ -822,6 +970,7 @@ impl Cloud {
         let view = StateView {
             records: &self.records,
             catalog: &self.config.catalog,
+            names: Some(&self.live.names),
         };
         if let Some(err) = constraints::check(
             &PendingResource {
@@ -837,17 +986,16 @@ impl Cloud {
         let id = self.mint_id(&rtype);
         let mut full = attrs;
         self.fill_computed(&rtype, &region, &id, &mut full);
-        self.records.insert(
-            id.clone(),
-            ResourceRecord {
-                id: id.clone(),
-                rtype: rtype.clone(),
-                region: region.clone(),
-                attrs: full,
-                created_at: self.now,
-                updated_at: self.now,
-            },
-        );
+        let record = ResourceRecord {
+            id: id.clone(),
+            rtype: rtype.clone(),
+            region: region.clone(),
+            attrs: full,
+            created_at: self.now,
+            updated_at: self.now,
+        };
+        self.live.insert(&record);
+        self.records.insert(id.clone(), record);
         self.log.append(
             self.now,
             ActivityKind::Created,
@@ -873,6 +1021,7 @@ impl Cloud {
                 format!("the resource '{id}' was not found"),
             ));
         };
+        let before = rec.clone();
         let mut changed = Vec::new();
         for (k, v) in attrs {
             if rec.attrs.get(&k) != Some(&v) {
@@ -882,6 +1031,9 @@ impl Cloud {
         }
         rec.updated_at = self.now;
         let (rtype, region) = (rec.rtype.clone(), rec.region.clone());
+        let after = rec.clone();
+        self.live.remove(&before);
+        self.live.insert(&after);
         self.log.append(
             self.now,
             ActivityKind::Updated,
@@ -902,6 +1054,7 @@ impl Cloud {
     ) -> Result<(), CloudError> {
         match self.records.remove(id) {
             Some(rec) => {
+                self.live.remove(&rec);
                 self.log.append(
                     self.now,
                     ActivityKind::Deleted,
@@ -937,6 +1090,7 @@ impl Cloud {
             }
         }
         self.records = records;
+        self.live = LiveIndex::build(&self.records);
     }
 
     /// Export live records (CLI session persistence).
@@ -1002,6 +1156,64 @@ mod tests {
         }
         // create took exactly the schema latency
         assert_eq!(c.now().millis(), 15_000);
+    }
+
+    #[test]
+    fn submit_batch_is_equivalent_to_sequential_submits() {
+        // Same seed, jittered latencies, so RNG draw order is observable:
+        // the batch path must consume the RNG exactly as sequential submits
+        // would, and produce identical ops and completion times.
+        let config = CloudConfig::default();
+        let mut seq = Cloud::new(config.clone(), 99);
+        let mut bat = Cloud::new(config, 99);
+        let reqs = || {
+            vec![
+                create_req(
+                    "aws_vpc",
+                    "us-east-1",
+                    attrs([("cidr_block", Value::from("10.0.0.0/16"))]),
+                ),
+                create_req("aws_quantum_computer", "us-east-1", Attrs::new()),
+                create_req(
+                    "aws_s3_bucket",
+                    "us-east-1",
+                    attrs([("bucket", Value::from("b"))]),
+                ),
+                create_req(
+                    "gcp_storage_bucket",
+                    "us-central1",
+                    attrs([("name", Value::from("g"))]),
+                ),
+            ]
+        };
+        let seq_results: Vec<Result<OpId, ApiError>> =
+            reqs().into_iter().map(|r| seq.submit(r)).collect();
+        let bat_results = bat.submit_batch(reqs());
+        assert_eq!(seq_results.len(), bat_results.len());
+        for (a, b) in seq_results.iter().zip(&bat_results) {
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y),
+                (Err(x), Err(y)) => assert_eq!(format!("{x:?}"), format!("{y:?}")),
+                other => panic!("divergent results {other:?}"),
+            }
+        }
+        // settle both and compare completion streams
+        loop {
+            match (seq.step(), bat.step()) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.op_id, y.op_id);
+                    assert_eq!(x.at, y.at);
+                    assert_eq!(
+                        matches!(x.outcome, OpOutcome::Failed(_)),
+                        matches!(y.outcome, OpOutcome::Failed(_))
+                    );
+                }
+                other => panic!("divergent completion streams {other:?}"),
+            }
+        }
+        assert_eq!(seq.now(), bat.now());
+        assert_eq!(seq.records().len(), bat.records().len());
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! the `force_new` analysis that decides between in-place update and
 //! destroy-and-recreate.
 
-use std::collections::BTreeMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use cloudless_cloud::Catalog;
 use cloudless_hcl::eval::Resolver;
@@ -54,8 +55,10 @@ impl Action {
 pub struct PlannedChange {
     pub addr: ResourceAddr,
     pub action: Action,
-    /// The desired instance (absent for deletes).
-    pub desired: Option<ResourceInstance>,
+    /// The desired instance (absent for deletes). Shared with the manifest:
+    /// cloning a change bumps a refcount instead of deep-copying the
+    /// instance's attribute and expression trees.
+    pub desired: Option<Arc<ResourceInstance>>,
     /// Attributes resolvable at plan time (desired view).
     pub planned_attrs: Attrs,
     /// Names of desired attributes whose value is unknown until apply.
@@ -72,10 +75,19 @@ pub fn diff(
     catalog: &Catalog,
     data: &dyn Resolver,
 ) -> Vec<PlannedChange> {
-    let mut changes = Vec::new();
+    // Changes are produced in dependency order but reported in declaration
+    // order; writing each into its declaration slot restores the order in
+    // O(n) with no sort.
+    let mut slots: Vec<Option<PlannedChange>> = Vec::new();
+    slots.resize_with(manifest.instances.len(), || None);
     // Instances whose own action is Create/Replace: their computed attrs are
     // unknown, so dependents referencing them cannot finalize at plan time.
-    let mut dirty: BTreeMap<String, bool> = BTreeMap::new();
+    // Keyed by block (`rtype`, `name`) borrowed from the manifest so neither
+    // insert nor lookup allocates.
+    let mut dirty: HashMap<(&str, &str), bool> = HashMap::with_capacity(manifest.instances.len());
+    // Prior state is immutable for the whole diff: index it once so each
+    // deferred-attribute resolution costs O(block) instead of O(state).
+    let block_index = cloudless_state::BlockIndex::build(state);
 
     // Visit instances in dependency order (Kahn over `depends_on`) so a
     // dependency's dirtiness is decided before its dependents are diffed.
@@ -88,7 +100,8 @@ pub fn diff(
         let prior = state.get(&inst.addr);
         let resolver = StateResolver::new(state)
             .in_module(&inst.addr.module_path)
-            .with_data(data);
+            .with_data(data)
+            .with_index(&block_index);
         // Try to finalize deferred attributes against *prior* state; if the
         // referenced block is dirty or unknown, the attr stays unknown.
         let mut planned = inst.attrs.clone();
@@ -98,7 +111,7 @@ pub fn diff(
             let dep_dirty = d.waiting_on.iter().any(|r| {
                 r.parts.len() >= 2
                     && dirty
-                        .get(&format!("{}.{}", r.parts[0], r.parts[1]))
+                        .get(&(r.parts[0].as_str(), r.parts[1].as_str()))
                         .copied()
                         .unwrap_or(true)
             });
@@ -153,33 +166,25 @@ pub fn diff(
             }
         };
         let is_dirty = matches!(action, Action::Create | Action::Replace { .. });
-        dirty.insert(inst.addr.block_id(), is_dirty);
-        changes.push(PlannedChange {
+        dirty.insert(
+            (inst.addr.rtype.as_str(), inst.addr.name.as_str()),
+            is_dirty,
+        );
+        slots[idx] = Some(PlannedChange {
             addr: inst.addr.clone(),
             action,
-            desired: Some(inst.clone()),
+            desired: Some(Arc::clone(inst)),
             planned_attrs: planned,
             unknown_attrs: unknown,
         });
     }
-
-    // Restore declaration order for stable output.
-    changes.sort_by_key(|c| {
-        manifest
-            .instances
-            .iter()
-            .position(|i| i.addr == c.addr)
-            .unwrap_or(usize::MAX)
-    });
+    let mut changes: Vec<PlannedChange> = slots.into_iter().flatten().collect();
 
     // Deletions: in state but not desired.
-    let desired_addrs: std::collections::BTreeSet<String> = manifest
-        .instances
-        .iter()
-        .map(|i| i.addr.to_string())
-        .collect();
-    for (key, r) in &state.resources {
-        if !desired_addrs.contains(key) {
+    let desired_addrs: HashSet<&ResourceAddr> =
+        manifest.instances.iter().map(|i| &i.addr).collect();
+    for r in state.resources.values() {
+        if !desired_addrs.contains(&r.addr) {
             changes.push(PlannedChange {
                 addr: r.addr.clone(),
                 action: Action::Delete,
@@ -196,17 +201,17 @@ pub fn diff(
 /// `manifest.instances`; unresolved leftovers (cycles) appended last.
 fn dependency_order(manifest: &Manifest) -> Vec<usize> {
     let n = manifest.instances.len();
-    let index_of: BTreeMap<String, usize> = manifest
+    let index_of: HashMap<&ResourceAddr, usize> = manifest
         .instances
         .iter()
         .enumerate()
-        .map(|(i, inst)| (inst.addr.to_string(), i))
+        .map(|(i, inst)| (&inst.addr, i))
         .collect();
     let mut in_deg = vec![0usize; n];
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (i, inst) in manifest.instances.iter().enumerate() {
         for dep in &inst.depends_on {
-            if let Some(&d) = index_of.get(&dep.to_string()) {
+            if let Some(&d) = index_of.get(dep) {
                 in_deg[i] += 1;
                 dependents[d].push(i);
             }
@@ -271,6 +276,8 @@ pub fn render(changes: &[PlannedChange]) -> String {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::BTreeMap;
+
     use super::*;
     use crate::resolver::DataResolver;
     use cloudless_hcl::program::{expand, ModuleLibrary, Program};

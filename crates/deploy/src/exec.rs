@@ -29,7 +29,8 @@
 //! retries, per-provider circuit breakers, and checkpoint/resume of
 //! partially-failed applies via [`Executor::resume`].
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::sync::Arc;
 
 use cloudless_cloud::{ApiOp, ApiRequest, Cloud, CloudError, OpId, OpOutcome};
@@ -37,7 +38,7 @@ use cloudless_graph::critical::CriticalPathAnalysis;
 use cloudless_graph::NodeId;
 use cloudless_hcl::eval::{eval, Resolver};
 use cloudless_obs::{Event, NullRecorder, Recorder, SpanId};
-use cloudless_state::{DeployedResource, Snapshot};
+use cloudless_state::{BlockIndex, DeployedResource, Snapshot};
 use cloudless_types::{
     Attrs, Provider, Region, ResourceAddr, ResourceId, SimDuration, SimTime, Value,
 };
@@ -218,7 +219,10 @@ enum NodeState {
 /// Mutable machinery of one apply run.
 struct Run {
     states: Vec<NodeState>,
-    results: BTreeMap<String, NodeResult>,
+    /// Terminal result per node, indexed by `NodeId::index()`. `None` for
+    /// nodes that never reached a terminal state (apply abandoned early).
+    /// The string-keyed report map is built once at the end.
+    results: Vec<Option<NodeResult>>,
     op_to_node: BTreeMap<OpId, NodeId>,
     /// Cancel-by deadline of every in-flight op that has one.
     deadlines: BTreeMap<OpId, SimTime>,
@@ -236,6 +240,18 @@ struct Run {
     retries: u64,
     timeouts: u64,
     in_flight: usize,
+    /// Ready nodes as a min-heap on `(priority, node id)`. Popping yields
+    /// exactly the node the old O(V)-scan `pick_ready` chose, without the
+    /// scan. Entries can go stale (a queued node skipped by a failure
+    /// cascade); stale entries are discarded at pop time, and
+    /// `ready_count` tracks the live total.
+    ready: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    /// Number of nodes currently in `NodeState::Ready` (exact, unlike the
+    /// heap length).
+    ready_count: usize,
+    /// Static scheduling priority per node: `(0, 0)` for FIFO strategies,
+    /// `(slack, latest_start)` from CPM for critical-path strategies.
+    prio: Vec<(u64, u64)>,
     /// Observability: the apply-level span and one span per node, opened
     /// at first submission and closed at terminal state. `SpanId::NONE`
     /// when the recorder is disabled or the node never started.
@@ -243,12 +259,30 @@ struct Run {
     node_spans: Vec<SpanId>,
 }
 
-fn release_successors(plan: &Plan, states: &mut [NodeState], node: NodeId) {
+impl Run {
+    /// Enqueue a node that just became `Ready`.
+    fn push_ready(&mut self, id: NodeId) {
+        let (a, b) = self.prio[id.index()];
+        self.ready.push(Reverse((a, b, id.0)));
+        self.ready_count += 1;
+    }
+}
+
+/// Decrement dependents' wait counts; nodes reaching zero become `Ready`
+/// and are appended to `newly_ready` (the caller enqueues them, if the
+/// ready heap is live yet).
+fn release_successors(
+    plan: &Plan,
+    states: &mut [NodeState],
+    node: NodeId,
+    newly_ready: &mut Vec<NodeId>,
+) {
     for &succ in plan.graph.successors(node) {
         if let NodeState::Waiting { deps_left } = &mut states[succ.index()] {
             *deps_left -= 1;
             if *deps_left == 0 {
                 states[succ.index()] = NodeState::Ready;
+                newly_ready.push(succ);
             }
         }
     }
@@ -351,6 +385,29 @@ impl<'a> Executor<'a> {
     ) -> ApplyReport {
         let started_at = cloud.now();
         let n = plan.graph.len();
+
+        // Block-level index over the live state, kept in sync with every
+        // snapshot mutation below. Without it each deferred-reference
+        // finalization scans the whole snapshot — O(state) per node, i.e.
+        // quadratic over the apply.
+        let mut block_index = BlockIndex::build(state);
+
+        // CPM priorities for the critical-path strategies, flattened into
+        // one static key per node so the ready heap can order on it.
+        let priorities: Option<CriticalPathAnalysis> = match self.strategy {
+            Strategy::CriticalPath { .. } => {
+                CriticalPathAnalysis::compute(&plan.graph, |_, node| node.estimate.millis()).ok()
+            }
+            Strategy::CriticalPathUnweighted { .. } => {
+                CriticalPathAnalysis::compute(&plan.graph, |_, _| 1).ok()
+            }
+            _ => None,
+        };
+        let prio: Vec<(u64, u64)> = match &priorities {
+            Some(cpa) => plan.graph.node_ids().map(|id| cpa.priority(id)).collect(),
+            None => vec![(0, 0); n],
+        };
+
         let mut run = Run {
             states: plan
                 .graph
@@ -364,7 +421,7 @@ impl<'a> Executor<'a> {
                     }
                 })
                 .collect(),
-            results: BTreeMap::new(),
+            results: vec![None; n],
             op_to_node: BTreeMap::new(),
             deadlines: BTreeMap::new(),
             backoffs: BTreeSet::new(),
@@ -382,6 +439,9 @@ impl<'a> Executor<'a> {
             retries: 0,
             timeouts: 0,
             in_flight: 0,
+            ready: BinaryHeap::with_capacity(n.min(1024)),
+            ready_count: 0,
+            prio,
             apply_span: SpanId::NONE,
             node_spans: vec![SpanId::NONE; n],
         };
@@ -403,28 +463,25 @@ impl<'a> Executor<'a> {
             let done: Vec<NodeId> = plan
                 .graph
                 .node_ids()
-                .filter(|&id| completed.contains(&plan.graph.node(id).change.addr.to_string()))
+                .filter(|&id| completed.contains(plan.addr_str(id)))
                 .collect();
             for &id in &done {
                 run.states[id.index()] = NodeState::Done;
-                run.results
-                    .insert(plan.graph.node(id).change.addr.to_string(), NodeResult::Ok);
+                run.results[id.index()] = Some(NodeResult::Ok);
             }
+            let mut ignored = Vec::new();
             for &id in &done {
-                release_successors(plan, &mut run.states, id);
+                release_successors(plan, &mut run.states, id, &mut ignored);
             }
         }
 
-        // CPM priorities for the critical-path strategies.
-        let priorities: Option<CriticalPathAnalysis> = match self.strategy {
-            Strategy::CriticalPath { .. } => {
-                CriticalPathAnalysis::compute(&plan.graph, |_, node| node.estimate.millis()).ok()
+        // Seed the ready heap after resume marking so every live `Ready`
+        // node is enqueued exactly once.
+        for id in plan.graph.node_ids() {
+            if run.states[id.index()] == NodeState::Ready {
+                run.push_ready(id);
             }
-            Strategy::CriticalPathUnweighted { .. } => {
-                CriticalPathAnalysis::compute(&plan.graph, |_, _| 1).ok()
-            }
-            _ => None,
-        };
+        }
 
         let max_in_flight = self.strategy.max_in_flight();
 
@@ -450,7 +507,7 @@ impl<'a> Executor<'a> {
                     self.obs.record(
                         Event::instant("deploy", "deadline_cancel", now)
                             .parent(run.node_spans[node.index()])
-                            .field("addr", plan.graph.node(node).change.addr.to_string())
+                            .field("addr", plan.addr_str(node))
                             .field("op_id", op.0),
                     );
                 }
@@ -459,7 +516,7 @@ impl<'a> Executor<'a> {
                     "DeadlineExceeded",
                     format!(
                         "op for {} exceeded its deadline and was cancelled",
-                        plan.graph.node(node).change.addr
+                        plan.addr_str(node)
                     ),
                 );
                 self.handle_retryable(&mut run, plan, cloud, node, err, true);
@@ -474,17 +531,22 @@ impl<'a> Executor<'a> {
                     break;
                 }
                 run.backoffs.remove(&(t, node));
-                self.resubmit(&mut run, plan, cloud, state, node);
+                self.resubmit(&mut run, plan, cloud, state, &block_index, node);
             }
 
             // (2) Submit as many ready nodes as the strategy and the
-            // breakers allow.
+            // breakers allow. Selection stays sequential (breaker admission
+            // is order-sensitive, and `on_submit` fires at selection time,
+            // which is safe because submission never advances sim time) but
+            // the cloud round-trips are batched into one `submit_batch`
+            // call per tick.
+            let mut batch_nodes: Vec<NodeId> = Vec::new();
+            let mut batch_reqs: Vec<ApiRequest> = Vec::new();
             loop {
-                if run.in_flight >= max_in_flight {
+                if run.in_flight + batch_nodes.len() >= max_in_flight {
                     break;
                 }
-                let Some(next) = self.pick_ready(plan, &run, cloud.now(), priorities.as_ref())
-                else {
+                let Some(next) = self.pick_ready(plan, &mut run, cloud.now()) else {
                     break;
                 };
                 let node_ref = plan.graph.node(next);
@@ -511,12 +573,39 @@ impl<'a> Executor<'a> {
                 } else {
                     NodeState::InFlight
                 };
-                match self.submit_node(next, plan, cloud, state, cbd) {
-                    Ok(op) => self.note_submit(&mut run, plan, cloud, next, op),
-                    // front-door rejection or finalization failure
+                match self.build_request(next, plan, state, &block_index, cbd) {
+                    Ok(req) => {
+                        self.breaker_on_submit(&mut run, plan, next, cloud.now());
+                        batch_nodes.push(next);
+                        batch_reqs.push(req);
+                    }
+                    // finalization failure — never reached the cloud.
+                    // A dependent of `next` cannot already sit in the batch:
+                    // it is still Waiting, so the skip cascade never touches
+                    // a picked node.
                     Err(error) => {
                         let now = cloud.now();
                         self.fail_node(&mut run, plan, next, error, false, now)
+                    }
+                }
+            }
+            if !batch_nodes.is_empty() {
+                let outcomes = cloud.submit_batch(batch_reqs);
+                for (node, outcome) in batch_nodes.into_iter().zip(outcomes) {
+                    match outcome {
+                        Ok(op) => self.note_submitted(&mut run, plan, cloud, node, op),
+                        // front-door rejection
+                        Err(e) => {
+                            let now = cloud.now();
+                            self.fail_node(
+                                &mut run,
+                                plan,
+                                node,
+                                CloudError::constraint("ApiRejected", e.to_string()),
+                                false,
+                                now,
+                            );
+                        }
                     }
                 }
             }
@@ -527,7 +616,7 @@ impl<'a> Executor<'a> {
             let next_completion = cloud.next_completion_at();
             let next_deadline = run.deadlines.values().copied().min();
             let next_backoff = run.backoffs.iter().next().map(|&(t, _)| t);
-            let any_ready = run.states.iter().any(|s| matches!(s, NodeState::Ready));
+            let any_ready = run.ready_count > 0;
             let next_probe = if any_ready {
                 run.breakers
                     .values()
@@ -577,7 +666,7 @@ impl<'a> Executor<'a> {
                     // create-before-destroy: the create landed → record the
                     // new resource, then delete the old one by its saved id
                     NodeState::ReplacingCbdCreate => {
-                        self.record_success(node, plan, state, outcome, at);
+                        self.record_success(node, plan, state, &mut block_index, outcome, at);
                         match run.cbd_old.get(&node).cloned() {
                             // nothing to delete (state had no prior record)
                             None => self.complete_node(&mut run, plan, node, at),
@@ -609,15 +698,17 @@ impl<'a> Executor<'a> {
                     // delete half of a replace done → remove from state,
                     // submit the create half
                     NodeState::Replacing => {
-                        state.remove(&plan.graph.node(node).change.addr);
+                        let addr = &plan.graph.node(node).change.addr;
+                        state.remove(addr);
+                        block_index.remove(addr);
                         run.states[node.index()] = NodeState::InFlight;
-                        match self.submit_node(node, plan, cloud, state, true) {
+                        match self.submit_node(node, plan, cloud, state, &block_index, true) {
                             Ok(op) => self.note_submit(&mut run, plan, cloud, node, op),
                             Err(error) => self.fail_node(&mut run, plan, node, error, false, at),
                         }
                     }
                     _ => {
-                        self.record_success(node, plan, state, outcome, at);
+                        self.record_success(node, plan, state, &mut block_index, outcome, at);
                         self.complete_node(&mut run, plan, node, at);
                     }
                 },
@@ -642,18 +733,22 @@ impl<'a> Executor<'a> {
         let node_stats = plan
             .graph
             .node_ids()
-            .map(|id| {
-                (
-                    plan.graph.node(id).change.addr.to_string(),
-                    run.stats[id.index()],
-                )
+            .map(|id| (plan.addr_str(id).to_owned(), run.stats[id.index()]))
+            .collect();
+        let results: BTreeMap<String, NodeResult> = plan
+            .graph
+            .node_ids()
+            .filter_map(|id| {
+                run.results[id.index()]
+                    .take()
+                    .map(|r| (plan.addr_str(id).to_owned(), r))
             })
             .collect();
         ApplyReport {
             strategy: self.strategy.name(),
             started_at,
             finished_at: cloud.now(),
-            results: run.results,
+            results,
             ops_submitted: run.ops_submitted,
             retries: run.retries,
             timeouts: run.timeouts,
@@ -663,24 +758,43 @@ impl<'a> Executor<'a> {
     }
 
     /// Account for a just-submitted op: deadline registration, breaker
-    /// notification, and attempt counting.
+    /// notification, and attempt counting. Used by the single-op paths
+    /// (retries, replace phases); the batched submit loop notifies the
+    /// breaker at selection time and calls [`Executor::note_submitted`].
     fn note_submit(&self, run: &mut Run, plan: &Plan, cloud: &Cloud, node: NodeId, op: OpId) {
+        self.account_submit(run, plan, cloud, node, op);
+        self.breaker_on_submit(run, plan, node, cloud.now());
+        self.register_deadline(run, plan, cloud, node, op);
+    }
+
+    /// Batch-path counterpart of [`Executor::note_submit`]: the breaker's
+    /// `on_submit` already ran when the node was picked.
+    fn note_submitted(&self, run: &mut Run, plan: &Plan, cloud: &Cloud, node: NodeId, op: OpId) {
+        self.account_submit(run, plan, cloud, node, op);
+        self.register_deadline(run, plan, cloud, node, op);
+    }
+
+    fn account_submit(&self, run: &mut Run, plan: &Plan, cloud: &Cloud, node: NodeId, op: OpId) {
         run.ops_submitted += 1;
         run.stats[node.index()].attempts += 1;
         run.op_to_node.insert(op, node);
         run.in_flight += 1;
-        let now = cloud.now();
         if self.obs.enabled() && run.node_spans[node.index()].is_none() {
             // First submission opens the node's lifecycle span.
             let span = self.obs.next_span();
             run.node_spans[node.index()] = span;
             self.obs.record(
-                Event::enter("deploy", "node", now)
+                Event::enter("deploy", "node", cloud.now())
                     .span(span)
                     .parent(run.apply_span)
-                    .field("addr", plan.graph.node(node).change.addr.to_string()),
+                    .field("addr", plan.addr_str(node)),
             );
         }
+    }
+
+    /// Notify the node's provider breaker of a submission, emitting a
+    /// transition event if its state changed.
+    fn breaker_on_submit(&self, run: &mut Run, plan: &Plan, node: NodeId, now: SimTime) {
         if let Some(b) = self.node_breaker(run, plan, node) {
             let before = b.state().label();
             b.on_submit(now);
@@ -689,6 +803,9 @@ impl<'a> Executor<'a> {
                 self.emit_breaker_transition(plan, node, now, before, after);
             }
         }
+    }
+
+    fn register_deadline(&self, run: &mut Run, plan: &Plan, cloud: &Cloud, node: NodeId, op: OpId) {
         if let Some(allowance) = self
             .resilience
             .deadline
@@ -697,7 +814,7 @@ impl<'a> Executor<'a> {
             // The deadline clock starts when the provider admits the op,
             // not at submission: queueing behind the rate limiter is
             // throttling, not hanging.
-            let start = cloud.op_started_at(op).unwrap_or(now);
+            let start = cloud.op_started_at(op).unwrap_or(cloud.now());
             run.deadlines.insert(op, start + allowance);
         }
     }
@@ -709,6 +826,7 @@ impl<'a> Executor<'a> {
         plan: &Plan,
         cloud: &mut Cloud,
         state: &mut Snapshot,
+        idx: &BlockIndex,
         node: NodeId,
     ) {
         let submitted = match run.states[node.index()] {
@@ -732,7 +850,7 @@ impl<'a> Executor<'a> {
                 // delete half.
                 let create_phase =
                     matches!(st, NodeState::InFlight | NodeState::ReplacingCbdCreate);
-                self.submit_node(node, plan, cloud, state, create_phase)
+                self.submit_node(node, plan, cloud, state, idx, create_phase)
             }
         };
         match submitted {
@@ -795,7 +913,7 @@ impl<'a> Executor<'a> {
             self.obs.record(
                 Event::instant("deploy", "backoff", cloud.now())
                     .parent(run.node_spans[node.index()])
-                    .field("addr", plan.graph.node(node).change.addr.to_string())
+                    .field("addr", plan.addr_str(node))
                     .field("delay_ms", delay.millis())
                     .field("timed_out", timed_out),
             );
@@ -816,15 +934,18 @@ impl<'a> Executor<'a> {
         run.states[node.index()] = NodeState::Failed;
         self.obs.counter("deploy.nodes_failed", 1);
         self.close_node_span(run, node, at, false);
-        run.results.insert(
-            plan.graph.node(node).change.addr.to_string(),
-            NodeResult::Failed {
-                error,
-                retries: run.stats[node.index()].retries,
-                timed_out,
-            },
+        run.results[node.index()] = Some(NodeResult::Failed {
+            error,
+            retries: run.stats[node.index()].retries,
+            timed_out,
+        });
+        Self::cascade_skip(
+            node,
+            plan,
+            &mut run.states,
+            &mut run.results,
+            &mut run.ready_count,
         );
-        Self::cascade_skip(node, plan, &mut run.states, &mut run.results);
     }
 
     /// Successful terminal state: record it and release dependents.
@@ -832,11 +953,12 @@ impl<'a> Executor<'a> {
         run.states[node.index()] = NodeState::Done;
         self.obs.counter("deploy.nodes_ok", 1);
         self.close_node_span(run, node, at, true);
-        run.results.insert(
-            plan.graph.node(node).change.addr.to_string(),
-            NodeResult::Ok,
-        );
-        release_successors(plan, &mut run.states, node);
+        run.results[node.index()] = Some(NodeResult::Ok);
+        let mut newly_ready = Vec::new();
+        release_successors(plan, &mut run.states, node, &mut newly_ready);
+        for id in newly_ready {
+            run.push_ready(id);
+        }
     }
 
     /// Close a node's lifecycle span, if one was opened.
@@ -919,22 +1041,32 @@ impl<'a> Executor<'a> {
 
     /// Choose the next ready node per strategy, skipping nodes whose
     /// provider breaker is shedding load.
-    fn pick_ready(
-        &self,
-        plan: &Plan,
-        run: &Run,
-        now: SimTime,
-        priorities: Option<&CriticalPathAnalysis>,
-    ) -> Option<NodeId> {
-        let ready = plan.graph.node_ids().filter(|&id| {
-            run.states[id.index()] == NodeState::Ready && self.breaker_admits(run, plan, id, now)
-        });
-        match priorities {
-            // FIFO (node-id order == declaration order)
-            None => ready.min_by_key(|id| id.index()),
-            // least slack first; tie-break by declaration order
-            Some(cpa) => ready.min_by_key(|&id| (cpa.priority(id), id.index())),
+    ///
+    /// Pops the ready min-heap: the key `(priority, node id)` reproduces
+    /// the old full-scan selection — FIFO strategies carry a `(0, 0)`
+    /// priority so the heap degenerates to declaration order, and the
+    /// critical-path strategies order on `(slack, latest_start)` with the
+    /// same declaration-order tie-break. Stale entries (nodes skipped by a
+    /// failure cascade after being enqueued) are discarded here;
+    /// breaker-shed nodes are re-pushed so a later tick can admit them.
+    fn pick_ready(&self, plan: &Plan, run: &mut Run, now: SimTime) -> Option<NodeId> {
+        let mut shed: Vec<Reverse<(u64, u64, u32)>> = Vec::new();
+        let mut picked = None;
+        while let Some(Reverse(key)) = run.ready.pop() {
+            let id = NodeId(key.2);
+            if run.states[id.index()] != NodeState::Ready {
+                continue; // stale: already submitted, skipped, or resolved
+            }
+            if !self.breaker_admits(run, plan, id, now) {
+                shed.push(Reverse(key));
+                continue;
+            }
+            run.ready_count -= 1;
+            picked = Some(id);
+            break;
         }
+        run.ready.extend(shed);
+        picked
     }
 
     /// Submit the cloud op for one node. `create_phase` selects the second
@@ -945,8 +1077,25 @@ impl<'a> Executor<'a> {
         plan: &Plan,
         cloud: &mut Cloud,
         state: &Snapshot,
+        idx: &BlockIndex,
         create_phase: bool,
     ) -> Result<OpId, CloudError> {
+        let req = self.build_request(node, plan, state, idx, create_phase)?;
+        cloud
+            .submit(req)
+            .map_err(|e| CloudError::constraint("ApiRejected", e.to_string()))
+    }
+
+    /// Build the API request for one node without submitting it (the
+    /// batched submit loop collects requests and submits them together).
+    fn build_request(
+        &self,
+        node: NodeId,
+        plan: &Plan,
+        state: &Snapshot,
+        idx: &BlockIndex,
+        create_phase: bool,
+    ) -> Result<ApiRequest, CloudError> {
         let pn = plan.graph.node(node);
         let addr = &pn.change.addr;
         let op = match (&pn.change.action, create_phase) {
@@ -960,7 +1109,7 @@ impl<'a> Executor<'a> {
                 ApiOp::Delete { id: rec.id.clone() }
             }
             (Action::Create, _) | (Action::Replace { .. }, true) => {
-                let attrs = self.finalize_attrs(pn, state)?;
+                let attrs = self.finalize_attrs(pn, state, idx)?;
                 ApiOp::Create {
                     rtype: addr.rtype.clone(),
                     region: self.region_for(pn),
@@ -974,7 +1123,7 @@ impl<'a> Executor<'a> {
                         format!("{addr} is planned for update but absent from state"),
                     )
                 })?;
-                let all = self.finalize_attrs(pn, state)?;
+                let all = self.finalize_attrs(pn, state, idx)?;
                 let attrs: Attrs = all
                     .into_iter()
                     .filter(|(k, _)| changed.contains(k))
@@ -986,9 +1135,7 @@ impl<'a> Executor<'a> {
             }
             (Action::NoOp, _) => unreachable!("noops are not planned"),
         };
-        cloud
-            .submit(ApiRequest::new(op, &self.principal))
-            .map_err(|e| CloudError::constraint("ApiRejected", e.to_string()))
+        Ok(ApiRequest::new(op, &self.principal))
     }
 
     /// Finalize all attributes of a node at apply time: deferred expressions
@@ -998,6 +1145,7 @@ impl<'a> Executor<'a> {
         &self,
         pn: &crate::plan::PlanNode,
         state: &Snapshot,
+        idx: &BlockIndex,
     ) -> Result<Attrs, CloudError> {
         let Some(desired) = &pn.change.desired else {
             return Ok(pn.change.planned_attrs.clone());
@@ -1006,7 +1154,8 @@ impl<'a> Executor<'a> {
         if !desired.deferred.is_empty() {
             let resolver = StateResolver::new(state)
                 .in_module(&desired.addr.module_path)
-                .with_data(self.data);
+                .with_data(self.data)
+                .with_index(idx);
             let scope = desired.env.scope(&resolver);
             for d in &desired.deferred {
                 match eval(&d.expr, &scope) {
@@ -1036,6 +1185,7 @@ impl<'a> Executor<'a> {
         node: NodeId,
         plan: &Plan,
         state: &mut Snapshot,
+        idx: &mut BlockIndex,
         outcome: OpOutcome,
         at: SimTime,
     ) {
@@ -1047,7 +1197,7 @@ impl<'a> Executor<'a> {
                     .map(|d| d.depends_on.iter().cloned().collect())
                     .unwrap_or_default();
                 let region = self.region_for(pn);
-                state.put(DeployedResource {
+                let rec = DeployedResource {
                     addr: pn.change.addr.clone(),
                     rtype: pn.change.addr.rtype.clone(),
                     id,
@@ -1055,35 +1205,41 @@ impl<'a> Executor<'a> {
                     attrs,
                     depends_on,
                     created_at: at,
-                });
+                };
+                idx.insert(&rec);
+                state.put(rec);
             }
             OpOutcome::Deleted { .. } => {
                 state.remove(&pn.change.addr);
+                idx.remove(&pn.change.addr);
             }
             _ => {}
         }
     }
 
-    /// Mark all transitive dependents of a failed node as skipped.
+    /// Mark all transitive dependents of a failed node as skipped. Skipped
+    /// `Ready` nodes leave stale heap entries behind; `ready_count` is
+    /// decremented here and the heap entries are discarded at pop time.
     fn cascade_skip(
         failed: NodeId,
         plan: &Plan,
         states: &mut [NodeState],
-        results: &mut BTreeMap<String, NodeResult>,
+        results: &mut [Option<NodeResult>],
+        ready_count: &mut usize,
     ) {
         let blocked_on = plan.graph.node(failed).change.addr.clone();
         let mut stack: Vec<NodeId> = plan.graph.successors(failed).to_vec();
         while let Some(n) = stack.pop() {
             match states[n.index()] {
                 NodeState::Waiting { .. } | NodeState::Ready => {
+                    if states[n.index()] == NodeState::Ready {
+                        *ready_count -= 1;
+                    }
                     states[n.index()] = NodeState::Skipped;
-                    results.insert(
-                        plan.graph.node(n).change.addr.to_string(),
-                        NodeResult::Skipped {
-                            blocked_on: blocked_on.clone(),
-                        },
-                    );
-                    stack.extend(plan.graph.successors(n));
+                    results[n.index()] = Some(NodeResult::Skipped {
+                        blocked_on: blocked_on.clone(),
+                    });
+                    stack.extend_from_slice(plan.graph.successors(n));
                 }
                 _ => {}
             }

@@ -13,14 +13,14 @@
 //! only inside it, and reports exactly how much work was avoided relative to
 //! the full-replan baseline.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use cloudless_cloud::{Catalog, Cloud};
-use cloudless_graph::{Dag, ImpactScope, NodeId};
+use cloudless_graph::{Dag, DagBuilder, ImpactScope, NodeId};
 use cloudless_hcl::eval::Resolver;
 use cloudless_hcl::program::Manifest;
 use cloudless_state::Snapshot;
-use cloudless_types::ResourceAddr;
+use cloudless_types::{AddrTable, ResourceAddr};
 
 use crate::diff::{diff, PlannedChange};
 use crate::plan::Plan;
@@ -42,36 +42,43 @@ pub struct IncrementalStats {
 }
 
 /// Build the desired-state dependency DAG of a manifest.
-pub fn desired_graph(manifest: &Manifest) -> (Dag<ResourceAddr>, BTreeMap<String, NodeId>) {
-    let mut dag = Dag::with_capacity(manifest.instances.len());
-    let mut index = BTreeMap::new();
+///
+/// Addresses are interned in instance order, so the returned table's
+/// `AddrId(i)` and the graph's `NodeId(i)` coincide. Cycle-closing edges
+/// (malformed configs) are dropped at seal, matching the planner.
+pub fn desired_graph(manifest: &Manifest) -> (Dag<ResourceAddr>, AddrTable) {
+    let mut table = AddrTable::with_capacity(manifest.instances.len());
+    let mut builder: DagBuilder<ResourceAddr> = DagBuilder::with_capacity(manifest.instances.len());
     for inst in &manifest.instances {
-        let id = dag.add_node(inst.addr.clone());
-        index.insert(inst.addr.to_string(), id);
+        table.intern(inst.addr.clone());
+        builder.add_node(inst.addr.clone());
     }
-    for inst in &manifest.instances {
-        let to = index[&inst.addr.to_string()];
+    for (i, inst) in manifest.instances.iter().enumerate() {
+        let to = NodeId(i as u32);
         for dep in &inst.depends_on {
-            if let Some(&from) = index.get(&dep.to_string()) {
-                let _ = dag.add_edge(from, to);
+            if let Some(from) = table.get(dep) {
+                if from.index() != i {
+                    let _ = builder.add_edge(NodeId(from.0), to);
+                }
             }
         }
     }
-    (dag, index)
+    let (dag, _dropped) = builder.seal_breaking_cycles();
+    (dag, table)
 }
 
 /// Find the seed set: instances whose *configuration* differs between the
 /// two manifests (attrs or deferred expressions), plus additions/removals.
 pub fn config_delta(old: &Manifest, new: &Manifest) -> BTreeSet<ResourceAddr> {
     let mut seeds = BTreeSet::new();
-    let old_by_addr: BTreeMap<String, &cloudless_hcl::program::ResourceInstance> = old
+    let old_by_addr: BTreeMap<&ResourceAddr, &cloudless_hcl::program::ResourceInstance> = old
         .instances
         .iter()
-        .map(|i| (i.addr.to_string(), i))
+        .map(|i| (&i.addr, i.as_ref()))
         .collect();
-    let new_addrs: BTreeSet<String> = new.instances.iter().map(|i| i.addr.to_string()).collect();
+    let new_addrs: HashSet<&ResourceAddr> = new.instances.iter().map(|i| &i.addr).collect();
     for inst in &new.instances {
-        match old_by_addr.get(&inst.addr.to_string()) {
+        match old_by_addr.get(&inst.addr) {
             None => {
                 seeds.insert(inst.addr.clone());
             }
@@ -90,7 +97,7 @@ pub fn config_delta(old: &Manifest, new: &Manifest) -> BTreeSet<ResourceAddr> {
         }
     }
     // removals seed, too (their dependents may reference them)
-    for (key, prev) in &old_by_addr {
+    for (&key, prev) in &old_by_addr {
         if !new_addrs.contains(key) {
             seeds.insert(prev.addr.clone());
         }
@@ -122,7 +129,7 @@ pub fn incremental_plan(
     let (dag, index) = desired_graph(new);
     let seed_nodes: Vec<NodeId> = seeds
         .iter()
-        .filter_map(|a| index.get(&a.to_string()).copied())
+        .filter_map(|a| index.get(a).map(|s| NodeId(s.0)))
         .collect();
     let scope = ImpactScope::compute(&dag, seed_nodes);
 
@@ -136,7 +143,7 @@ pub fn incremental_plan(
         .map(|&n| dag.node(n).clone())
         .collect();
     for s in &seeds {
-        if !index.contains_key(&s.to_string()) {
+        if index.get(s).is_none() {
             refresh_set.insert(s.clone()); // removal
         }
     }
@@ -145,16 +152,16 @@ pub fn incremental_plan(
     // Diff the whole manifest but keep only changes inside the scope (plus
     // deletions of removed seeds) — outside the scope nothing can have
     // changed by construction.
-    let scoped_addrs: BTreeSet<String> = scope
+    let scoped_addrs: HashSet<&ResourceAddr> = scope
         .replan
         .iter()
-        .map(|&n| dag.node(n).to_string())
-        .chain(seeds.iter().map(|a| a.to_string()))
+        .map(|&n| dag.node(n))
+        .chain(seeds.iter())
         .collect();
     let all_changes = diff(new, state, catalog, data);
     let changes: Vec<PlannedChange> = all_changes
         .into_iter()
-        .filter(|c| scoped_addrs.contains(&c.addr.to_string()) && !c.action.is_noop())
+        .filter(|c| scoped_addrs.contains(&c.addr) && !c.action.is_noop())
         .collect();
     let plan = Plan::build(changes, state, catalog);
 

@@ -13,12 +13,10 @@
 //! Each node carries the catalog's duration estimate, which the
 //! critical-path executor uses as CPM weights (§3.3).
 
-use std::collections::BTreeMap;
-
 use cloudless_cloud::Catalog;
-use cloudless_graph::{Dag, NodeId};
+use cloudless_graph::{Dag, DagBuilder, NodeId};
 use cloudless_state::Snapshot;
-use cloudless_types::{ResourceAddr, SimDuration};
+use cloudless_types::{AddrTable, ResourceAddr, SimDuration};
 
 use crate::diff::{Action, PlannedChange};
 
@@ -34,10 +32,15 @@ pub struct PlanNode {
 #[derive(Debug, Clone)]
 pub struct Plan {
     pub graph: Dag<PlanNode>,
-    /// Index from address to node.
-    pub index: BTreeMap<String, NodeId>,
-    /// Ordering edges `(dependency, dependent)` the [`Dag`] refused because
-    /// they would close a cycle. A non-empty list means the plan is
+    /// Interned address table. Addresses are interned in plan-node order,
+    /// so `AddrId(i)` and `NodeId(i)` coincide: address lookups are one
+    /// hash probe, id-to-address is an array index.
+    pub addrs: AddrTable,
+    /// Rendered address strings, indexed by `NodeId::index()` — formatted
+    /// once at build time so report keys and log lines never re-render.
+    addr_strs: Vec<String>,
+    /// Ordering edges `(dependency, dependent)` dropped at seal time
+    /// because they would close a cycle. A non-empty list means the plan is
     /// *under-constrained*: some dependency will not be awaited and the
     /// apply can fail or run out of order. `cloudless-analyze` reports the
     /// cycle itself (ANA401) before planning; this field is the runtime
@@ -49,67 +52,89 @@ impl Plan {
     /// Assemble a plan from diff output.
     ///
     /// `state` supplies recorded dependencies for delete ordering.
+    ///
+    /// O(V + E): nodes and edges are appended without per-edge cycle
+    /// checks; acyclicity is validated once when the graph is sealed, and
+    /// any cycle-closing edges are dropped and recorded.
     pub fn build(changes: Vec<PlannedChange>, state: &Snapshot, catalog: &Catalog) -> Plan {
-        let mut graph: Dag<PlanNode> = Dag::with_capacity(changes.len());
-        let mut index = BTreeMap::new();
-        let mut actionable = Vec::new();
-        for change in changes {
-            if change.action.is_noop() {
-                continue;
-            }
-            let estimate = estimate(&change, catalog);
-            let addr = change.addr.clone();
-            let id = graph.add_node(PlanNode { change, estimate });
-            index.insert(addr.to_string(), id);
-            actionable.push(id);
+        let actionable: Vec<PlannedChange> = changes
+            .into_iter()
+            .filter(|c| !c.action.is_noop())
+            .collect();
+        let n = actionable.len();
+        let mut addrs = AddrTable::with_capacity(n);
+        for c in &actionable {
+            addrs.intern(c.addr.clone());
         }
-        // Forward edges from desired-instance dependencies.
-        let mut dropped_edges = Vec::new();
-        for &id in &actionable {
-            let node = graph.node(id).clone();
-            if let Some(desired) = &node.change.desired {
+        let is_delete: Vec<bool> = actionable
+            .iter()
+            .map(|c| matches!(c.action, Action::Delete))
+            .collect();
+
+        // Collect edges first (integer endpoints via the table), then seal.
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut self_deps: Vec<ResourceAddr> = Vec::new();
+        for (i, c) in actionable.iter().enumerate() {
+            let id = NodeId(i as u32);
+            // Forward edges from desired-instance dependencies; delete
+            // nodes never gate creates this way.
+            if let Some(desired) = &c.desired {
                 for dep in &desired.depends_on {
-                    if let Some(&dep_id) = index.get(&dep.to_string()) {
-                        // delete nodes never gate creates this way
-                        if !matches!(graph.node(dep_id).change.action, Action::Delete)
-                            && graph.add_edge(dep_id, id).is_err()
-                        {
-                            dropped_edges.push((
-                                graph.node(dep_id).change.addr.clone(),
-                                node.change.addr.clone(),
-                            ));
+                    if let Some(dep_id) = addrs.get(dep) {
+                        if dep_id.index() == i {
+                            self_deps.push(c.addr.clone());
+                        } else if !is_delete[dep_id.index()] {
+                            edges.push((NodeId(dep_id.0), id));
                         }
                     }
                 }
             }
-        }
-        // Reverse edges for deletes: to delete X, first delete every planned
-        // deletion that depends on X (per state-recorded dependencies).
-        for &id in &actionable {
-            let node = graph.node(id).clone();
-            if !matches!(node.change.action, Action::Delete) {
-                continue;
-            }
-            if let Some(rec) = state.get(&node.change.addr) {
-                for dep in &rec.depends_on {
-                    if let Some(&dep_id) = index.get(&dep.to_string()) {
-                        if matches!(graph.node(dep_id).change.action, Action::Delete) {
-                            // this (dependent) delete must precede the
-                            // dependency's delete
-                            if graph.add_edge(id, dep_id).is_err() {
-                                dropped_edges.push((
-                                    node.change.addr.clone(),
-                                    graph.node(dep_id).change.addr.clone(),
-                                ));
+            // Reverse edges for deletes: to delete X, first delete every
+            // planned deletion that depends on X (per state-recorded
+            // dependencies).
+            if is_delete[i] {
+                if let Some(rec) = state.get(&c.addr) {
+                    for dep in &rec.depends_on {
+                        if let Some(dep_id) = addrs.get(dep) {
+                            if dep_id.index() != i && is_delete[dep_id.index()] {
+                                // this (dependent) delete must precede the
+                                // dependency's delete
+                                edges.push((id, NodeId(dep_id.0)));
                             }
                         }
                     }
                 }
             }
         }
+
+        let mut builder: DagBuilder<PlanNode> = DagBuilder::with_capacity(n);
+        for change in actionable {
+            let estimate = estimate(&change, catalog);
+            builder.add_node(PlanNode { change, estimate });
+        }
+        for (from, to) in edges {
+            builder
+                .add_edge(from, to)
+                .expect("endpoints interned above");
+        }
+        let (graph, dropped) = builder.seal_breaking_cycles();
+        let mut dropped_edges: Vec<(ResourceAddr, ResourceAddr)> = dropped
+            .into_iter()
+            .map(|(from, to)| {
+                (
+                    graph.node(from).change.addr.clone(),
+                    graph.node(to).change.addr.clone(),
+                )
+            })
+            .collect();
+        // a resource "depending on itself" is a degenerate cycle, too
+        dropped_edges.extend(self_deps.into_iter().map(|a| (a.clone(), a)));
+
+        let addr_strs = addrs.iter().map(|(_, a)| a.to_string()).collect();
         Plan {
             graph,
-            index,
+            addrs,
+            addr_strs,
             dropped_edges,
         }
     }
@@ -123,9 +148,19 @@ impl Plan {
         self.graph.is_empty()
     }
 
-    /// Node for an address, if planned.
+    /// Node for an address, if planned. One hash probe, no rendering.
     pub fn node_for(&self, addr: &ResourceAddr) -> Option<NodeId> {
-        self.index.get(&addr.to_string()).copied()
+        self.addrs.get(addr).map(|s| NodeId(s.0))
+    }
+
+    /// The rendered address of a plan node (formatted once at build time).
+    pub fn addr_str(&self, id: NodeId) -> &str {
+        &self.addr_strs[id.index()]
+    }
+
+    /// The address of a plan node.
+    pub fn addr_of(&self, id: NodeId) -> &ResourceAddr {
+        self.addrs.resolve(cloudless_types::Symbol(id.0))
     }
 
     /// Sum of all node estimates (the serial-execution lower bound).
@@ -140,10 +175,7 @@ impl Plan {
 
     /// Lock scope covering every resource this plan touches (§3.4).
     pub fn lock_scope(&self) -> Vec<ResourceAddr> {
-        self.graph
-            .iter()
-            .map(|(_, n)| n.change.addr.clone())
-            .collect()
+        self.addrs.iter().map(|(_, a)| a.clone()).collect()
     }
 
     /// Restrict the plan to the given targets plus everything they depend
@@ -151,38 +183,36 @@ impl Plan {
     /// are dropped; returns the restricted plan and the number of nodes
     /// removed.
     pub fn restrict_to(&self, targets: &[ResourceAddr]) -> (Plan, usize) {
-        use std::collections::BTreeSet;
-        let mut keep: BTreeSet<cloudless_graph::NodeId> = BTreeSet::new();
-        let mut stack: Vec<cloudless_graph::NodeId> = Vec::new();
+        let mut keep = vec![false; self.len()];
+        let mut stack: Vec<NodeId> = Vec::new();
         for t in targets {
-            // a block-level target (no instance key) selects every instance
-            for (id, node) in self.graph.iter() {
-                let a = &node.change.addr;
-                let hit = a == t
-                    || (t.key == cloudless_types::ResourceKey::None
-                        && a.rtype == t.rtype
-                        && a.name == t.name
-                        && a.module_path == t.module_path);
-                if hit {
-                    stack.push(id);
+            if t.key == cloudless_types::ResourceKey::None {
+                // a block-level target (no instance key) selects every
+                // instance of the block (including the keyless exact match)
+                for (id, node) in self.graph.iter() {
+                    let a = &node.change.addr;
+                    if a.rtype == t.rtype && a.name == t.name && a.module_path == t.module_path {
+                        stack.push(id);
+                    }
                 }
+            } else if let Some(id) = self.node_for(t) {
+                stack.push(id);
             }
         }
         while let Some(n) = stack.pop() {
-            if keep.insert(n) {
+            if !keep[n.index()] {
+                keep[n.index()] = true;
                 stack.extend(self.graph.predecessors(n).iter().copied());
             }
         }
-        let mut changes = Vec::new();
-        for &id in &keep {
-            changes.push(self.graph.node(id).change.clone());
-        }
-        // preserve original node order for determinism
-        changes.sort_by_key(|c| self.index.get(&c.addr.to_string()).copied());
+        // node-id order preserves the original declaration order
+        let changes: Vec<PlannedChange> = self
+            .graph
+            .iter()
+            .filter(|(id, _)| keep[id.index()])
+            .map(|(_, node)| node.change.clone())
+            .collect();
         let dropped = self.len() - changes.len();
-        // rebuild edges: state-recorded deps are re-derived from the change
-        // set, so an empty snapshot suffices for forward edges; delete
-        // ordering among kept nodes is preserved via the same addresses
         let rebuilt = Plan::from_changes_with_edges(changes, self);
         (rebuilt, dropped)
     }
@@ -190,26 +220,32 @@ impl Plan {
     /// Rebuild a plan from a subset of this plan's changes, copying the
     /// edges that survive the restriction.
     fn from_changes_with_edges(changes: Vec<PlannedChange>, original: &Plan) -> Plan {
-        let mut graph: Dag<PlanNode> = Dag::with_capacity(changes.len());
-        let mut index = BTreeMap::new();
+        let n = changes.len();
+        let mut addrs = AddrTable::with_capacity(n);
+        let mut remap: Vec<Option<NodeId>> = vec![None; original.len()];
+        let mut builder: DagBuilder<PlanNode> = DagBuilder::with_capacity(n);
         for change in changes {
-            let old = original.index[&change.addr.to_string()];
+            let old = original
+                .node_for(&change.addr)
+                .expect("restricted changes come from the original plan");
             let estimate = original.graph.node(old).estimate;
-            let addr = change.addr.clone();
-            let id = graph.add_node(PlanNode { change, estimate });
-            index.insert(addr.to_string(), id);
+            addrs.intern(change.addr.clone());
+            let id = builder.add_node(PlanNode { change, estimate });
+            remap[old.index()] = Some(id);
         }
         for (from, to) in original.graph.edges() {
-            let from_key = original.graph.node(from).change.addr.to_string();
-            let to_key = original.graph.node(to).change.addr.to_string();
-            if let (Some(&f), Some(&t)) = (index.get(&from_key), index.get(&to_key)) {
-                // edges of an already-acyclic graph cannot close a cycle
-                let _ = graph.add_edge(f, t);
+            if let (Some(f), Some(t)) = (remap[from.index()], remap[to.index()]) {
+                builder.add_edge(f, t).expect("endpoints exist");
             }
         }
+        let graph = builder
+            .seal()
+            .expect("subset of an acyclic graph is acyclic");
+        let addr_strs = addrs.iter().map(|(_, a)| a.to_string()).collect();
         Plan {
             graph,
-            index,
+            addrs,
+            addr_strs,
             dropped_edges: original.dropped_edges.clone(),
         }
     }
@@ -231,6 +267,8 @@ fn estimate(change: &PlannedChange, catalog: &Catalog) -> SimDuration {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::BTreeMap;
+
     use super::*;
     use crate::diff::diff;
     use crate::resolver::DataResolver;

@@ -14,7 +14,7 @@ use cloudless_hcl::ast::Reference;
 use cloudless_hcl::eval::Resolver;
 use cloudless_types::{Provider, ResourceAddr, ResourceKey, ResourceTypeName, Value};
 
-use cloudless_state::Snapshot;
+use cloudless_state::{BlockIndex, Snapshot};
 
 /// Resolver over a state snapshot, with an optional fallback for `data.*`
 /// references.
@@ -25,6 +25,9 @@ pub struct StateResolver<'a> {
     module_path: Vec<String>,
     /// Chained resolver for `data.*` (and anything not found here).
     data: Option<&'a dyn Resolver>,
+    /// Optional block index over `snapshot`. With it, a block lookup costs
+    /// O(block size); without, it scans the whole snapshot.
+    index: Option<&'a BlockIndex>,
 }
 
 impl<'a> StateResolver<'a> {
@@ -33,6 +36,7 @@ impl<'a> StateResolver<'a> {
             snapshot,
             module_path: Vec::new(),
             data: None,
+            index: None,
         }
     }
 
@@ -48,18 +52,37 @@ impl<'a> StateResolver<'a> {
         self
     }
 
+    /// Use a [`BlockIndex`] kept in sync with the snapshot. The caller is
+    /// responsible for the sync invariant; a stale index resolves stale
+    /// references.
+    pub fn with_index(mut self, index: &'a BlockIndex) -> Self {
+        self.index = Some(index);
+        self
+    }
+
     /// Build the attribute view of all instances of a `type.name` block:
     /// a single instance resolves to its attribute map; `count` instances
     /// resolve to a list ordered by index; `for_each` instances to a map.
     fn block_value(&self, rtype: &str, name: &str) -> Option<Value> {
         let mut indexed: Vec<(&ResourceKey, Value)> = Vec::new();
-        for r in self.snapshot.resources.values() {
-            if r.addr.rtype.as_str() == rtype
-                && r.addr.name == name
-                && r.addr.module_path == self.module_path
-            {
-                let attrs = Value::Map(r.attrs.clone());
-                indexed.push((&r.addr.key, attrs));
+        if let Some(idx) = self.index {
+            // indexed path: only the block's own members are visited, in
+            // the same rendered-address order the scan below would produce
+            for key in idx.members(rtype, name) {
+                if let Some(r) = self.snapshot.get_str(key) {
+                    if r.addr.module_path == self.module_path {
+                        indexed.push((&r.addr.key, Value::Map(r.attrs.clone())));
+                    }
+                }
+            }
+        } else {
+            for r in self.snapshot.resources.values() {
+                if r.addr.rtype.as_str() == rtype
+                    && r.addr.name == name
+                    && r.addr.module_path == self.module_path
+                {
+                    indexed.push((&r.addr.key, Value::Map(r.attrs.clone())));
+                }
             }
         }
         if indexed.is_empty() {
@@ -317,6 +340,39 @@ mod tests {
         let inside = StateResolver::new(&snap).in_module(&["net".to_owned()]);
         assert_eq!(
             inside.resolve(&r(&["aws_vpc", "main", "id"])).unwrap(),
+            Some(Value::from("vpc-mod"))
+        );
+    }
+
+    #[test]
+    fn indexed_resolution_matches_scan() {
+        let mut snap = Snapshot::new();
+        snap.put(deployed("aws_subnet.s[1]", "sn-1", vec![]));
+        snap.put(deployed("aws_subnet.s[0]", "sn-0", vec![]));
+        snap.put(deployed("aws_vm.web[\"eu\"]", "vm-eu", vec![]));
+        snap.put(deployed("aws_vm.web[\"us\"]", "vm-us", vec![]));
+        snap.put(deployed("aws_vpc.v", "vpc-1", vec![]));
+        snap.put(deployed("module.net.aws_vpc.v", "vpc-mod", vec![]));
+        let idx = cloudless_state::BlockIndex::build(&snap);
+        for parts in [
+            vec!["aws_subnet", "s"],
+            vec!["aws_vm", "web"],
+            vec!["aws_vpc", "v", "id"],
+            vec!["aws_vpc", "ghost"],
+        ] {
+            let scanned = StateResolver::new(&snap).resolve(&r(&parts)).unwrap();
+            let indexed = StateResolver::new(&snap)
+                .with_index(&idx)
+                .resolve(&r(&parts))
+                .unwrap();
+            assert_eq!(indexed, scanned, "mismatch for {parts:?}");
+        }
+        // module scoping works through the index too
+        let inside = StateResolver::new(&snap)
+            .with_index(&idx)
+            .in_module(&["net".to_owned()]);
+        assert_eq!(
+            inside.resolve(&r(&["aws_vpc", "v", "id"])).unwrap(),
             Some(Value::from("vpc-mod"))
         );
     }

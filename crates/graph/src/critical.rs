@@ -150,11 +150,13 @@ impl CriticalPathAnalysis {
 mod tests {
     use super::*;
 
+    use crate::dag::DagBuilder;
+
     /// Build the classic two-branch graph:
     ///   a(2) -> b(10) -> d(1)
     ///   a(2) -> c(3)  -> d(1)
     fn weighted_diamond() -> (Dag<u64>, [NodeId; 4]) {
-        let mut g = Dag::new();
+        let mut g = DagBuilder::new();
         let a = g.add_node(2u64);
         let b = g.add_node(10u64);
         let c = g.add_node(3u64);
@@ -163,7 +165,7 @@ mod tests {
         g.add_edge(a, c).unwrap();
         g.add_edge(b, d).unwrap();
         g.add_edge(c, d).unwrap();
-        (g, [a, b, c, d])
+        (g.seal().unwrap(), [a, b, c, d])
     }
 
     #[test]
@@ -199,10 +201,11 @@ mod tests {
 
     #[test]
     fn zero_duration_graph() {
-        let mut g: Dag<()> = Dag::new();
+        let mut g: DagBuilder<()> = DagBuilder::new();
         let a = g.add_node(());
         let b = g.add_node(());
         g.add_edge(a, b).unwrap();
+        let g = g.seal().unwrap();
         let cpa = CriticalPathAnalysis::compute(&g, |_, _| 0).unwrap();
         assert_eq!(cpa.makespan, 0);
         // everything is (vacuously) critical
@@ -211,7 +214,7 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let g: Dag<()> = Dag::new();
+        let g: Dag<()> = Dag::empty();
         let cpa = CriticalPathAnalysis::compute(&g, |_, _| 1).unwrap();
         assert_eq!(cpa.makespan, 0);
         assert!(cpa.critical_path.is_empty());
@@ -219,9 +222,10 @@ mod tests {
 
     #[test]
     fn independent_nodes_all_critical_only_if_longest() {
-        let mut g = Dag::new();
+        let mut g = DagBuilder::new();
         let long = g.add_node(10u64);
         let short = g.add_node(2u64);
+        let g = g.seal().unwrap();
         let cpa = CriticalPathAnalysis::compute(&g, |_, &w| w).unwrap();
         assert_eq!(cpa.makespan, 10);
         assert!(cpa.is_critical(long));

@@ -1,104 +1,69 @@
 //! Cycle detection over a *plain* directed graph.
 //!
-//! [`crate::dag::Dag`] is acyclic by construction — `add_edge` rejects any
-//! edge that would close a cycle — which is exactly why it cannot be used to
-//! *report* cycles: by the time a plan graph exists, the offending edge has
-//! already been dropped. The static hazard passes in `cloudless-analyze`
-//! need to see the cycle itself (and name its participants in the
-//! diagnostic), so they build this unchecked digraph from raw reference
-//! edges and ask for a witness cycle.
+//! [`crate::dag::Dag`] is acyclic by construction — `DagBuilder::seal`
+//! rejects cyclic edge sets — which is exactly why it cannot be used to
+//! *report* cycles: by the time a plan graph exists, the offending edges
+//! have already been dropped. The static hazard passes in
+//! `cloudless-analyze` need to see the cycle itself (and name its
+//! participants in the diagnostic), so they build this unchecked digraph
+//! from raw reference edges and ask for a witness cycle.
+//!
+//! Detection itself is shared with the sealed graph: the edge list is
+//! lowered into the same flat [`Csr`] the `Dag` uses and walked by the same
+//! three-color DFS ([`Csr::find_cycle`]) — one implementation, two callers.
 
-/// A minimal adjacency-list digraph over `0..n` node indices.
+use crate::csr::Csr;
+use crate::dag::NodeId;
+
+/// A minimal edge-list digraph over `0..n` node indices.
 #[derive(Debug, Clone, Default)]
 pub struct Digraph {
-    adj: Vec<Vec<usize>>,
+    nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
 }
 
 impl Digraph {
     pub fn new(nodes: usize) -> Self {
         Digraph {
-            adj: vec![Vec::new(); nodes],
+            nodes,
+            edges: Vec::new(),
         }
     }
 
     pub fn len(&self) -> usize {
-        self.adj.len()
+        self.nodes
     }
 
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.nodes == 0
     }
 
-    /// Add an edge `from → to`. Self-loops and duplicates are allowed —
-    /// callers feed raw reference edges, hazards included.
+    /// Add an edge `from → to`. O(1); self-loops are allowed and duplicates
+    /// are tolerated (they cannot create a cycle on their own) — callers
+    /// feed raw reference edges, hazards included.
     pub fn add_edge(&mut self, from: usize, to: usize) {
-        assert!(from < self.adj.len() && to < self.adj.len(), "node bounds");
-        if !self.adj[from].contains(&to) {
-            self.adj[from].push(to);
-        }
+        assert!(from < self.nodes && to < self.nodes, "node bounds");
+        self.edges.push((NodeId(from as u32), NodeId(to as u32)));
     }
 
     pub fn has_edge(&self, from: usize, to: usize) -> bool {
-        self.adj.get(from).is_some_and(|v| v.contains(&to))
+        self.edges
+            .contains(&(NodeId(from as u32), NodeId(to as u32)))
     }
 
     pub fn remove_edge(&mut self, from: usize, to: usize) {
-        if let Some(v) = self.adj.get_mut(from) {
-            v.retain(|&t| t != to);
-        }
+        let e = (NodeId(from as u32), NodeId(to as u32));
+        self.edges.retain(|&x| x != e);
     }
 
     /// Find one cycle, if any, as the list of nodes along it (first node
-    /// repeated implicitly: `[a, b, c]` means `a → b → c → a`). Iterative
-    /// three-color DFS; deterministic (lowest-numbered roots and edges in
-    /// insertion order) so diagnostics are stable.
+    /// repeated implicitly: `[a, b, c]` means `a → b → c → a`).
+    /// Deterministic (lowest-numbered roots and edges in insertion order)
+    /// so diagnostics are stable. Runs the shared CSR three-color DFS.
     pub fn find_cycle(&self) -> Option<Vec<usize>> {
-        #[derive(Clone, Copy, PartialEq)]
-        enum Color {
-            White,
-            Gray,
-            Black,
-        }
-        let n = self.adj.len();
-        let mut color = vec![Color::White; n];
-        let mut parent: Vec<Option<usize>> = vec![None; n];
-        for root in 0..n {
-            if color[root] != Color::White {
-                continue;
-            }
-            // stack of (node, next-edge-index)
-            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
-            color[root] = Color::Gray;
-            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
-                if *next < self.adj[node].len() {
-                    let to = self.adj[node][*next];
-                    *next += 1;
-                    match color[to] {
-                        Color::Gray => {
-                            // back edge: walk parents from `node` to `to`
-                            let mut cycle = vec![node];
-                            let mut cur = node;
-                            while cur != to {
-                                cur = parent[cur].expect("gray nodes have parents");
-                                cycle.push(cur);
-                            }
-                            cycle.reverse();
-                            return Some(cycle);
-                        }
-                        Color::White => {
-                            color[to] = Color::Gray;
-                            parent[to] = Some(node);
-                            stack.push((to, 0));
-                        }
-                        Color::Black => {}
-                    }
-                } else {
-                    color[node] = Color::Black;
-                    stack.pop();
-                }
-            }
-        }
-        None
+        let csr = Csr::from_edges(self.nodes, &self.edges);
+        csr.find_cycle()
+            .map(|path| path.into_iter().map(NodeId::index).collect())
     }
 }
 
@@ -149,6 +114,17 @@ mod tests {
         let mut g = Digraph::new(2);
         g.add_edge(0, 1);
         g.add_edge(0, 1);
+        assert_eq!(g.find_cycle(), None);
+    }
+
+    #[test]
+    fn edge_membership_and_removal() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert!(g.has_edge(0, 1));
+        g.remove_edge(1, 0);
+        assert!(!g.has_edge(1, 0));
         assert_eq!(g.find_cycle(), None);
     }
 }

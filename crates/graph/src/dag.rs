@@ -2,14 +2,21 @@
 //!
 //! Nodes are appended and never removed (plans are built once and consumed);
 //! "removal" for incremental planning is expressed by *subgraph views*
-//! computed in [`crate::impact`]. Edges are rejected if they would create a
-//! cycle, so a [`Dag`] is acyclic by construction — every downstream
-//! algorithm can rely on that invariant instead of re-checking it.
+//! computed in [`crate::impact`]. Construction is two-phase: a
+//! [`DagBuilder`] accepts nodes and edges in O(1) each, and `seal()` runs a
+//! single O(V+E) acyclicity validation before handing out an immutable
+//! [`Dag`] — so building a plan graph is linear in its size instead of the
+//! old per-edge reachability DFS (O(E·(V+E))). A sealed [`Dag`] keeps its
+//! topology in flat CSR form behind an `Arc`, so views ([`Dag::map`]) share
+//! it instead of cloning per-node adjacency vectors; every downstream
+//! algorithm can rely on acyclicity instead of re-checking it.
 
-use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
+
+use crate::csr::Csr;
 
 /// Index of a node inside a [`Dag`]. Stable for the lifetime of the graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -27,11 +34,16 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// Error returned when an edge insertion is rejected.
+/// Error returned when an edge insertion or seal is rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EdgeError {
-    /// The edge would create a cycle (`from` is reachable from `to`).
-    WouldCycle { from: NodeId, to: NodeId },
+    /// The edge set contains a cycle. `path` is the witness: `[a, b, c]`
+    /// means `a → b → c → a`, closed by the offending edge `from → to`.
+    WouldCycle {
+        from: NodeId,
+        to: NodeId,
+        path: Vec<NodeId>,
+    },
     /// One of the endpoints does not exist.
     UnknownNode(NodeId),
 }
@@ -39,8 +51,16 @@ pub enum EdgeError {
 impl fmt::Display for EdgeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EdgeError::WouldCycle { from, to } => {
-                write!(f, "edge {from} -> {to} would create a dependency cycle")
+            EdgeError::WouldCycle { from, to, path } => {
+                write!(f, "edge {from} -> {to} would create a dependency cycle")?;
+                if !path.is_empty() {
+                    write!(f, " (")?;
+                    for n in path {
+                        write!(f, "{n} -> ")?;
+                    }
+                    write!(f, "{})", path[0])?;
+                }
+                Ok(())
             }
             EdgeError::UnknownNode(n) => write!(f, "unknown node {n}"),
         }
@@ -49,44 +69,35 @@ impl fmt::Display for EdgeError {
 
 impl std::error::Error for EdgeError {}
 
-/// A directed acyclic graph with payloads of type `N`.
-///
-/// Edge direction follows *dependency order*: an edge `a -> b` means "b
-/// depends on a", i.e. `a` must be processed before `b`. This matches the
-/// deployment direction (the NIC is created before the VM that references
-/// it).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Dag<N> {
+/// Sealed topology: forward and reverse CSR over the same edge set. Shared
+/// behind an `Arc` by every view derived from the same build.
+#[derive(Debug)]
+struct Topology {
+    succ: Csr,
+    pred: Csr,
+}
+
+/// Incremental construction of a [`Dag`]: `add_node` / `add_edge` are O(1)
+/// appends (no cycle check), and [`DagBuilder::seal`] validates acyclicity
+/// once in O(V+E).
+#[derive(Debug, Clone, Default)]
+pub struct DagBuilder<N> {
     nodes: Vec<N>,
-    /// Outgoing edges (dependents) per node, in insertion order.
-    succs: Vec<Vec<NodeId>>,
-    /// Incoming edges (dependencies) per node, in insertion order.
-    preds: Vec<Vec<NodeId>>,
-    edge_count: usize,
+    edges: Vec<(NodeId, NodeId)>,
 }
 
-impl<N> Default for Dag<N> {
-    fn default() -> Self {
-        Dag {
-            nodes: Vec::new(),
-            succs: Vec::new(),
-            preds: Vec::new(),
-            edge_count: 0,
-        }
-    }
-}
-
-impl<N> Dag<N> {
+impl<N> DagBuilder<N> {
     pub fn new() -> Self {
-        Self::default()
+        DagBuilder {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     pub fn with_capacity(n: usize) -> Self {
-        Dag {
+        DagBuilder {
             nodes: Vec::with_capacity(n),
-            succs: Vec::with_capacity(n),
-            preds: Vec::with_capacity(n),
-            edge_count: 0,
+            edges: Vec::new(),
         }
     }
 
@@ -94,15 +105,14 @@ impl<N> Dag<N> {
     pub fn add_node(&mut self, payload: N) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(payload);
-        self.succs.push(Vec::new());
-        self.preds.push(Vec::new());
         id
     }
 
-    /// Insert a dependency edge `from -> to` ("`to` depends on `from`").
+    /// Record a dependency edge `from -> to` ("`to` depends on `from`").
     ///
-    /// Duplicate edges are ignored (idempotent). Returns an error if either
-    /// endpoint is unknown or the edge would create a cycle.
+    /// O(1): duplicates are tolerated (deduplicated at seal time) and cycle
+    /// detection is deferred to [`DagBuilder::seal`]. Only unknown endpoints
+    /// and self-loops are rejected immediately.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), EdgeError> {
         if from.index() >= self.nodes.len() {
             return Err(EdgeError::UnknownNode(from));
@@ -111,40 +121,128 @@ impl<N> Dag<N> {
             return Err(EdgeError::UnknownNode(to));
         }
         if from == to {
-            return Err(EdgeError::WouldCycle { from, to });
+            return Err(EdgeError::WouldCycle {
+                from,
+                to,
+                path: vec![from],
+            });
         }
-        if self.succs[from.index()].contains(&to) {
-            return Ok(());
-        }
-        // Reject if `from` is reachable from `to` — that path plus this edge
-        // would close a cycle.
-        if self.reaches(to, from) {
-            return Err(EdgeError::WouldCycle { from, to });
-        }
-        self.succs[from.index()].push(to);
-        self.preds[to.index()].push(from);
-        self.edge_count += 1;
+        self.edges.push((from, to));
         Ok(())
     }
 
-    /// Whether `target` is reachable from `start` following edges forward.
-    pub fn reaches(&self, start: NodeId, target: NodeId) -> bool {
-        if start == target {
-            return true;
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Payload of a node added earlier.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Validate acyclicity once and seal into an immutable CSR-backed
+    /// [`Dag`]. O(V+E). On failure the error carries the witness cycle.
+    pub fn seal(self) -> Result<Dag<N>, EdgeError> {
+        let edges = dedup_edges(self.nodes.len(), self.edges);
+        let succ = Csr::from_edges(self.nodes.len(), &edges);
+        if let Some(path) = succ.find_cycle() {
+            let from = *path.last().expect("cycle is non-empty");
+            let to = path[0];
+            return Err(EdgeError::WouldCycle { from, to, path });
         }
-        let mut seen = HashSet::new();
-        let mut stack = vec![start];
-        while let Some(n) = stack.pop() {
-            for &s in &self.succs[n.index()] {
-                if s == target {
-                    return true;
-                }
-                if seen.insert(s) {
-                    stack.push(s);
-                }
-            }
+        let pred = Csr::reverse_from_edges(self.nodes.len(), &edges);
+        Ok(Dag {
+            nodes: self.nodes,
+            topo: Arc::new(Topology { succ, pred }),
+        })
+    }
+
+    /// Seal, dropping the minimal deterministic set of cycle-closing edges
+    /// (the DFS back edges) instead of failing. Returns the sealed [`Dag`]
+    /// plus the dropped `(from, to)` edges in traversal order — callers
+    /// surface these as under-constrained-plan diagnostics.
+    pub fn seal_breaking_cycles(self) -> (Dag<N>, Vec<(NodeId, NodeId)>) {
+        let edges = dedup_edges(self.nodes.len(), self.edges);
+        let succ = Csr::from_edges(self.nodes.len(), &edges);
+        let back = succ.back_edges();
+        if back.is_empty() {
+            let pred = Csr::reverse_from_edges(self.nodes.len(), &edges);
+            return (
+                Dag {
+                    nodes: self.nodes,
+                    topo: Arc::new(Topology { succ, pred }),
+                },
+                Vec::new(),
+            );
         }
-        false
+        let dropped: Vec<(NodeId, NodeId)> = back.iter().map(|b| (b.from, b.to)).collect();
+        let kept: Vec<(NodeId, NodeId)> = {
+            // `dropped` is tiny in practice; for robustness mark pairs in a
+            // hash set so filtering stays O(E).
+            let drop_set: std::collections::HashSet<(NodeId, NodeId)> =
+                dropped.iter().copied().collect();
+            edges
+                .into_iter()
+                .filter(|e| !drop_set.contains(e))
+                .collect()
+        };
+        let succ = Csr::from_edges(self.nodes.len(), &kept);
+        debug_assert!(
+            succ.find_cycle().is_none(),
+            "back-edge removal breaks all cycles"
+        );
+        let pred = Csr::reverse_from_edges(self.nodes.len(), &kept);
+        (
+            Dag {
+                nodes: self.nodes,
+                topo: Arc::new(Topology { succ, pred }),
+            },
+            dropped,
+        )
+    }
+}
+
+/// Stable O(E) dedup of the edge list (first occurrence wins), so duplicate
+/// `add_edge` calls stay idempotent like the old guarded insertion.
+fn dedup_edges(n: usize, mut edges: Vec<(NodeId, NodeId)>) -> Vec<(NodeId, NodeId)> {
+    if edges.len() <= 1 {
+        return edges;
+    }
+    let n = n as u64;
+    let mut seen = std::collections::HashSet::with_capacity(edges.len());
+    edges.retain(|&(from, to)| seen.insert(from.0 as u64 * n + to.0 as u64));
+    edges
+}
+
+/// A directed acyclic graph with payloads of type `N`, sealed from a
+/// [`DagBuilder`].
+///
+/// Edge direction follows *dependency order*: an edge `a -> b` means "b
+/// depends on a", i.e. `a` must be processed before `b`. This matches the
+/// deployment direction (the NIC is created before the VM that references
+/// it). Topology is immutable flat CSR shared behind an `Arc`; payloads stay
+/// editable via [`Dag::node_mut`].
+#[derive(Debug, Clone)]
+pub struct Dag<N> {
+    nodes: Vec<N>,
+    topo: Arc<Topology>,
+}
+
+impl<N> Default for Dag<N> {
+    fn default() -> Self {
+        DagBuilder::new().seal().expect("empty graph is acyclic")
+    }
+}
+
+impl<N> Dag<N> {
+    /// An empty graph.
+    pub fn empty() -> Self {
+        Self::default()
     }
 
     pub fn len(&self) -> usize {
@@ -156,7 +254,7 @@ impl<N> Dag<N> {
     }
 
     pub fn edge_count(&self) -> usize {
-        self.edge_count
+        self.topo.succ.edge_count()
     }
 
     pub fn node(&self, id: NodeId) -> &N {
@@ -169,22 +267,43 @@ impl<N> Dag<N> {
 
     /// Direct dependents of `id` (nodes that must run after it).
     pub fn successors(&self, id: NodeId) -> &[NodeId] {
-        &self.succs[id.index()]
+        self.topo.succ.neighbors(id.index())
     }
 
     /// Direct dependencies of `id` (nodes that must run before it).
     pub fn predecessors(&self, id: NodeId) -> &[NodeId] {
-        &self.preds[id.index()]
+        self.topo.pred.neighbors(id.index())
     }
 
     /// In-degree of `id`.
     pub fn in_degree(&self, id: NodeId) -> usize {
-        self.preds[id.index()].len()
+        self.topo.pred.degree(id.index())
     }
 
     /// Out-degree of `id`.
     pub fn out_degree(&self, id: NodeId) -> usize {
-        self.succs[id.index()].len()
+        self.topo.succ.degree(id.index())
+    }
+
+    /// Whether `target` is reachable from `start` following edges forward.
+    pub fn reaches(&self, start: NodeId, target: NodeId) -> bool {
+        if start == target {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            for &s in self.successors(n) {
+                if s == target {
+                    return true;
+                }
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
     }
 
     /// All node ids in insertion order.
@@ -217,16 +336,15 @@ impl<N> Dag<N> {
     /// All edges as `(from, to)` pairs, in deterministic order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.node_ids()
-            .flat_map(move |from| self.succs[from.index()].iter().map(move |&to| (from, to)))
+            .flat_map(move |from| self.successors(from).iter().map(move |&to| (from, to)))
     }
 
-    /// Map payloads into a new DAG with identical topology.
+    /// Map payloads into a new DAG with identical topology. The sealed CSR
+    /// is shared (`Arc`), not cloned.
     pub fn map<M>(&self, mut f: impl FnMut(NodeId, &N) -> M) -> Dag<M> {
         Dag {
             nodes: self.iter().map(|(id, n)| f(id, n)).collect(),
-            succs: self.succs.clone(),
-            preds: self.preds.clone(),
-            edge_count: self.edge_count,
+            topo: Arc::clone(&self.topo),
         }
     }
 
@@ -243,16 +361,21 @@ mod tests {
     fn diamond() -> (Dag<&'static str>, [NodeId; 4]) {
         // a -> b -> d
         // a -> c -> d
-        let mut g = Dag::new();
-        let a = g.add_node("a");
-        let b = g.add_node("b");
-        let c = g.add_node("c");
-        let d = g.add_node("d");
-        g.add_edge(a, b).unwrap();
-        g.add_edge(a, c).unwrap();
-        g.add_edge(b, d).unwrap();
-        g.add_edge(c, d).unwrap();
-        (g, [a, b, c, d])
+        let (b, ids) = diamond_builder();
+        (b.seal().unwrap(), ids)
+    }
+
+    fn diamond_builder() -> (DagBuilder<&'static str>, [NodeId; 4]) {
+        let mut b = DagBuilder::new();
+        let a = b.add_node("a");
+        let bb = b.add_node("b");
+        let c = b.add_node("c");
+        let d = b.add_node("d");
+        b.add_edge(a, bb).unwrap();
+        b.add_edge(a, c).unwrap();
+        b.add_edge(bb, d).unwrap();
+        b.add_edge(c, d).unwrap();
+        (b, [a, bb, c, d])
     }
 
     #[test]
@@ -268,33 +391,57 @@ mod tests {
     }
 
     #[test]
-    fn cycle_rejected() {
-        let (mut g, [a, _, _, d]) = diamond();
-        let err = g.add_edge(d, a).unwrap_err();
-        assert_eq!(err, EdgeError::WouldCycle { from: d, to: a });
-        // self-loop
+    fn cycle_rejected_at_seal() {
+        let (mut b, [a, _, _, d]) = diamond_builder();
+        b.add_edge(d, a).unwrap(); // accepted now …
+        let err = b.seal().unwrap_err(); // … rejected at seal, with a witness
+        match err {
+            EdgeError::WouldCycle { from, to, path } => {
+                assert!(!path.is_empty());
+                // the witness closes on itself: from → to is an edge, and
+                // `to … from` is a path
+                assert_eq!(path[0], to);
+                assert_eq!(*path.last().unwrap(), from);
+            }
+            other => panic!("expected WouldCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_loop_rejected_immediately() {
+        let (mut b, [a, ..]) = diamond_builder();
         assert!(matches!(
-            g.add_edge(a, a),
+            b.add_edge(a, a),
             Err(EdgeError::WouldCycle { .. })
         ));
-        // graph unchanged
+        assert!(b.seal().is_ok());
+    }
+
+    #[test]
+    fn seal_breaking_cycles_drops_back_edges() {
+        let (mut b, [a, _, _, d]) = diamond_builder();
+        b.add_edge(d, a).unwrap();
+        let (g, dropped) = b.seal_breaking_cycles();
         assert_eq!(g.edge_count(), 4);
+        assert_eq!(dropped, vec![(d, a)]);
+        assert!(!g.reaches(d, a));
     }
 
     #[test]
     fn unknown_node_rejected() {
-        let (mut g, [a, ..]) = diamond();
+        let (mut b, [a, ..]) = diamond_builder();
         let ghost = NodeId(99);
-        assert_eq!(g.add_edge(a, ghost), Err(EdgeError::UnknownNode(ghost)));
-        assert_eq!(g.add_edge(ghost, a), Err(EdgeError::UnknownNode(ghost)));
+        assert_eq!(b.add_edge(a, ghost), Err(EdgeError::UnknownNode(ghost)));
+        assert_eq!(b.add_edge(ghost, a), Err(EdgeError::UnknownNode(ghost)));
     }
 
     #[test]
     fn duplicate_edge_is_idempotent() {
-        let (mut g, [a, b, ..]) = diamond();
-        g.add_edge(a, b).unwrap();
+        let (mut b, [a, bb, ..]) = diamond_builder();
+        b.add_edge(a, bb).unwrap();
+        let g = b.seal().unwrap();
         assert_eq!(g.edge_count(), 4);
-        assert_eq!(g.successors(a), &[b, NodeId(2)]);
+        assert_eq!(g.successors(a), &[bb, NodeId(2)]);
     }
 
     #[test]
@@ -308,12 +455,14 @@ mod tests {
     }
 
     #[test]
-    fn map_preserves_topology() {
+    fn map_preserves_and_shares_topology() {
         let (g, [_, _, _, d]) = diamond();
         let upper = g.map(|_, s| s.to_uppercase());
         assert_eq!(upper.len(), 4);
         assert_eq!(*upper.node(d), "D");
         assert_eq!(upper.predecessors(d).len(), 2);
+        // the sealed CSR is shared, not cloned
+        assert!(Arc::ptr_eq(&g.topo, &upper.topo));
     }
 
     #[test]
@@ -321,5 +470,12 @@ mod tests {
         let (g, [a, b, c, d]) = diamond();
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(edges, vec![(a, b), (a, c), (b, d), (c, d)]);
+    }
+
+    #[test]
+    fn empty_graph_seals() {
+        let g: Dag<()> = Dag::empty();
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
     }
 }

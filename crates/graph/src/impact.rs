@@ -17,6 +17,10 @@
 //!
 //! Everything outside the scope keeps its cached state: no refresh API call,
 //! no plan node, no lock.
+//!
+//! Traversals mark visited nodes in flat `Vec<bool>` tables over the sealed
+//! CSR (O(V+E), no per-node set operations); the public sets are built once
+//! at the end, in id order.
 
 use std::collections::BTreeSet;
 
@@ -33,24 +37,32 @@ pub struct ImpactScope {
 }
 
 impl ImpactScope {
-    /// Compute the scope of `changed` within `dag`.
+    /// Compute the scope of `changed` within `dag`. O(V+E).
     pub fn compute<N>(dag: &Dag<N>, changed: impl IntoIterator<Item = NodeId>) -> Self {
-        let mut replan: BTreeSet<NodeId> = BTreeSet::new();
+        let n = dag.len();
+        let mut in_replan = vec![false; n];
         let mut stack: Vec<NodeId> = changed.into_iter().collect();
-        while let Some(n) = stack.pop() {
-            if replan.insert(n) {
-                stack.extend(dag.successors(n).iter().copied());
+        while let Some(x) = stack.pop() {
+            if !in_replan[x.index()] {
+                in_replan[x.index()] = true;
+                stack.extend(dag.successors(x).iter().copied());
             }
         }
-        let mut reread = BTreeSet::new();
-        for &n in &replan {
-            for &p in dag.predecessors(n) {
-                if !replan.contains(&p) {
-                    reread.insert(p);
+        let mut in_reread = vec![false; n];
+        for i in 0..n {
+            if !in_replan[i] {
+                continue;
+            }
+            for &p in dag.predecessors(NodeId(i as u32)) {
+                if !in_replan[p.index()] {
+                    in_reread[p.index()] = true;
                 }
             }
         }
-        ImpactScope { replan, reread }
+        ImpactScope {
+            replan: collect_marked(&in_replan),
+            reread: collect_marked(&in_reread),
+        }
     }
 
     /// Total nodes touched in any way (replan + reread).
@@ -64,50 +76,62 @@ impl ImpactScope {
     }
 }
 
+fn collect_marked(marks: &[bool]) -> BTreeSet<NodeId> {
+    marks
+        .iter()
+        .enumerate()
+        .filter(|(_, &m)| m)
+        .map(|(i, _)| NodeId(i as u32))
+        .collect()
+}
+
 /// All transitive descendants of `start` (excluding `start` itself).
 pub fn descendants<N>(dag: &Dag<N>, start: NodeId) -> BTreeSet<NodeId> {
-    let mut out = BTreeSet::new();
-    let mut stack: Vec<NodeId> = dag.successors(start).to_vec();
-    while let Some(n) = stack.pop() {
-        if out.insert(n) {
-            stack.extend(dag.successors(n).iter().copied());
-        }
-    }
-    out
+    closure(dag.len(), dag.successors(start), |n| dag.successors(n))
 }
 
 /// All transitive ancestors of `start` (excluding `start` itself).
 pub fn ancestors<N>(dag: &Dag<N>, start: NodeId) -> BTreeSet<NodeId> {
-    let mut out = BTreeSet::new();
-    let mut stack: Vec<NodeId> = dag.predecessors(start).to_vec();
-    while let Some(n) = stack.pop() {
-        if out.insert(n) {
-            stack.extend(dag.predecessors(n).iter().copied());
+    closure(dag.len(), dag.predecessors(start), |n| dag.predecessors(n))
+}
+
+fn closure<'a>(
+    n: usize,
+    frontier: &[NodeId],
+    step: impl Fn(NodeId) -> &'a [NodeId],
+) -> BTreeSet<NodeId> {
+    let mut seen = vec![false; n];
+    let mut stack: Vec<NodeId> = frontier.to_vec();
+    while let Some(x) = stack.pop() {
+        if !seen[x.index()] {
+            seen[x.index()] = true;
+            stack.extend(step(x).iter().copied());
         }
     }
-    out
+    collect_marked(&seen)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dag::DagBuilder;
 
     /// vpc -> subnet -> nic -> vm
     ///        subnet -> db
     /// bucket (isolated)
     fn infra() -> (Dag<&'static str>, [NodeId; 6]) {
-        let mut g = Dag::new();
-        let vpc = g.add_node("vpc");
-        let subnet = g.add_node("subnet");
-        let nic = g.add_node("nic");
-        let vm = g.add_node("vm");
-        let db = g.add_node("db");
-        let bucket = g.add_node("bucket");
-        g.add_edge(vpc, subnet).unwrap();
-        g.add_edge(subnet, nic).unwrap();
-        g.add_edge(nic, vm).unwrap();
-        g.add_edge(subnet, db).unwrap();
-        (g, [vpc, subnet, nic, vm, db, bucket])
+        let mut b = DagBuilder::new();
+        let vpc = b.add_node("vpc");
+        let subnet = b.add_node("subnet");
+        let nic = b.add_node("nic");
+        let vm = b.add_node("vm");
+        let db = b.add_node("db");
+        let bucket = b.add_node("bucket");
+        b.add_edge(vpc, subnet).unwrap();
+        b.add_edge(subnet, nic).unwrap();
+        b.add_edge(nic, vm).unwrap();
+        b.add_edge(subnet, db).unwrap();
+        (b.seal().unwrap(), [vpc, subnet, nic, vm, db, bucket])
     }
 
     #[test]

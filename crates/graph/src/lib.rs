@@ -11,8 +11,11 @@
 //!
 //! This crate provides the graph machinery both of those observations need:
 //!
-//! * [`Dag`] — an append-oriented directed acyclic graph with cycle
-//!   rejection at edge-insertion time and deterministic iteration order.
+//! * [`Dag`] — an immutable directed acyclic graph in flat CSR form, built
+//!   through [`DagBuilder`] with O(1) edge appends and one O(V+E)
+//!   acyclicity validation at seal time; deterministic iteration order.
+//! * [`csr`] — the shared compressed-sparse-row adjacency and cycle
+//!   detection used by the sealed graph and the raw [`cycles::Digraph`].
 //! * [`topo`] — topological orders and level (wave) schedules.
 //! * [`critical`] — weighted longest-path analysis: earliest/latest start
 //!   times, slack, critical-path membership and priorities.
@@ -25,12 +28,14 @@
 #![forbid(unsafe_code)]
 
 pub mod critical;
+pub mod csr;
 pub mod cycles;
 pub mod dag;
 pub mod impact;
 pub mod topo;
 
 pub use critical::{CriticalPathAnalysis, NodeSchedule};
-pub use dag::{Dag, EdgeError, NodeId};
+pub use csr::Csr;
+pub use dag::{Dag, DagBuilder, EdgeError, NodeId};
 pub use impact::ImpactScope;
 pub use topo::{levels, topo_sort, Cycle};

@@ -11,7 +11,7 @@
 //! extracts the dependency edges between instances. The result is a
 //! [`Manifest`] — the desired-state document the rest of the stack consumes.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use cloudless_types::{Attrs, ResourceAddr, ResourceTypeName, Span, Value};
@@ -519,9 +519,14 @@ pub enum OutputValue {
 }
 
 /// The expanded desired state: what the planner diffs against reality.
+///
+/// Instances are `Arc`-shared so downstream consumers (the differ's
+/// `PlannedChange::desired`, plan nodes, executors) can hold them without
+/// deep-copying attribute and expression trees — at 100k resources those
+/// copies dominated the diff wall-clock.
 #[derive(Debug, Clone, Default)]
 pub struct Manifest {
-    pub instances: Vec<ResourceInstance>,
+    pub instances: Vec<Arc<ResourceInstance>>,
     pub outputs: BTreeMap<String, OutputValue>,
     /// Evaluated provider configuration blocks (`provider "aws" { … }`),
     /// keyed by provider name.
@@ -544,7 +549,10 @@ impl Default for EvalEnv {
 impl Manifest {
     /// Look up an instance by address.
     pub fn instance(&self, addr: &ResourceAddr) -> Option<&ResourceInstance> {
-        self.instances.iter().find(|i| &i.addr == addr)
+        self.instances
+            .iter()
+            .find(|i| &i.addr == addr)
+            .map(Arc::as_ref)
     }
 
     /// All instances of a `type.name` block.
@@ -552,6 +560,7 @@ impl Manifest {
         self.instances
             .iter()
             .filter(|i| i.addr.rtype.as_str() == rtype && i.addr.name == name)
+            .map(Arc::as_ref)
             .collect()
     }
 }
@@ -875,27 +884,37 @@ fn expand_into(
                     a
                 })
                 .collect();
-            manifest.instances.push(inst);
+            manifest.instances.push(Arc::new(inst));
         }
     }
 
     // Fix up block-level dependencies to instance-level: a dependency on
     // `type.name` (key None) expands to all instances of that block.
+    // Group instance addresses by block once so each dependency resolves
+    // with one map probe instead of a scan over every instance (the scan
+    // was quadratic in program size).
     let all_addrs: Vec<ResourceAddr> = manifest.instances.iter().map(|i| i.addr.clone()).collect();
+    let mut by_block: HashMap<(&[String], &str, &str), Vec<&ResourceAddr>> = HashMap::new();
+    for a in &all_addrs {
+        by_block
+            .entry((a.module_path.as_slice(), a.rtype.as_str(), a.name.as_str()))
+            .or_default()
+            .push(a);
+    }
     for inst in &mut manifest.instances {
+        // freshly built this call, so refcount is 1 and this never clones
+        let inst = Arc::make_mut(inst);
         let mut expanded = BTreeSet::new();
         for dep in std::mem::take(&mut inst.depends_on) {
-            let matches: Vec<&ResourceAddr> = all_addrs
-                .iter()
-                .filter(|a| {
-                    a.module_path == dep.module_path
-                        && a.rtype == dep.rtype
-                        && a.name == dep.name
-                        && **a != inst.addr
-                })
-                .collect();
-            for m in matches {
-                expanded.insert(m.clone());
+            let key = (
+                dep.module_path.as_slice(),
+                dep.rtype.as_str(),
+                dep.name.as_str(),
+            );
+            for &a in by_block.get(&key).map(Vec::as_slice).unwrap_or_default() {
+                if *a != inst.addr {
+                    expanded.insert(a.clone());
+                }
             }
         }
         inst.depends_on = expanded;

@@ -1,0 +1,166 @@
+//! Secondary index over a [`Snapshot`] for block-level lookups.
+//!
+//! Reference resolution (`aws_subnet.s[*].id`) needs "all instances of the
+//! `type.name` block". The snapshot itself is keyed by full rendered
+//! address, so answering that by scanning every resource is O(state) *per
+//! reference* — quadratic over an apply that finalizes one reference per
+//! node. A [`BlockIndex`] maintains the block → member-keys mapping
+//! incrementally, making each lookup proportional to the block's own size.
+
+use std::collections::HashMap;
+
+use cloudless_types::ResourceAddr;
+
+use crate::snapshot::{DeployedResource, Snapshot};
+
+/// Block-level index: `(rtype, name)` → snapshot keys of member instances.
+///
+/// Keys are the same rendered-address strings that key
+/// [`Snapshot::resources`], so a lookup is index probe + map probe, no
+/// address rendering. The index must be kept in sync with the snapshot by
+/// calling [`BlockIndex::insert`] / [`BlockIndex::remove`] alongside
+/// [`Snapshot::put`] / [`Snapshot::remove`]; [`BlockIndex::build`] produces
+/// one from scratch.
+#[derive(Debug, Clone, Default)]
+pub struct BlockIndex {
+    /// rtype → name → member snapshot keys (sorted, deduped).
+    ///
+    /// Nested maps (rather than a tuple key) so lookups can borrow `&str`
+    /// without allocating a composite key.
+    members: HashMap<String, HashMap<String, Vec<String>>>,
+}
+
+impl BlockIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index every resource of `snapshot`.
+    pub fn build(snapshot: &Snapshot) -> Self {
+        let mut idx = BlockIndex::new();
+        for (key, r) in &snapshot.resources {
+            idx.insert_key(&r.addr, key.clone());
+        }
+        idx
+    }
+
+    /// Record `r` (call alongside [`Snapshot::put`]). Idempotent.
+    pub fn insert(&mut self, r: &DeployedResource) {
+        self.insert_key(&r.addr, r.addr.to_string());
+    }
+
+    fn insert_key(&mut self, addr: &ResourceAddr, key: String) {
+        let list = self
+            .members
+            .entry(addr.rtype.as_str().to_owned())
+            .or_default()
+            .entry(addr.name.clone())
+            .or_default();
+        // keep the member list sorted so lookups iterate in the same
+        // (rendered-address) order a snapshot scan would
+        if let Err(pos) = list.binary_search(&key) {
+            list.insert(pos, key);
+        }
+    }
+
+    /// Forget `addr` (call alongside [`Snapshot::remove`]).
+    pub fn remove(&mut self, addr: &ResourceAddr) {
+        if let Some(by_name) = self.members.get_mut(addr.rtype.as_str()) {
+            if let Some(list) = by_name.get_mut(&addr.name) {
+                let key = addr.to_string();
+                if let Ok(pos) = list.binary_search(&key) {
+                    list.remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Snapshot keys of every instance of the `rtype.name` block (all
+    /// modules), in rendered-address order. Empty when the block is absent.
+    pub fn members(&self, rtype: &str, name: &str) -> &[String] {
+        self.members
+            .get(rtype)
+            .and_then(|by_name| by_name.get(name))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudless_types::value::attrs;
+    use cloudless_types::{Region, ResourceId, SimTime, Value};
+
+    fn res(addr: &str, id: &str) -> DeployedResource {
+        let addr: ResourceAddr = addr.parse().expect("addr");
+        DeployedResource {
+            rtype: addr.rtype.clone(),
+            id: ResourceId::new(id),
+            region: Region::new("us-east-1"),
+            attrs: attrs([("name", Value::from(id))]),
+            depends_on: vec![],
+            created_at: SimTime::ZERO,
+            addr,
+        }
+    }
+
+    #[test]
+    fn build_groups_instances_by_block() {
+        let mut s = Snapshot::new();
+        s.put(res("aws_subnet.s[1]", "sn-1"));
+        s.put(res("aws_subnet.s[0]", "sn-0"));
+        s.put(res("aws_vpc.v", "vpc-1"));
+        let idx = BlockIndex::build(&s);
+        assert_eq!(idx.members("aws_subnet", "s").len(), 2);
+        assert_eq!(idx.members("aws_vpc", "v"), ["aws_vpc.v"]);
+        assert!(idx.members("aws_vpc", "ghost").is_empty());
+    }
+
+    #[test]
+    fn members_match_a_snapshot_scan_order() {
+        let mut s = Snapshot::new();
+        for a in ["aws_vm.w[\"us\"]", "aws_vm.w[\"eu\"]", "aws_vm.w[\"ap\"]"] {
+            s.put(res(a, a));
+        }
+        let idx = BlockIndex::build(&s);
+        let scanned: Vec<&String> = s
+            .resources
+            .iter()
+            .filter(|(_, r)| r.addr.rtype.as_str() == "aws_vm" && r.addr.name == "w")
+            .map(|(k, _)| k)
+            .collect();
+        let indexed: Vec<&String> = idx.members("aws_vm", "w").iter().collect();
+        assert_eq!(indexed, scanned);
+    }
+
+    #[test]
+    fn insert_and_remove_mirror_snapshot_mutations() {
+        let mut s = Snapshot::new();
+        let mut idx = BlockIndex::new();
+        let r = res("aws_vpc.v", "vpc-1");
+        idx.insert(&r);
+        s.put(r);
+        assert_eq!(idx.members("aws_vpc", "v").len(), 1);
+        // idempotent insert (Snapshot::put replaces in place)
+        idx.insert(&res("aws_vpc.v", "vpc-2"));
+        assert_eq!(idx.members("aws_vpc", "v").len(), 1);
+        let addr: ResourceAddr = "aws_vpc.v".parse().unwrap();
+        s.remove(&addr);
+        idx.remove(&addr);
+        assert!(idx.members("aws_vpc", "v").is_empty());
+        // removing an absent address is a no-op
+        idx.remove(&addr);
+    }
+
+    #[test]
+    fn distinct_blocks_do_not_alias() {
+        let mut idx = BlockIndex::new();
+        idx.insert(&res("aws_vpc.a", "1"));
+        idx.insert(&res("aws_subnet.a", "2"));
+        idx.insert(&res("aws_vpc.b", "3"));
+        assert_eq!(idx.members("aws_vpc", "a"), ["aws_vpc.a"]);
+        assert_eq!(idx.members("aws_subnet", "a"), ["aws_subnet.a"]);
+        assert_eq!(idx.members("aws_vpc", "b"), ["aws_vpc.b"]);
+    }
+}

@@ -27,12 +27,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod block_index;
 pub mod history;
 pub mod lock;
 pub mod snapshot;
 pub mod store;
 pub mod txn;
 
+pub use block_index::BlockIndex;
 pub use history::{History, HistoryEntry};
 pub use lock::{
     FairResourceLockManager, GlobalLock, LockGuard, LockManager, LockScope, ObservedLockManager,

@@ -63,6 +63,12 @@ impl Snapshot {
         self.resources.get(&addr.to_string())
     }
 
+    /// Look up by a pre-rendered address string (avoids re-rendering the
+    /// address on hot paths that already hold the string key).
+    pub fn get_str(&self, key: &str) -> Option<&DeployedResource> {
+        self.resources.get(key)
+    }
+
     /// Look up by cloud id.
     pub fn by_id(&self, id: &ResourceId) -> Option<&DeployedResource> {
         self.resources.values().find(|r| &r.id == id)

@@ -1,0 +1,158 @@
+//! Interning: dense integer ids for values that are compared, hashed and
+//! cloned on hot paths.
+//!
+//! Plan construction, diffing and execution all key their bookkeeping by
+//! [`crate::ResourceAddr`]. Rendering addresses to strings and comparing
+//! them lexically is fine at `random-200` scale but dominates the profile at
+//! fleet scale (the paper's 100k–1M resource regime): every map lookup
+//! re-allocates and re-hashes a formatted address. An [`Interner`] assigns
+//! each distinct value a dense [`Symbol`] (a `u32`), after which every
+//! lookup is an integer index and every "clone" is a `Copy`.
+//!
+//! [`AddrId`] / [`AddrTable`] are the address-specialized aliases used by
+//! `cloudless-deploy`: symbols are handed out in insertion order, so when a
+//! table is filled in plan-node order, `AddrId(i)` and the plan graph's
+//! `NodeId(i)` coincide.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+use crate::ResourceAddr;
+
+/// A dense interned id. `Symbol(i)` is the `i`-th distinct value interned
+/// into its table; ids are meaningless across tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A table interning values of type `T` into dense [`Symbol`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Interner<T> {
+    map: HashMap<T, u32>,
+    items: Vec<T>,
+}
+
+impl<T: Eq + Hash + Clone> Interner<T> {
+    pub fn new() -> Self {
+        Interner {
+            map: HashMap::new(),
+            items: Vec::new(),
+        }
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Interner {
+            map: HashMap::with_capacity(n),
+            items: Vec::with_capacity(n),
+        }
+    }
+
+    /// Intern `value`, returning its symbol (existing or freshly assigned).
+    pub fn intern(&mut self, value: T) -> Symbol {
+        if let Some(&id) = self.map.get(&value) {
+            return Symbol(id);
+        }
+        let id = self.items.len() as u32;
+        self.items.push(value.clone());
+        self.map.insert(value, id);
+        Symbol(id)
+    }
+
+    /// Symbol of an already-interned value, without interning.
+    pub fn get<Q>(&self, value: &Q) -> Option<Symbol>
+    where
+        T: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.map.get(value).map(|&id| Symbol(id))
+    }
+
+    /// The value behind a symbol. Panics on a foreign symbol.
+    pub fn resolve(&self, s: Symbol) -> &T {
+        &self.items[s.index()]
+    }
+
+    /// Number of distinct values interned.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// All interned values, in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &T)> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (Symbol(i as u32), v))
+    }
+}
+
+/// Dense id of an interned [`ResourceAddr`].
+pub type AddrId = Symbol;
+
+/// Interner specialized to resource addresses.
+pub type AddrTable = Interner<ResourceAddr>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut t: Interner<String> = Interner::new();
+        let a = t.intern("alpha".to_owned());
+        let b = t.intern("beta".to_owned());
+        let a2 = t.intern("alpha".to_owned());
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!((a.0, b.0), (0, 1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(b), "beta");
+    }
+
+    #[test]
+    fn get_without_interning() {
+        let mut t: Interner<String> = Interner::new();
+        t.intern("x".to_owned());
+        assert_eq!(t.get("x"), Some(Symbol(0)));
+        assert_eq!(t.get("y"), None);
+        assert_eq!(t.len(), 1, "get must not intern");
+    }
+
+    #[test]
+    fn addr_table_round_trip() {
+        let mut t = AddrTable::new();
+        let addr: ResourceAddr = "aws_vpc.main".parse().unwrap();
+        let id = t.intern(addr.clone());
+        assert_eq!(t.get(&addr), Some(id));
+        assert_eq!(t.resolve(id), &addr);
+        let other: ResourceAddr = "aws_subnet.s[2]".parse().unwrap();
+        assert_eq!(t.get(&other), None);
+    }
+
+    #[test]
+    fn iteration_in_symbol_order() {
+        let mut t: Interner<u64> = Interner::with_capacity(3);
+        t.intern(30);
+        t.intern(10);
+        t.intern(20);
+        let seen: Vec<u64> = t.iter().map(|(_, &v)| v).collect();
+        assert_eq!(seen, vec![30, 10, 20]);
+    }
+}

@@ -17,12 +17,14 @@
 
 pub mod addr;
 pub mod cidr;
+pub mod intern;
 pub mod provider;
 pub mod span;
 pub mod time;
 pub mod value;
 
 pub use addr::{ResourceAddr, ResourceId, ResourceKey, ResourceTypeName};
+pub use intern::{AddrId, AddrTable, Interner, Symbol};
 pub use provider::{Provider, Region};
 pub use span::{SourcePos, Span};
 pub use time::{SimDuration, SimTime};

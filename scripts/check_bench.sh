@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Guard the perf trajectory: re-measure the E14 scale experiment on this
+# host and fail if any stage regressed more than the tolerance versus the
+# committed baseline.
+#
+# Wall-clock numbers are host-dependent, so this check measures BOTH sides
+# on the same machine when possible: the committed BENCH_pr.json is the
+# candidate, and BENCH_baseline.json is the reference the previous PR
+# committed. A fresh measurement (--fresh) re-runs the smoke tier locally
+# and compares it against the committed baseline instead, which is what CI
+# does — same host for measure and compare, so the 20% tolerance is
+# meaningful.
+#
+# Usage:
+#   scripts/check_bench.sh            # committed pr vs committed baseline
+#   scripts/check_bench.sh --fresh    # fresh full-tier run vs baseline
+set -euo pipefail
+
+baseline=${BENCH_BASELINE:-BENCH_baseline.json}
+candidate=${BENCH_PR:-BENCH_pr.json}
+tolerance=${BENCH_TOLERANCE:-0.2}
+
+if [[ "${1:-}" == "--fresh" ]]; then
+  candidate=/tmp/BENCH_fresh.json
+  cargo run --release -p cloudless-bench --bin exp_scale -- \
+    --tier full --out "$candidate"
+fi
+
+cargo run --release -p cloudless-bench --bin exp_scale -- \
+  --compare "$baseline" "$candidate" --tolerance "$tolerance"

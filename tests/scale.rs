@@ -1,0 +1,38 @@
+//! Scale regression guard: the random-10k workload must run through the
+//! whole pipeline (generate, parse+expand, diff, plan, schedule, apply)
+//! within a generous wall-clock budget.
+//!
+//! The budget is deliberately loose — tier-1 tests may run unoptimized and
+//! on shared hardware — but it is tight enough to catch a reintroduced
+//! quadratic hot path: before the O(V+E) plan/schedule/apply rework, the
+//! 10k pipeline was over an order of magnitude slower than it is now, and
+//! any O(n^2) stage blows well past this limit at n = 10_000.
+//!
+//! Precise trajectory tracking lives in `BENCH_*.json` (E14, release-only,
+//! checked by `scripts/check_bench.sh`); this test is only a coarse
+//! backstop that runs with the regular suite.
+
+use std::time::{Duration, Instant};
+
+use cloudless_bench::experiments::e14_scale;
+
+#[test]
+fn random_10k_pipeline_within_wall_budget() {
+    // Debug builds are roughly 10-20x slower than release; the release
+    // pipeline finishes in ~0.2s, so 120s leaves two orders of magnitude
+    // of headroom while still failing fast on quadratic behavior.
+    let budget = Duration::from_secs(120);
+    let start = Instant::now();
+    let point = e14_scale::measure("random-10k", 10_000, 1);
+    let elapsed = start.elapsed();
+
+    assert_eq!(point.nodes, 10_000, "workload should expand to 10k nodes");
+    assert!(point.edges > 0, "workload should have dependency edges");
+    assert!(point.waves > 0, "schedule should produce waves");
+    assert!(
+        elapsed < budget,
+        "random-10k pipeline took {elapsed:?}, over the {budget:?} budget; \
+         stage millis: {:?}",
+        point.millis
+    );
+}
