@@ -1,0 +1,4 @@
+//! Print the adversarial drift-reconciliation experiment table.
+fn main() {
+    println!("{}", cloudless_bench::experiments::e15_reconcile::run());
+}

@@ -1,0 +1,101 @@
+//! E15: closed-loop drift reconciliation under adversarial scenarios.
+//!
+//! For every scenario family in [`crate::scenarios`], runs `per_family`
+//! seeded instances end to end — deploy, replay the out-of-band mutation
+//! script, `reconcile` — and reports: reconcile success rate (loop closed,
+//! patched program re-plans to an empty diff), patch minimality versus the
+//! per-scenario oracle, repair-loop iterations, and cloud writes spent by
+//! the re-converge (adoption-only families need zero).
+
+use crate::scenarios::{suite, Family, ScenarioOutcome};
+use crate::table::{ratio, Table};
+
+const PER_FAMILY: usize = 4;
+
+pub fn run() -> String {
+    let outcomes: Vec<ScenarioOutcome> = suite(crate::SEED, PER_FAMILY)
+        .iter()
+        .map(|sc| sc.run())
+        .collect();
+
+    let mut t = Table::new(
+        "E15: drift reconciliation under adversarial scenarios",
+        &[
+            "scenario family",
+            "runs",
+            "reconciled",
+            "ops / oracle",
+            "repair iters (mean)",
+            "cloud writes (mean)",
+        ],
+    );
+    let mut total = 0usize;
+    let mut converged = 0usize;
+    for family in Family::ALL {
+        let runs: Vec<&ScenarioOutcome> = outcomes.iter().filter(|o| o.family == family).collect();
+        let ok = runs.iter().filter(|o| o.converged).count();
+        let ops: usize = runs.iter().map(|o| o.ops).sum();
+        let oracle: usize = runs.iter().map(|o| o.oracle_ops).sum();
+        let iters: usize = runs.iter().map(|o| o.iterations).sum();
+        let writes: u64 = runs.iter().map(|o| o.apply_ops).sum();
+        total += runs.len();
+        converged += ok;
+        t.row(vec![
+            family.name().to_owned(),
+            runs.len().to_string(),
+            format!("{ok}/{}", runs.len()),
+            ratio(ops as f64, oracle as f64),
+            format!("{:.2}", iters as f64 / runs.len() as f64),
+            format!("{:.2}", writes as f64 / runs.len() as f64),
+        ]);
+    }
+    t.row(vec![
+        "overall".to_owned(),
+        total.to_string(),
+        format!("{converged}/{total}"),
+        ratio(
+            outcomes.iter().map(|o| o.ops).sum::<usize>() as f64,
+            outcomes.iter().map(|o| o.oracle_ops).sum::<usize>() as f64,
+        ),
+        format!(
+            "{:.2}",
+            outcomes.iter().map(|o| o.iterations).sum::<usize>() as f64 / total as f64
+        ),
+        format!(
+            "{:.2}",
+            outcomes.iter().map(|o| o.apply_ops).sum::<u64>() as f64 / total as f64
+        ),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_success_rate_holds() {
+        let out = run();
+        assert!(out.contains("E15"));
+        for family in Family::ALL {
+            assert!(
+                out.contains(family.name()),
+                "missing row: {}",
+                family.name()
+            );
+        }
+        // the acceptance bar: ≥90% reconcile success across the suite
+        let overall = out
+            .lines()
+            .find(|l| l.contains("overall"))
+            .expect("overall row");
+        let cell = overall
+            .split('|')
+            .map(str::trim)
+            .find(|c| c.contains('/'))
+            .expect("success cell");
+        let (ok, total) = cell.split_once('/').unwrap();
+        let (ok, total): (f64, f64) = (ok.parse().unwrap(), total.parse().unwrap());
+        assert!(ok / total >= 0.9, "success rate {ok}/{total} below 90%");
+    }
+}

@@ -7,6 +7,7 @@ pub mod e11_resilience;
 pub mod e12_obs;
 pub mod e13_analyze;
 pub mod e14_scale;
+pub mod e15_reconcile;
 pub mod e1_deploy;
 pub mod e2_incremental;
 pub mod e3_locks;
@@ -106,5 +107,7 @@ pub fn all() -> String {
     // E14 (scale) is intentionally absent: it times host wall-clock and
     // would make the snapshot machine-dependent. See the `exp_scale` binary
     // and `scripts/check_bench.sh`.
+    out.push('\n');
+    out.push_str(&e15_reconcile::run());
     out
 }

@@ -14,6 +14,7 @@
 //! cloudless destroy   <dir>                 # tear everything down
 //! cloudless state     <dir>                 # list managed resources
 //! cloudless drift     <dir>                 # scan for out-of-band changes
+//! cloudless reconcile <dir> <file.tf>       # fold drift back into the program
 //! cloudless import    <dir> [--modules]     # port live cloud → IaC program
 //! cloudless rogue     <dir> <addr> <k> <v>  # simulate an out-of-band edit
 //! ```
@@ -49,6 +50,7 @@ fn main() -> ExitCode {
         "destroy" => cmd_destroy(&rest),
         "state" => cmd_state(&rest),
         "drift" => cmd_drift(&rest),
+        "reconcile" => cmd_reconcile(&rest),
         "metrics" => cmd_metrics(&rest),
         "import" => cmd_import(&rest),
         "rogue" => cmd_rogue(&rest),
@@ -88,6 +90,12 @@ commands:
   destroy   <dir>                      destroy all managed resources
   state     <dir>                      list managed resources
   drift     <dir>                      scan the cloud for drift
+  reconcile <dir> <file.tf>            fold drift back into the program:
+                                       classify, synthesize a minimal patch,
+                                       converge to a zero-diff plan
+            [--dry-run]                show the patch, change nothing
+            [--patch <out.tf>]         write the patched program to a file
+            [--deny warn]              refuse patches with warning findings
   metrics   <dir>                      show metrics from the last apply
   import    <dir> [--modules]          port live cloud resources to IaC
   rogue     <dir> <addr> <key> <val>   simulate an out-of-band change";
@@ -460,7 +468,7 @@ fn cmd_drift(rest: &[&str]) -> Result<(), String> {
             println!("{:?}: {target}", ev.kind);
         }
         println!(
-            "{} drift event(s); run `cloudless apply` to reconcile ({} API calls)",
+            "{} drift event(s); `cloudless apply` overwrites them, `cloudless reconcile` folds them into the program ({} API calls)",
             report.events.len(),
             report.api_calls
         );
@@ -470,6 +478,127 @@ fn cmd_drift(rest: &[&str]) -> Result<(), String> {
     }
     session.save(&engine)?;
     Ok(())
+}
+
+fn cmd_reconcile(rest: &[&str]) -> Result<(), String> {
+    let dir = want(rest, 0, "session directory")?;
+    let file = want(rest, 1, "program file")?;
+    let dry_run = rest.contains(&"--dry-run");
+    let mut patch_out = None;
+    let mut deny_warn = false;
+    let mut it = rest.iter().skip(2);
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--dry-run" => {}
+            "--patch" => {
+                patch_out = Some((*it.next().ok_or("--patch needs an output path")?).to_owned());
+            }
+            "--deny" => {
+                let what = it.next().ok_or("--deny needs `warn`")?;
+                if *what != "warn" {
+                    return Err(format!("--deny: only `warn` is supported, got {what:?}"));
+                }
+                deny_warn = true;
+            }
+            other => return Err(format!("unknown reconcile option {other:?}\n{USAGE}")),
+        }
+    }
+    let source = read_program(file)?;
+    let session = Session::load(dir)?;
+    let mut engine = session.engine()?;
+    if deny_warn {
+        engine.set_lint_gate(cloudless::LintGate::DenyWarnings);
+    }
+    let report = match engine.reconcile(&source, dry_run) {
+        Ok(r) => r,
+        Err(ConvergeError::Frontend(d)) => {
+            let sources = cloudless::hcl::SourceMap::single("main.tf", &source);
+            return Err(format!("program rejected:\n{}", d.render_pretty(&sources)));
+        }
+        Err(ConvergeError::Lint(r)) => {
+            let sources = cloudless::hcl::SourceMap::single("main.tf", &source);
+            return Err(format!(
+                "reconcile refused: no patch satisfies the lint gate \
+                 ({} finding(s)); relax the gate or fix the program:\n{}",
+                r.findings.len(),
+                r.render_text(&sources)
+            ));
+        }
+        Err(e) => return Err(format!("reconcile failed: {e}")),
+    };
+    println!(
+        "refresh: {} read(s), {} updated, {} missing",
+        report.refresh.reads,
+        report.refresh.updated.len(),
+        report.refresh.missing.len()
+    );
+    if report.plan.is_empty() && report.dropped.is_empty() {
+        println!("no drift to fold back — the program already matches the cloud");
+        if !dry_run {
+            // the refresh may still have absorbed undeclared-attr drift
+            // into state; persist it so `drift` stops flagging it
+            session.save(&engine)?;
+        }
+        return Ok(());
+    }
+    for op in &report.plan.ops {
+        println!("  + {}", op.describe());
+    }
+    for (op, why) in &report.dropped {
+        println!("  - dropped {} ({why})", op.describe());
+    }
+    for addr in &report.plan.overwrites {
+        println!("  ~ {addr}: drift not expressible as an edit; next apply overwrites it");
+    }
+    for (id, why) in &report.plan.skipped {
+        println!("  ? {id}: skipped ({why})");
+    }
+    println!(
+        "patch: {} edit op(s), {} import(s), {} move(s), {} repair iteration(s)",
+        report.plan.ops.len(),
+        report.plan.imports.len(),
+        report.plan.moves.len(),
+        report.iterations
+    );
+    if let Some(path) = &patch_out {
+        std::fs::write(path, &report.patched_source)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("patched program written to {path}");
+    }
+    if dry_run {
+        print!("{}", report.plan_text);
+        println!(
+            "dry run: nothing changed; patched program {} to a zero-diff plan",
+            if report.converged {
+                "re-plans"
+            } else {
+                "does NOT re-plan"
+            }
+        );
+        return Ok(());
+    }
+    if let Some(apply) = &report.apply {
+        println!(
+            "apply: {} op(s), {} retry(ies), virtual makespan {}",
+            apply.ops_submitted,
+            apply.retries,
+            apply.makespan()
+        );
+    }
+    session.save(&engine)?;
+    if report.converged {
+        if patch_out.is_none() {
+            println!("# patched program (commit this):");
+            print!("{}", report.patched_source);
+        }
+        println!(
+            "reconciled: {} resource(s) under management, plan is zero-diff",
+            engine.state().len()
+        );
+        Ok(())
+    } else {
+        Err("reconcile applied but the patched program still plans changes".into())
+    }
 }
 
 fn cmd_metrics(rest: &[&str]) -> Result<(), String> {

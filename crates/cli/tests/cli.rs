@@ -456,3 +456,105 @@ resource "aws_s3_bucket" "extra" { bucket = "extra" }
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("3 resource(s) under management"));
 }
+
+#[test]
+fn reconcile_dry_run_then_real_run() {
+    let session = TempSession::new("reconcile");
+    run(&["init", session.path()]);
+    let program = session.write("main.tf", PROGRAM);
+    assert!(run(&["apply", session.path(), &program]).status.success());
+
+    // hand-edit a managed attribute out of band
+    let out = run(&[
+        "rogue",
+        session.path(),
+        "aws_subnet.app",
+        "cidr_block",
+        "10.0.9.0/24",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // dry run: previews the patch, changes nothing
+    let out = run(&["reconcile", session.path(), &program, "--dry-run"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("set aws_subnet.app.cidr_block"), "{text}");
+    assert!(text.contains("dry run: nothing changed"), "{text}");
+    assert!(text.contains("re-plans to a zero-diff plan"), "{text}");
+
+    // the drift is still there — the dry run saved nothing
+    let out = run(&["drift", session.path()]);
+    assert!(stdout(&out).contains("drift event(s)"), "{}", stdout(&out));
+
+    // real run: adopts the edit and persists the session
+    let patch = session.dir.join("patched.tf");
+    let out = run(&[
+        "reconcile",
+        session.path(),
+        &program,
+        "--patch",
+        patch.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("plan is zero-diff"),
+        "{}",
+        stdout(&out)
+    );
+    let patched = std::fs::read_to_string(&patch).expect("patch written");
+    assert!(patched.contains("10.0.9.0/24"), "{patched}");
+
+    // the loop is closed: no drift, and the patched program plans a no-op
+    let out = run(&["drift", session.path()]);
+    assert!(
+        stdout(&out).contains("no drift detected"),
+        "{}",
+        stdout(&out)
+    );
+    let out = run(&["plan", session.path(), patch.to_str().unwrap()]);
+    assert!(
+        stdout(&out).contains("0 to add, 0 to change, 0 to destroy"),
+        "{}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn reconcile_deny_warn_refuses_gated_patch() {
+    let session = TempSession::new("reconcile-deny");
+    run(&["init", session.path()]);
+    // warning-laden but error-free: deploys under the default gate
+    let program = session.write(
+        "main.tf",
+        r#"
+variable "unused" { default = "x" }
+resource "aws_vpc" "main" { cidr_block = "10.0.0.0/16" }
+resource "aws_s3_bucket" "data" { bucket = "cli-gated" }
+"#,
+    );
+    assert!(run(&["apply", session.path(), &program]).status.success());
+    let out = run(&[
+        "rogue",
+        session.path(),
+        "aws_s3_bucket.data",
+        "bucket",
+        "cli-gated-edited",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // under --deny warn no patch can satisfy the gate: refuse loudly
+    let out = run(&["reconcile", session.path(), &program, "--deny", "warn"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("reconcile refused"), "{err}");
+    assert!(err.contains("ANA101"), "{err}");
+
+    // without the tightened gate the same reconcile goes through
+    let out = run(&["reconcile", session.path(), &program]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("plan is zero-diff"),
+        "{}",
+        stdout(&out)
+    );
+}

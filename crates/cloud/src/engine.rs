@@ -72,6 +72,12 @@ pub struct CloudConfig {
     pub catalog: Catalog,
     pub latency: LatencyModel,
     pub faults: FaultPlan,
+    /// Seed for the dedicated fault RNG. Fault rolls draw from their own
+    /// stream so a fault schedule is a pure function of this seed and the
+    /// sequence of mutation ops — independent of how many latency samples
+    /// the latency model happens to draw. `None` derives the stream from
+    /// the construction seed.
+    pub fault_seed: Option<u64>,
     /// Per-provider rate limit; `None` disables throttling.
     pub rate_limit: Option<RateLimit>,
     /// Quota overrides per resource type (otherwise schema defaults apply).
@@ -84,6 +90,7 @@ impl Default for CloudConfig {
             catalog: Catalog::standard(),
             latency: LatencyModel::default(),
             faults: FaultPlan::none(),
+            fault_seed: None,
             rate_limit: Some(RateLimit::standard()),
             quota_overrides: BTreeMap::new(),
         }
@@ -214,6 +221,10 @@ pub struct Cloud {
     pending: BTreeMap<OpId, Pending>,
     log: ActivityLog,
     rng: StdRng,
+    /// Dedicated stream for fault rolls (see [`CloudConfig::fault_seed`]):
+    /// the k-th mutation op always sees the k-th draw, whatever the latency
+    /// model or a mid-run [`Cloud::set_fault_plan`] does.
+    fault_rng: StdRng,
     next_op: u64,
     next_resource: u64,
     calls: BTreeMap<Provider, ApiCallStats>,
@@ -234,6 +245,7 @@ impl Cloud {
                 (p, b)
             })
             .collect();
+        let fault_seed = config.fault_seed.unwrap_or(seed ^ 0xFA17_5EED);
         Cloud {
             config,
             now: SimTime::ZERO,
@@ -244,6 +256,7 @@ impl Cloud {
             pending: BTreeMap::new(),
             log: ActivityLog::new(),
             rng: StdRng::seed_from_u64(seed),
+            fault_rng: StdRng::seed_from_u64(fault_seed),
             next_op: 0,
             next_resource: 0,
             calls: BTreeMap::new(),
@@ -260,6 +273,20 @@ impl Cloud {
     /// The installed recorder (a [`NullRecorder`] unless one was set).
     pub fn recorder(&self) -> &Arc<dyn Recorder> {
         &self.obs
+    }
+
+    /// Swap the active fault plan mid-run (e.g. an outage storm starting or
+    /// clearing). The fault RNG stream is untouched, so a scenario that
+    /// toggles plans at fixed points in its op sequence stays
+    /// byte-reproducible.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.config.faults = plan;
+    }
+
+    /// Re-arm the fault stream from a fresh seed, independent of how many
+    /// fault rolls have been consumed so far.
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.fault_rng = StdRng::seed_from_u64(seed);
     }
 
     /// Current virtual time.
@@ -484,7 +511,7 @@ impl Cloud {
         let fault = if request.op.is_read() {
             FaultOutcome::Normal
         } else {
-            self.config.faults.roll(&mut self.rng)
+            self.config.faults.roll(&mut self.fault_rng)
         };
         if fault == FaultOutcome::Hang {
             duration = duration.mul_f64(self.config.faults.hang_factor);
@@ -1214,6 +1241,47 @@ mod tests {
         }
         assert_eq!(seq.now(), bat.now());
         assert_eq!(seq.records().len(), bat.records().len());
+    }
+
+    #[test]
+    fn fault_schedule_is_independent_of_latency_model() {
+        // The k-th mutation must see the k-th fault roll whether or not the
+        // latency model draws jitter samples — that is the whole point of
+        // the dedicated fault stream.
+        let outcomes = |jitter: bool| {
+            let config = CloudConfig {
+                latency: if jitter {
+                    LatencyModel::default()
+                } else {
+                    LatencyModel::exact()
+                },
+                faults: FaultPlan::storm(),
+                fault_seed: Some(7),
+                rate_limit: None,
+                ..CloudConfig::default()
+            };
+            let mut c = Cloud::new(config, 1234);
+            let ops: Vec<OpId> = (0..40)
+                .map(|i| {
+                    c.submit(create_req(
+                        "aws_s3_bucket",
+                        "us-east-1",
+                        attrs([("bucket", Value::from(format!("b{i}")))]),
+                    ))
+                    .expect("admitted")
+                })
+                .collect();
+            let mut failed = std::collections::BTreeSet::new();
+            while let Some(done) = c.step() {
+                if matches!(done.outcome, OpOutcome::Failed(_)) {
+                    failed.insert(done.op_id);
+                }
+            }
+            ops.iter().map(|op| failed.contains(op)).collect::<Vec<_>>()
+        };
+        let jittered = outcomes(true);
+        assert_eq!(jittered, outcomes(false));
+        assert!(jittered.iter().any(|&f| f), "storm injected no faults");
     }
 
     #[test]

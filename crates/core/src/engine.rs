@@ -128,6 +128,30 @@ pub struct ConvergeOutcome {
     pub explanations: Vec<Explanation>,
 }
 
+/// The result of a [`Cloudless::reconcile`] run.
+#[derive(Debug)]
+pub struct ReconcileReport {
+    /// The surviving reconcile plan: edit ops applied to the program, plus
+    /// the imports/moves they justified.
+    pub plan: cloudless_diagnose::ReconcilePlan,
+    /// Ops the validate-and-repair loop dropped, with the error that
+    /// implicated each (their drift is overwritten instead of adopted).
+    pub dropped: Vec<(cloudless_diagnose::EditOp, String)>,
+    /// The patched program source (what the user should commit).
+    pub patched_source: String,
+    /// Repair-loop iterations used.
+    pub iterations: usize,
+    /// The refresh that preceded classification.
+    pub refresh: RefreshReport,
+    /// Rendered residual plan (hypothetical on dry runs).
+    pub plan_text: String,
+    /// The converge's apply report; `None` on dry runs.
+    pub apply: Option<ApplyReport>,
+    /// Whether the patched program now plans to an empty diff.
+    pub converged: bool,
+    pub dry_run: bool,
+}
+
 /// The cloudless engine.
 pub struct Cloudless {
     cloud: Cloud,
@@ -201,6 +225,12 @@ impl Cloudless {
     /// The policy controller (register policies here).
     pub fn controller_mut(&mut self) -> &mut Controller {
         &mut self.controller
+    }
+
+    /// Change the lint gate after construction (the CLI's `--deny` flags
+    /// adjust a loaded session this way).
+    pub fn set_lint_gate(&mut self, gate: LintGate) {
+        self.config.lint = gate;
     }
 
     /// The convention miner (observes every successful apply).
@@ -545,6 +575,140 @@ impl Cloudless {
         (report, actions)
     }
 
+    /// Close the drift loop (§3.5's "regenerate the IaC-level program"):
+    /// refresh live state, classify every out-of-band mutation into minimal
+    /// program edit ops, synthesize a lint-clean patch through the
+    /// validate-and-repair loop, fold imports/moves into state, and — unless
+    /// `dry_run` — converge the patched program so residual drift (ops the
+    /// repair loop dropped) is overwritten. On success the patched program
+    /// re-plans to an empty diff.
+    ///
+    /// `dry_run` leaves engine state untouched: the refresh, state surgery,
+    /// and residual plan are computed against a hypothetical state clone.
+    ///
+    /// Returns [`ConvergeError::Frontend`] when the input program does not
+    /// parse/expand, and [`ConvergeError::Lint`] when no patch — not even
+    /// the op-free program — satisfies the configured lint gate (the
+    /// deny-lint refusal path).
+    pub fn reconcile(
+        &mut self,
+        source: &str,
+        dry_run: bool,
+    ) -> Result<ReconcileReport, ConvergeError> {
+        let file = cloudless_hcl::parse(source, "main.tf").map_err(ConvergeError::Frontend)?;
+        let program = Program::from_file(file.clone()).map_err(ConvergeError::Frontend)?;
+        let manifest = self
+            .expand_program(&program)
+            .map_err(ConvergeError::Frontend)?;
+
+        // observe: fold live truth into a state clone (committed only on a
+        // real run)
+        let mut state = self.store.current().clone();
+        let refresh = full_refresh(&mut self.cloud, &mut state, &self.config.principal);
+
+        // classify drift into edit ops
+        let drift = cloudless_diagnose::reconcile::classify(
+            &program,
+            &manifest,
+            &state,
+            self.cloud.records(),
+            self.cloud.catalog(),
+        );
+
+        // synthesize the patch under the engine's lint gate
+        let patch_config = cloudless_synth::PatchConfig {
+            lint: self.config.lint.config().unwrap_or_default(),
+            ..cloudless_synth::PatchConfig::default()
+        };
+        let outcome = cloudless_synth::synthesize_patch(
+            &file,
+            &drift,
+            self.cloud.catalog(),
+            &self.config.modules,
+            &self.config.inputs,
+            &patch_config,
+        );
+        if !outcome.ok {
+            // even the unpatched program fails the gate: refuse rather than
+            // emit a patch that cannot be admitted
+            let report = self.lint(source).unwrap_or_default();
+            return Err(ConvergeError::Lint(report));
+        }
+
+        // state surgery the surviving ops justify: bind imports to their
+        // live ids, renumber counted survivors (two phases so overlapping
+        // moves cannot clobber each other)
+        for (addr, id) in &outcome.plan.imports {
+            if let Some(rec) = self.cloud.records().get(id) {
+                state.put(cloudless_state::DeployedResource {
+                    addr: addr.clone(),
+                    id: id.clone(),
+                    rtype: rec.rtype.clone(),
+                    region: rec.region.clone(),
+                    attrs: rec.attrs.clone(),
+                    depends_on: Vec::new(),
+                    created_at: rec.created_at,
+                });
+            }
+        }
+        let moved: Vec<_> = outcome
+            .plan
+            .moves
+            .iter()
+            .filter_map(|(from, to)| state.remove(from).map(|r| (to.clone(), r)))
+            .collect();
+        for (to, mut r) in moved {
+            r.addr = to;
+            state.put(r);
+        }
+
+        let patched_manifest = {
+            let p = Program::from_file(outcome.file.clone()).map_err(ConvergeError::Frontend)?;
+            self.expand_program(&p).map_err(ConvergeError::Frontend)?
+        };
+
+        if dry_run {
+            let changes = diff(&patched_manifest, &state, self.cloud.catalog(), &self.data);
+            let converged = changes.iter().all(|c| c.action.is_noop());
+            let plan_text = cloudless_deploy::diff::render(&changes);
+            return Ok(ReconcileReport {
+                plan: outcome.plan,
+                dropped: outcome.dropped,
+                patched_source: outcome.source,
+                iterations: outcome.iterations,
+                refresh,
+                apply: None,
+                plan_text,
+                converged,
+                dry_run: true,
+            });
+        }
+
+        // commit the refreshed + surgered state, then converge the patched
+        // program: adopted drift is already a no-op, dropped ops' drift is
+        // overwritten back to the program
+        self.store.restore(state);
+        let converge = self.converge(&outcome.source)?;
+        let changes = diff(
+            &patched_manifest,
+            self.store.current(),
+            self.cloud.catalog(),
+            &self.data,
+        );
+        let converged = changes.iter().all(|c| c.action.is_noop());
+        Ok(ReconcileReport {
+            plan: outcome.plan,
+            dropped: outcome.dropped,
+            patched_source: outcome.source,
+            iterations: outcome.iterations,
+            refresh,
+            plan_text: converge.plan_text,
+            apply: Some(converge.apply),
+            converged,
+            dry_run: false,
+        })
+    }
+
     /// Feed a metric observation to operate-phase policies.
     pub fn observe_metric(&mut self, addr: &str, metric: &str, value: f64) -> Vec<Action> {
         let Ok(addr) = addr.parse() else {
@@ -758,6 +922,147 @@ resource "azure_virtual_machine" "vm" {
         let err = e.converge(WEB).unwrap_err();
         assert!(matches!(err, ConvergeError::PolicyDenied(_)));
         assert_eq!(e.state().len(), 0);
+    }
+
+    #[test]
+    fn reconcile_clean_world_is_a_noop() {
+        let mut e = engine();
+        e.converge(WEB).expect("deploy");
+        let r = e.reconcile(WEB, false).expect("reconciles");
+        assert!(r.converged);
+        assert!(r.plan.is_empty(), "{:?}", r.plan);
+        assert!(r.dropped.is_empty());
+        assert_eq!(r.apply.unwrap().ops_submitted, 0);
+    }
+
+    #[test]
+    fn reconcile_adopts_attr_drift_with_zero_cloud_writes() {
+        let mut e = engine();
+        e.converge(WEB).expect("deploy");
+        let subnet_id = e
+            .state()
+            .get(&"aws_subnet.app".parse().unwrap())
+            .unwrap()
+            .id
+            .clone();
+        e.cloud_mut()
+            .out_of_band_update(
+                "clickops",
+                &subnet_id,
+                attrs([("cidr_block", Value::from("10.0.5.0/24"))]),
+            )
+            .unwrap();
+        let r = e.reconcile(WEB, false).expect("reconciles");
+        assert!(r.converged);
+        assert_eq!(r.plan.ops.len(), 1, "{:?}", r.plan.ops);
+        assert!(r.patched_source.contains("10.0.5.0/24"));
+        // adoption means the cloud is already right: nothing applied
+        assert_eq!(r.apply.unwrap().ops_submitted, 0);
+        // and the patched program is now the fixpoint
+        let again = e.reconcile(&r.patched_source, false).expect("idempotent");
+        assert!(again.plan.is_empty());
+    }
+
+    #[test]
+    fn reconcile_imports_rogue_resource() {
+        let mut e = engine();
+        e.converge(WEB).expect("deploy");
+        let rogue = e
+            .cloud_mut()
+            .out_of_band_create(
+                "clickops",
+                "aws_s3_bucket",
+                "us-east-1",
+                attrs([("bucket", Value::from("shadow-data"))]),
+            )
+            .unwrap();
+        let r = e.reconcile(WEB, false).expect("reconciles");
+        assert!(r.converged);
+        assert_eq!(r.plan.imports.len(), 1);
+        assert!(r.patched_source.contains("shadow-data"));
+        // imported, not recreated
+        assert_eq!(r.apply.unwrap().ops_submitted, 0);
+        let imported = e
+            .state()
+            .get(&"aws_s3_bucket.shadow_data".parse().unwrap())
+            .expect("bound into state");
+        assert_eq!(imported.id, rogue);
+    }
+
+    #[test]
+    fn reconcile_shrinks_fleet_and_renumbers() {
+        let mut e = engine();
+        e.converge(WEB).expect("deploy");
+        let vm0 = e
+            .state()
+            .get(&"aws_virtual_machine.web[0]".parse().unwrap())
+            .unwrap()
+            .id
+            .clone();
+        e.cloud_mut().out_of_band_delete("intern", &vm0).unwrap();
+        let r = e.reconcile(WEB, false).expect("reconciles");
+        assert!(r.converged, "residual plan:\n{}", r.plan_text);
+        assert!(r
+            .plan
+            .ops
+            .iter()
+            .any(|op| matches!(op, cloudless_diagnose::EditOp::SetCount { count: 1, .. })));
+        // the survivor moved into slot 0; its templated name re-applies
+        assert!(e
+            .state()
+            .get(&"aws_virtual_machine.web[0]".parse().unwrap())
+            .is_some());
+        assert!(e
+            .state()
+            .get(&"aws_virtual_machine.web[1]".parse().unwrap())
+            .is_none());
+    }
+
+    #[test]
+    fn reconcile_dry_run_leaves_engine_untouched() {
+        let mut e = engine();
+        e.converge(WEB).expect("deploy");
+        e.cloud_mut()
+            .out_of_band_create(
+                "clickops",
+                "aws_s3_bucket",
+                "us-east-1",
+                attrs([("bucket", Value::from("shadow-data"))]),
+            )
+            .unwrap();
+        let before = e.state().clone();
+        let r = e.reconcile(WEB, true).expect("dry run");
+        assert!(r.dry_run);
+        assert!(r.converged, "hypothetical plan is empty:\n{}", r.plan_text);
+        assert!(r.apply.is_none());
+        assert_eq!(r.plan.imports.len(), 1);
+        assert_eq!(
+            e.state().to_json(),
+            before.to_json(),
+            "dry run must not mutate state"
+        );
+        assert_eq!(e.history().len(), 1, "no new checkpoint");
+    }
+
+    #[test]
+    fn reconcile_refuses_when_lint_gate_unsatisfiable() {
+        let mut e = engine();
+        // warning-level finding passes the default DenyErrors gate…
+        let src = r#"
+variable "unused" { default = 1 }
+resource "aws_vpc" "main" { cidr_block = "10.0.0.0/16" }
+"#;
+        e.converge(src).expect("deploys under DenyErrors");
+        // …but once the operator tightens the gate, no patch can fix the
+        // base program, so reconcile refuses instead of emitting one
+        e.set_lint_gate(LintGate::DenyWarnings);
+        let err = e.reconcile(src, false).unwrap_err();
+        match err {
+            ConvergeError::Lint(r) => {
+                assert!(r.findings.iter().any(|f| f.diagnostic.code == "ANA101"));
+            }
+            other => panic!("expected lint refusal, got {other:?}"),
+        }
     }
 
     #[test]

@@ -57,4 +57,4 @@ pub use cloudless_validate as validate;
 mod engine;
 
 pub use cloudless_analyze::{LintConfig, LintGate, LintReport};
-pub use engine::{Cloudless, Config, ConvergeError, ConvergeOutcome};
+pub use engine::{Cloudless, Config, ConvergeError, ConvergeOutcome, ReconcileReport};

@@ -15,11 +15,16 @@
 //!   ("Linux virtual machine creation failed because specified NIC is not
 //!   found") into root causes anchored at exact source lines, with fix
 //!   suggestions.
+//! * [`reconcile`](mod@reconcile) — the regeneration component: classifies
+//!   detected drift into minimal program-level [`EditOp`]s that fold
+//!   out-of-band mutations back into the IaC program.
 
 #![forbid(unsafe_code)]
 
 pub mod drift;
 pub mod explain;
+pub mod reconcile;
 
 pub use drift::{DriftEvent, DriftKind, DriftReport, LogWatcher, Reconciliation, Scanner};
 pub use explain::{explain, Explanation};
+pub use reconcile::{classify, EditOp, ReconcilePlan};

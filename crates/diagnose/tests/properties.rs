@@ -1,0 +1,207 @@
+//! Property tests for the drift classifier: determinism, the patch
+//! minimality bound (never more edit ops than mutations), and soundness of
+//! op targets under random out-of-band mutation sequences.
+
+use std::collections::BTreeMap;
+
+use cloudless_cloud::{Cloud, CloudConfig};
+use cloudless_deploy::resolver::DataResolver;
+use cloudless_deploy::{diff, full_refresh, Executor, Plan, Strategy as ExecStrategy};
+use cloudless_diagnose::reconcile::{classify, EditOp, ReconcilePlan};
+use cloudless_hcl::program::{expand, Manifest, ModuleLibrary, Program};
+use cloudless_state::Snapshot;
+use cloudless_types::value::attrs;
+use cloudless_types::Value;
+use proptest::prelude::*;
+
+const SRC: &str = r#"
+resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }
+resource "aws_s3_bucket" "b" {
+  count  = 3
+  bucket = "fleet-${count.index}"
+}
+resource "aws_s3_bucket" "c" { bucket = "solo" }
+"#;
+
+fn deployed() -> (Program, Manifest, Cloud, Snapshot) {
+    let catalog = cloudless_cloud::Catalog::standard();
+    let data = DataResolver::new();
+    let mut cloud = Cloud::new(CloudConfig::exact(), 99);
+    let mut state = Snapshot::new();
+    let p = Program::from_file(cloudless_hcl::parse(SRC, "main.tf").unwrap()).unwrap();
+    let m = expand(&p, &BTreeMap::new(), &ModuleLibrary::new(), &data).unwrap();
+    let plan = Plan::build(diff(&m, &state, &catalog, &data), &state, &catalog);
+    let exec = Executor::new(ExecStrategy::TerraformWalk { parallelism: 10 }, &data);
+    assert!(exec.apply(&plan, &mut cloud, &mut state).all_ok());
+    (p, m, cloud, state)
+}
+
+/// (kind, target index, payload): 0 = delete a managed resource,
+/// 1 = single-attr update on a managed resource, 2 = rogue create.
+type Mutation = (usize, usize, String);
+
+fn mutate(cloud: &mut Cloud, state: &Snapshot, muts: &[Mutation]) -> usize {
+    let addrs = state.addrs();
+    let mut applied = 0;
+    for (kind, target, payload) in muts {
+        match kind % 3 {
+            0 => {
+                let addr = &addrs[target % addrs.len()];
+                if let Some(r) = state.get(addr) {
+                    if cloud.out_of_band_delete("intern", &r.id).is_ok() {
+                        applied += 1;
+                    }
+                }
+            }
+            1 => {
+                let addr = &addrs[target % addrs.len()];
+                if let Some(r) = state.get(addr) {
+                    // one attribute per mutation keeps the op bound exact
+                    let attr = if r.rtype.as_str() == "aws_vpc" {
+                        "name"
+                    } else {
+                        "bucket"
+                    };
+                    if cloud
+                        .out_of_band_update(
+                            "intern",
+                            &r.id,
+                            attrs([(attr, Value::from(format!("drift-{payload}")))]),
+                        )
+                        .is_ok()
+                    {
+                        applied += 1;
+                    }
+                }
+            }
+            _ => {
+                if cloud
+                    .out_of_band_create(
+                        "clickops",
+                        "aws_s3_bucket",
+                        "us-east-1",
+                        attrs([("bucket", Value::from(format!("rogue-{payload}")))]),
+                    )
+                    .is_ok()
+                {
+                    applied += 1;
+                }
+            }
+        }
+    }
+    applied
+}
+
+fn classify_world(
+    p: &Program,
+    m: &Manifest,
+    cloud: &mut Cloud,
+    state: &mut Snapshot,
+) -> ReconcilePlan {
+    full_refresh(cloud, state, "reconciler");
+    classify(p, m, state, cloud.records(), cloud.catalog())
+}
+
+fn gen_mutations() -> impl Strategy<Value = Vec<Mutation>> {
+    proptest::collection::vec((0usize..3, 0usize..8, "[a-z]{1,6}"), 0..6)
+}
+
+proptest! {
+    /// No mutations → nothing to reconcile.
+    #[test]
+    fn clean_world_is_a_fixpoint(_seed in 0u64..5) {
+        let (p, m, mut cloud, mut state) = deployed();
+        let plan = classify_world(&p, &m, &mut cloud, &mut state);
+        prop_assert!(plan.is_empty(), "{plan:?}");
+        prop_assert!(plan.overwrites.is_empty());
+    }
+
+    /// Minimality bound: a patch never contains more edit ops than the
+    /// mutation sequence that caused it (each single-attr mutation yields
+    /// at most one op; fleet deletions collapse into one `SetCount`).
+    #[test]
+    fn op_count_bounded_by_mutations(muts in gen_mutations()) {
+        let (p, m, mut cloud, mut state) = deployed();
+        let applied = mutate(&mut cloud, &state, &muts);
+        let plan = classify_world(&p, &m, &mut cloud, &mut state);
+        prop_assert!(
+            plan.ops.len() <= applied,
+            "{} ops from {} mutations: {:?}",
+            plan.ops.len(),
+            applied,
+            plan.ops
+        );
+    }
+
+    /// Classification is a pure function of the world: classifying twice
+    /// yields the same plan, and every op targets a block that exists in
+    /// the (possibly extended) program.
+    #[test]
+    fn classification_is_deterministic_and_sound(muts in gen_mutations()) {
+        let (p, m, mut cloud, mut state) = deployed();
+        mutate(&mut cloud, &state, &muts);
+        let plan_a = classify_world(&p, &m, &mut cloud, &mut state);
+        let plan_b = classify_world(&p, &m, &mut cloud, &mut state);
+        prop_assert_eq!(format!("{plan_a:?}"), format!("{plan_b:?}"));
+        for op in &plan_a.ops {
+            match op {
+                EditOp::AddBlock { label, .. } => {
+                    // imported labels never collide with declared blocks
+                    prop_assert!(p.resource("aws_s3_bucket", label).is_none());
+                }
+                EditOp::SetAttr { rtype, name, .. }
+                | EditOp::SetCount { rtype, name, .. }
+                | EditOp::RemoveForEachKeys { rtype, name, .. }
+                | EditOp::RemoveBlock { rtype, name } => {
+                    prop_assert!(
+                        p.resource(rtype, name).is_some(),
+                        "op targets undeclared block {rtype}.{name}"
+                    );
+                }
+            }
+        }
+        // every import pairs with exactly one AddBlock op
+        let adds = plan_a
+            .ops
+            .iter()
+            .filter(|op| matches!(op, EditOp::AddBlock { .. }))
+            .count();
+        prop_assert_eq!(plan_a.imports.len(), adds);
+    }
+
+    /// Deleting k instances of one counted fleet yields exactly one
+    /// `SetCount` op and dense renumbering moves.
+    #[test]
+    fn fleet_deletions_collapse_to_one_op(victims in proptest::collection::vec(0usize..3, 1..3)) {
+        let (p, m, mut cloud, mut state) = deployed();
+        let mut deleted = std::collections::BTreeSet::new();
+        for v in &victims {
+            let addr: cloudless_types::ResourceAddr =
+                format!("aws_s3_bucket.b[{v}]").parse().unwrap();
+            if deleted.insert(*v % 3) {
+                let id = state.get(&addr).unwrap().id.clone();
+                cloud.out_of_band_delete("intern", &id).unwrap();
+            }
+        }
+        let plan = classify_world(&p, &m, &mut cloud, &mut state);
+        let counts: Vec<&EditOp> = plan
+            .ops
+            .iter()
+            .filter(|op| matches!(op, EditOp::SetCount { .. }))
+            .collect();
+        prop_assert_eq!(counts.len(), 1);
+        match counts[0] {
+            EditOp::SetCount { count, .. } => {
+                prop_assert_eq!(*count, 3 - deleted.len());
+            }
+            _ => unreachable!(),
+        }
+        // moves renumber the survivors into a dense prefix
+        for (i, (_, to)) in plan.moves.iter().enumerate() {
+            prop_assert!(matches!(
+                to.key,
+                cloudless_types::ResourceKey::Index(n) if (n as usize) < 3 - deleted.len() && i <= n as usize
+            ));
+        }
+    }
+}

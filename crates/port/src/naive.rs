@@ -9,8 +9,9 @@ use cloudless_cloud::{Catalog, ResourceRecord};
 use cloudless_hcl::ast::{Attribute, Block, BlockBody, Expr, File, MapKey, TemplatePart};
 use cloudless_types::{Span, Value};
 
-/// Convert a [`Value`] into a literal expression.
-pub(crate) fn value_to_expr(v: &Value) -> Expr {
+/// Convert a [`Value`] into a literal expression. Shared with the drift
+/// reconciler, which emits adopted live values as literals.
+pub fn value_to_expr(v: &Value) -> Expr {
     let sp = Span::synthetic();
     match v {
         Value::Null => Expr::Null(sp),
@@ -35,7 +36,7 @@ pub(crate) fn value_to_expr(v: &Value) -> Expr {
 }
 
 /// A deterministic, readable block label from a record.
-pub(crate) fn label_for(
+pub fn label_for(
     record: &ResourceRecord,
     taken: &mut std::collections::BTreeSet<String>,
 ) -> String {

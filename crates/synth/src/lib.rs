@@ -23,11 +23,15 @@
 //!
 //! * [`intent`] — what the user asks for.
 //! * [`synth`] — the guided synthesizer + the unguided baseline.
+//! * [`patch`] — reconcile patch synthesis: AST surgery for drift edit
+//!   ops, wrapped in the same validate-and-repair loop.
 
 #![forbid(unsafe_code)]
 
 pub mod intent;
+pub mod patch;
 pub mod synth;
 
 pub use intent::{Intent, WantedResource};
+pub use patch::{apply_ops, synthesize_patch, PatchConfig, PatchOutcome};
 pub use synth::{synthesize, unguided_baseline, SynthConfig, SynthReport};

@@ -1,0 +1,206 @@
+//! Property tests for reconcile patch synthesis: the repair loop always
+//! terminates with a front-end-clean program, never drops a valid op whose
+//! block is untainted, and applying a patch is idempotent.
+
+use std::collections::BTreeMap;
+
+use cloudless_cloud::Catalog;
+use cloudless_diagnose::reconcile::{EditOp, ReconcilePlan};
+use cloudless_hcl::program::ModuleLibrary;
+use cloudless_synth::patch::{synthesize_patch, PatchConfig};
+use cloudless_types::{Region, ResourceId, ResourceTypeName, Value};
+use proptest::prelude::*;
+
+/// Distinct labels with no prefix relationship (textual error→op
+/// attribution must not cross-implicate `b1` on a `b10` error).
+const LABELS: [&str; 8] = ["ba", "bc", "bd", "be", "bf", "bg", "bh", "bi"];
+
+fn base_source() -> String {
+    let mut src = String::from("resource \"aws_vpc\" \"net\" { cidr_block = \"10.0.0.0/16\" }\n");
+    for l in LABELS {
+        src.push_str(&format!(
+            "resource \"aws_s3_bucket\" \"{l}\" {{ bucket = \"{l}-data\" }}\n"
+        ));
+    }
+    src
+}
+
+/// One generated op aimed at its own block, tagged with ground truth.
+#[derive(Debug, Clone)]
+struct GenOp {
+    op: EditOp,
+    valid: bool,
+}
+
+fn make_op(slot: usize, kind: usize, payload: &str) -> GenOp {
+    let label = LABELS[slot % LABELS.len()].to_owned();
+    match kind % 5 {
+        0 => GenOp {
+            op: EditOp::SetAttr {
+                rtype: "aws_s3_bucket".into(),
+                name: label,
+                attr: "bucket".into(),
+                value: Value::from(payload),
+            },
+            valid: true,
+        },
+        1 => GenOp {
+            op: EditOp::SetAttr {
+                rtype: "aws_s3_bucket".into(),
+                name: label,
+                attr: "not_a_real_attribute".into(),
+                value: Value::from("x"),
+            },
+            valid: false,
+        },
+        2 => GenOp {
+            op: EditOp::RemoveBlock {
+                rtype: "aws_s3_bucket".into(),
+                name: label,
+            },
+            valid: true,
+        },
+        3 => GenOp {
+            op: EditOp::AddBlock {
+                rtype: ResourceTypeName::new("aws_s3_bucket"),
+                label: format!("{label}_new"),
+                region: Region::new("us-east-1"),
+                attrs: [("bucket".to_owned(), Value::from(payload))]
+                    .into_iter()
+                    .collect(),
+                id: ResourceId::new(format!("rogue-{label}")),
+            },
+            valid: true,
+        },
+        _ => GenOp {
+            op: EditOp::AddBlock {
+                rtype: ResourceTypeName::new("aws_s3_bucket"),
+                label: format!("{label}_new"),
+                region: Region::new("us-east-1"),
+                attrs: [("bogus_attribute".to_owned(), Value::from(true))]
+                    .into_iter()
+                    .collect(),
+                id: ResourceId::new(format!("rogue-{label}")),
+            },
+            valid: false,
+        },
+    }
+}
+
+fn gen_ops() -> impl Strategy<Value = Vec<GenOp>> {
+    // one op per block slot (slot = position), so ground truth stays per-op
+    // and textual attribution cannot cross-implicate blocks
+    proptest::collection::vec((0usize..5, "[a-z]{1,8}"), 1..=LABELS.len()).prop_map(|specs| {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(slot, (kind, payload))| make_op(slot, *kind, payload))
+            .collect()
+    })
+}
+
+fn synth(file: &cloudless_hcl::ast::File, plan: &ReconcilePlan) -> cloudless_synth::PatchOutcome {
+    synthesize_patch(
+        file,
+        plan,
+        &Catalog::standard(),
+        &ModuleLibrary::new(),
+        &BTreeMap::new(),
+        &PatchConfig::default(),
+    )
+}
+
+proptest! {
+    /// The repair loop always converges to a clean program (the base is
+    /// clean, so dropping everything is a valid fixpoint), every op is
+    /// accounted for exactly once, and invalid ops never survive.
+    #[test]
+    fn repair_loop_converges_and_drops_exactly_the_invalid(ops in gen_ops()) {
+        let file = cloudless_hcl::parse(&base_source(), "main.tf").unwrap();
+        let plan = ReconcilePlan {
+            ops: ops.iter().map(|g| g.op.clone()).collect(),
+            ..Default::default()
+        };
+        let out = synth(&file, &plan);
+        prop_assert!(out.ok, "must converge: {:?}", out.errors);
+        prop_assert_eq!(
+            out.plan.ops.len() + out.dropped.len(),
+            ops.len(),
+            "every op accounted for"
+        );
+        // soundness: nothing invalid survives
+        for g in ops.iter().filter(|g| !g.valid) {
+            prop_assert!(
+                !out.plan.ops.contains(&g.op),
+                "invalid op survived: {:?}",
+                g.op
+            );
+        }
+        // minimality: ops target distinct blocks, so attribution is exact
+        // and every valid op survives
+        for g in ops.iter().filter(|g| g.valid) {
+            prop_assert!(
+                out.plan.ops.contains(&g.op),
+                "valid op over-dropped: {:?}\ndropped: {:?}",
+                g.op,
+                out.dropped
+            );
+        }
+        // the emitted patch itself passes the front end again
+        let reparse = cloudless_hcl::parse(&out.source, "main.tf");
+        prop_assert!(reparse.is_ok());
+    }
+
+    /// Patch minimality is monotone: synthesizing from a subset of the ops
+    /// never yields more surviving ops than the full plan.
+    #[test]
+    fn surviving_ops_are_monotone_in_the_plan(ops in gen_ops(), cut in 0usize..8) {
+        let file = cloudless_hcl::parse(&base_source(), "main.tf").unwrap();
+        let full = ReconcilePlan {
+            ops: ops.iter().map(|g| g.op.clone()).collect(),
+            ..Default::default()
+        };
+        let keep = cut.min(ops.len());
+        let subset = ReconcilePlan {
+            ops: full.ops[..keep].to_vec(),
+            ..Default::default()
+        };
+        let out_full = synth(&file, &full);
+        let out_sub = synth(&file, &subset);
+        prop_assert!(out_sub.plan.ops.len() <= out_full.plan.ops.len());
+        // and the subset's survivors are exactly the full run's survivors
+        // restricted to the subset (per-block attribution is independent)
+        for op in &out_sub.plan.ops {
+            prop_assert!(out_full.plan.ops.contains(op));
+        }
+    }
+
+    /// Applying a patch twice changes nothing: re-running synthesis on the
+    /// patched file with the surviving in-place ops is a fixpoint.
+    #[test]
+    fn patching_is_idempotent(ops in gen_ops()) {
+        let file = cloudless_hcl::parse(&base_source(), "main.tf").unwrap();
+        let plan = ReconcilePlan {
+            ops: ops.iter().map(|g| g.op.clone()).collect(),
+            ..Default::default()
+        };
+        let first = synth(&file, &plan);
+        prop_assert!(first.ok);
+        // AddBlock is create-once by design (its block now exists); the
+        // in-place ops must all be idempotent
+        let replay = ReconcilePlan {
+            ops: first
+                .plan
+                .ops
+                .iter()
+                .filter(|op| !matches!(op, EditOp::AddBlock { .. }))
+                .cloned()
+                .collect(),
+            ..Default::default()
+        };
+        let second = synth(&first.file, &replay);
+        prop_assert!(second.ok, "{:?}", second.errors);
+        prop_assert_eq!(second.iterations, 1);
+        prop_assert_eq!(&second.source, &first.source);
+    }
+}

@@ -70,3 +70,41 @@ fn different_seed_same_structure() {
         assert_eq!(ra.region, rb.region);
     }
 }
+
+#[test]
+fn outage_storm_reconcile_is_byte_reproducible() {
+    // the fault schedule draws from its own RNG stream (decoupled from the
+    // latency model), so an outage-storm scenario — faults injected while
+    // the reconciler's re-converge is running — replays byte-for-byte
+    use cloudless_bench::scenarios::{generate, Family};
+    let run = || {
+        let sc = generate(Family::OutageStorm, 42);
+        let out = sc.run();
+        assert!(out.converged, "storm reconcile must still converge");
+        (out.patched_source, out.apply_ops, out.iterations)
+    };
+    let (src_a, ops_a, it_a) = run();
+    let (src_b, ops_b, it_b) = run();
+    assert_eq!(src_a, src_b, "patched program must be byte-identical");
+    assert_eq!(ops_a, ops_b, "retry/fault schedule must replay exactly");
+    assert_eq!(it_a, it_b);
+
+    // and the full world state agrees too
+    let world = |seed: u64| {
+        let sc = generate(Family::OutageStorm, seed);
+        let mut e = sc.stage();
+        if let Some((plan, fault_seed)) = &sc.reconcile_faults {
+            e.cloud_mut().set_fault_plan(*plan);
+            e.cloud_mut().set_fault_seed(*fault_seed);
+        }
+        e.reconcile(&sc.source, false).expect("reconcile");
+        (
+            e.state().to_json(),
+            serde_json::to_string_pretty(e.cloud().export_records()).unwrap(),
+        )
+    };
+    let (s1, r1) = world(7);
+    let (s2, r2) = world(7);
+    assert_eq!(s1, s2);
+    assert_eq!(r1, r2);
+}

@@ -145,3 +145,96 @@ resource "aws_virtual_machine" "odd" {
         Some(&Value::from("v"))
     );
 }
+
+/// Differential check closing the reconciler loop from the *other* side:
+/// after `reconcile` folds out-of-band drift into the program, a fresh
+/// `port` import of the patched estate must be structurally identical to
+/// the patched program's own expansion — same resource multiset, same
+/// managed attribute values. Two independent paths, one answer.
+#[test]
+fn port_of_reconciled_estate_matches_patched_program() {
+    let mut e = Cloudless::new(Config {
+        cloud: CloudConfig::exact(),
+        ..Config::default()
+    });
+    let src = r#"
+resource "aws_vpc" "main" { cidr_block = "10.0.0.0/16" }
+resource "aws_s3_bucket" "data" { bucket = "diff-data" }
+resource "aws_s3_bucket" "logs" { bucket = "diff-logs" }
+"#;
+    e.converge(src).expect("deploy");
+
+    // drift: a hand-edit and a rogue create
+    let data = e
+        .state()
+        .get(&"aws_s3_bucket.data".parse().unwrap())
+        .unwrap()
+        .id
+        .clone();
+    e.cloud_mut()
+        .out_of_band_update(
+            "cowboy",
+            &data,
+            [("bucket".to_owned(), Value::from("diff-data-edited"))].into(),
+        )
+        .unwrap();
+    e.cloud_mut()
+        .out_of_band_create(
+            "cowboy",
+            "aws_s3_bucket",
+            "us-east-1",
+            [("bucket".to_owned(), Value::from("diff-stray"))].into(),
+        )
+        .unwrap();
+
+    let report = e.reconcile(src, false).expect("reconcile");
+    assert!(report.converged);
+
+    // path A: expand the patched program
+    let program =
+        Program::from_file(cloudless::hcl::parse(&report.patched_source, "main.tf").unwrap())
+            .unwrap_or_else(|d| panic!("{d}\n{}", report.patched_source));
+    let patched = expand(
+        &program,
+        &BTreeMap::new(),
+        &ModuleLibrary::new(),
+        &DataResolver::new(),
+    )
+    .unwrap();
+
+    // path B: port-import the reconciled estate from the cloud
+    let catalog = e.cloud().catalog().clone();
+    let records: Vec<_> = e.cloud().records().values().cloned().collect();
+    let ported = optimized_port(&records, &catalog);
+    let text = cloudless::hcl::render_file(&ported.file);
+    let imported = Cloudless::new(Config::default())
+        .load(&text)
+        .unwrap_or_else(|d| panic!("{d}\n{text}"));
+
+    // structural equality: same multiset of (rtype, managed attrs) —
+    // addresses legitimately differ (the porter invents its own labels)
+    let shape = |m: &cloudless::hcl::program::Manifest| -> Vec<(String, String)> {
+        let mut v: Vec<(String, String)> = m
+            .instances
+            .iter()
+            .map(|i| {
+                let schema = catalog.get(&i.rtype()).expect("known type");
+                let managed: BTreeMap<&String, &Value> = i
+                    .attrs
+                    .iter()
+                    .filter(|(k, _)| schema.attr(k).map(|a| !a.computed).unwrap_or(false))
+                    .collect();
+                (i.rtype().to_string(), format!("{managed:?}"))
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(
+        shape(&patched),
+        shape(&imported),
+        "patched program:\n{}\nported program:\n{text}",
+        report.patched_source
+    );
+    assert_eq!(patched.instances.len(), records.len());
+}
