@@ -568,6 +568,20 @@ pub(crate) fn pass_consts(p: &Program, sink: &mut Sink<'_>) {
     let file = &p.filename;
 
     for r in &p.resources {
+        check_block_consts(r, p, &env, file, sink);
+    }
+}
+
+/// The fold/interval checks for one resource block (ANA201/202/203).
+/// Shared by [`pass_consts`] and the incremental dirty-block recheck.
+pub(crate) fn check_block_consts(
+    r: &cloudless_hcl::program::ResourceBlock,
+    p: &Program,
+    env: &FoldEnv,
+    file: &str,
+    sink: &mut Sink<'_>,
+) {
+    {
         let id = format!("{}.{}", r.rtype, r.name);
 
         // ANA201 — count must fold/bound to a non-negative integer
@@ -596,7 +610,7 @@ pub(crate) fn pass_consts(p: &Program, sink: &mut Sink<'_>) {
                     );
                 }
                 _ => {
-                    let i = interval_of(c, p, &env, 0);
+                    let i = interval_of(c, p, env, 0);
                     if i.hi < 0.0 {
                         sink.emit(
                             "ANA201",
@@ -615,7 +629,7 @@ pub(crate) fn pass_consts(p: &Program, sink: &mut Sink<'_>) {
 
         // ANA202 / ANA203 — port and CIDR constraints through expressions
         for a in &r.attrs {
-            check_ports(&a.name, &a.value, &id, p, &env, file, sink);
+            check_ports(&a.name, &a.value, &id, p, env, file, sink);
             if CIDR_ATTRS.contains(&a.name.as_str()) {
                 if let Folded::Known(Value::Str(s)) = env.fold(&a.value) {
                     if let Err(e) = s.parse::<Cidr>() {
@@ -745,7 +759,7 @@ fn check_ports(
 
 /// Attributes whose values routinely end up in logs, consoles, tags views
 /// and API listings — plaintext sinks for sensitive data.
-const LOG_SINKS: &[&str] = &[
+pub(crate) const LOG_SINKS: &[&str] = &[
     "name",
     "tags",
     "description",
@@ -822,7 +836,7 @@ pub(crate) fn pass_taint(p: &Program, sink: &mut Sink<'_>) {
     }
 }
 
-fn expr_tainted(expr: &Expr, vars: &BTreeSet<&str>, locals: &BTreeSet<&str>) -> bool {
+pub(crate) fn expr_tainted(expr: &Expr, vars: &BTreeSet<&str>, locals: &BTreeSet<&str>) -> bool {
     let mut tainted = false;
     let mut bound = Vec::new();
     walk_refs_scoped(expr, &mut bound, &mut |r, _| {

@@ -11,7 +11,7 @@
 //! [`cloudless_graph::cycles::Digraph`], which, unlike `Dag`, can represent
 //! and report cycles.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use cloudless_graph::cycles::Digraph;
 use cloudless_hcl::ast::Reference;
@@ -23,15 +23,15 @@ use crate::report::Sink;
 
 /// Attributes that name the cloud-side entity a resource manages. Two
 /// blocks of the same type agreeing on one of these manage the same thing.
-const IDENTITY_ATTRS: &[&str] = &["name", "bucket"];
+pub(crate) const IDENTITY_ATTRS: &[&str] = &["name", "bucket"];
 
-fn block_target(r: &Reference, p: &Program) -> Option<usize> {
+fn block_target(r: &Reference, index: &HashMap<(&str, &str), usize>) -> Option<usize> {
     if r.parts.len() < 2 {
         return None;
     }
-    p.resources
-        .iter()
-        .position(|b| b.rtype == r.parts[0] && b.name == r.parts[1])
+    index
+        .get(&(r.parts[0].as_str(), r.parts[1].as_str()))
+        .copied()
 }
 
 pub(crate) fn pass_hazards(p: &Program, sink: &mut Sink<'_>) {
@@ -39,13 +39,22 @@ pub(crate) fn pass_hazards(p: &Program, sink: &mut Sink<'_>) {
     let env = FoldEnv::build(p);
     let n = p.resources.len();
 
+    // (type, name) -> first declaring block, matching the linear-scan
+    // semantics this index replaces (duplicates keep the earliest index).
+    let mut block_index: HashMap<(&str, &str), usize> = HashMap::with_capacity(n);
+    for (i, b) in p.resources.iter().enumerate() {
+        block_index
+            .entry((b.rtype.as_str(), b.name.as_str()))
+            .or_insert(i);
+    }
+
     // --- block-level dependency digraph: edge dependency -> dependent
     let mut g = Digraph::new(n);
     // (from, to) -> first span that creates the edge, for reporting
     let mut edge_spans: BTreeMap<(usize, usize), Span> = BTreeMap::new();
     for (i, r) in p.resources.iter().enumerate() {
         let mut note = |dep: &Reference, span: Span| {
-            if let Some(j) = block_target(dep, p) {
+            if let Some(j) = block_target(dep, &block_index) {
                 g.add_edge(j, i);
                 edge_spans.entry((j, i)).or_insert(span);
             }

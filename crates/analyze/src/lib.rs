@@ -22,6 +22,7 @@
 
 pub mod dataflow;
 pub mod hazards;
+pub mod incremental;
 pub mod report;
 pub mod rules;
 

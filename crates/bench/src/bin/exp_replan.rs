@@ -1,0 +1,41 @@
+//! E16 — incremental replan measurements, standalone.
+//!
+//! `exp_scale` embeds these numbers into the committed `BENCH_*.json`;
+//! this binary runs just the replan trajectory for quick local iteration:
+//!
+//! ```text
+//! exp_replan [--tier smoke|full]
+//! ```
+
+use cloudless_bench::experiments::e16_replan;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tier = "smoke".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tier" => {
+                i += 1;
+                tier = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("usage: exp_replan [--tier smoke|full]");
+                    std::process::exit(2)
+                });
+            }
+            _ => {
+                eprintln!("usage: exp_replan [--tier smoke|full]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let points = e16_replan::run(&tier);
+    println!("{}", e16_replan::render(&points));
+    let gates = e16_replan::speedup_gates(&points);
+    for gate in &gates {
+        eprintln!("gate FAILED: {gate}");
+    }
+    if !gates.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,7 @@
 use std::process::ExitCode;
 
 use cloudless_bench::experiments::e14_scale::{self, ScaleReport};
+use cloudless_bench::experiments::e16_replan;
 
 fn usage() -> ! {
     eprintln!(
@@ -77,7 +78,10 @@ fn main() -> ExitCode {
         let base = read_report(&base_path);
         let pr = read_report(&pr_path);
         // stages faster than 5ms in the baseline are timer noise, not signal
-        let regressions = e14_scale::regressions(&base, &pr, tolerance, 5.0);
+        let mut regressions = e14_scale::regressions(&base, &pr, tolerance, 5.0);
+        // absolute floor: incremental replans must beat the full front end
+        // by 10x at 10k and 25x at 100k, independent of the baseline
+        regressions.extend(e16_replan::speedup_gates(&pr.replan));
         if regressions.is_empty() {
             println!(
                 "bench check ok: {pr_path} within {:.0}% of {base_path}",
@@ -92,8 +96,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let report = e14_scale::run(&tier);
+    let mut report = e14_scale::run(&tier);
+    report.replan = e16_replan::run(&tier);
+    for p in &mut report.points {
+        if let Some(r) = report.replan.iter().find(|r| r.workload == p.workload) {
+            p.millis.incremental = r.block_ms;
+        }
+    }
     println!("{}", e14_scale::render(&report));
+    println!("{}", e16_replan::render(&report.replan));
     if let Some(path) = out {
         let json = serde_json::to_string_pretty(&report).expect("report serializes");
         std::fs::write(&path, json + "\n")

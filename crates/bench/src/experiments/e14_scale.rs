@@ -43,6 +43,11 @@ pub struct StageMillis {
     pub schedule: f64,
     /// Full simulated apply (critical-path strategy, 64 slots).
     pub apply: f64,
+    /// Warm-pipeline replan of a single-block edit (E16; `0.0` in reports
+    /// that predate the incremental pipeline — below the noise floor, so
+    /// the regression check skips it there).
+    #[serde(default)]
+    pub incremental: f64,
 }
 
 impl StageMillis {
@@ -53,10 +58,11 @@ impl StageMillis {
         self.plan = self.plan.min(other.plan);
         self.schedule = self.schedule.min(other.schedule);
         self.apply = self.apply.min(other.apply);
+        self.incremental = self.incremental.min(other.incremental);
     }
 
     /// `(stage name, millis)` pairs, in pipeline order.
-    pub fn stages(&self) -> [(&'static str, f64); 6] {
+    pub fn stages(&self) -> [(&'static str, f64); 7] {
         [
             ("gen", self.gen),
             ("parse_expand", self.parse_expand),
@@ -64,6 +70,7 @@ impl StageMillis {
             ("plan", self.plan),
             ("schedule", self.schedule),
             ("apply", self.apply),
+            ("incremental", self.incremental),
         ]
     }
 }
@@ -90,6 +97,10 @@ pub struct ScaleReport {
     /// `"smoke"` (1k + 10k) or `"full"` (adds 100k).
     pub tier: String,
     pub points: Vec<SizePoint>,
+    /// E16 incremental-replan measurements (empty in reports that predate
+    /// the incremental pipeline).
+    #[serde(default)]
+    pub replan: Vec<super::e16_replan::ReplanPoint>,
 }
 
 /// Sizes per tier: `(workload name, resource count, best-of runs)`.
@@ -166,6 +177,8 @@ pub fn measure(name: &str, n: usize, iters: u32) -> SizePoint {
             plan: plan_ms,
             schedule: schedule_ms,
             apply,
+            // filled in from the E16 replan measurement by `exp_scale`
+            incremental: 0.0,
         };
         match &mut best {
             None => best = Some(sample),
@@ -182,7 +195,8 @@ pub fn measure(name: &str, n: usize, iters: u32) -> SizePoint {
     }
 }
 
-/// Run the scale trajectory for a tier.
+/// Run the scale trajectory for a tier. The `replan` section (E16) is
+/// measured separately — `exp_scale` attaches it.
 pub fn run(tier: &str) -> ScaleReport {
     ScaleReport {
         tier: tier.to_owned(),
@@ -190,6 +204,7 @@ pub fn run(tier: &str) -> ScaleReport {
             .into_iter()
             .map(|(name, n, iters)| measure(name, n, iters))
             .collect(),
+        replan: Vec::new(),
     }
 }
 
@@ -210,6 +225,7 @@ pub fn render(report: &ScaleReport) -> String {
             "plan",
             "schedule",
             "apply",
+            "incremental",
         ],
     );
     for p in &report.points {
@@ -224,6 +240,7 @@ pub fn render(report: &ScaleReport) -> String {
             format!("{:.1}ms", p.millis.plan),
             format!("{:.1}ms", p.millis.schedule),
             format!("{:.1}ms", p.millis.apply),
+            format!("{:.2}ms", p.millis.incremental),
         ]);
     }
     t.render()
@@ -276,6 +293,7 @@ mod tests {
         let report = ScaleReport {
             tier: "test".into(),
             points: vec![point],
+            replan: Vec::new(),
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: ScaleReport = serde_json::from_str(&json).unwrap();
@@ -300,8 +318,10 @@ mod tests {
                     plan: plan_ms,
                     schedule: 50.0,
                     apply: 50.0,
+                    incremental: 50.0,
                 },
             }],
+            replan: Vec::new(),
         };
         let base = mk(100.0);
         assert!(regressions(&base, &mk(110.0), 0.2, 5.0).is_empty());
@@ -316,6 +336,7 @@ mod tests {
         let empty = ScaleReport {
             tier: "test".into(),
             points: vec![],
+            replan: Vec::new(),
         };
         assert_eq!(regressions(&base, &empty, 0.2, 5.0).len(), 1);
     }

@@ -8,6 +8,7 @@ pub mod e12_obs;
 pub mod e13_analyze;
 pub mod e14_scale;
 pub mod e15_reconcile;
+pub mod e16_replan;
 pub mod e1_deploy;
 pub mod e2_incremental;
 pub mod e3_locks;

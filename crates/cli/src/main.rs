@@ -10,6 +10,7 @@
 //! cloudless validate  <file.tf>             # compile-time checks only
 //! cloudless lint      <file.tf>             # dataflow lint (analyze) only
 //! cloudless plan      <dir> <file.tf>       # show what would change
+//! cloudless watch     <dir> <file.tf>       # replan on every edit, O(edit)
 //! cloudless apply     <dir> <file.tf>       # converge (validate→plan→apply)
 //! cloudless destroy   <dir>                 # tear everything down
 //! cloudless state     <dir>                 # list managed resources
@@ -46,6 +47,7 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(&rest),
         "lint" => cmd_lint(&rest),
         "plan" => cmd_plan(&rest),
+        "watch" => cmd_watch(&rest),
         "apply" => cmd_apply(&rest),
         "destroy" => cmd_destroy(&rest),
         "state" => cmd_state(&rest),
@@ -80,6 +82,11 @@ commands:
             [--allow <rule>]           suppress a rule entirely
             [--format text|json|sarif] output format (default text)
   plan      <dir> <file.tf> [--target <addr>]   show the execution plan
+  watch     <dir> <file.tf>            poll the file and replan on each edit
+                                       through the memoized pipeline (O(edit)
+                                       for single-block edits); never applies
+            [--poll-ms <n>]            poll interval in ms (default 250)
+            [--max-events <n>]         exit after n replans (default: forever)
   apply     <dir> <file.tf> [--target <addr>]   validate, plan and apply
             [--resume]                 continue a partially-failed apply
             [--legacy-retry]           immediate retries, no deadlines/breaker
@@ -241,6 +248,74 @@ fn cmd_plan(rest: &[&str]) -> Result<(), String> {
         println!("({dropped} change(s) outside the target closure suppressed)");
     }
     Ok(())
+}
+
+/// `cloudless watch`: poll a program file and replan it through the
+/// engine's memoized pipeline on every content change. One engine lives for
+/// the whole watch, so after the first (cold) plan each edit re-runs only
+/// the stages and the resource subgraph it impacts — the
+/// [`cloudless::ChangeTrace`] printed under each plan shows exactly which.
+/// Plan-only: never locks,
+/// applies, or saves the session.
+fn cmd_watch(rest: &[&str]) -> Result<(), String> {
+    use std::io::Write;
+
+    let dir = want(rest, 0, "session directory")?;
+    let file = want(rest, 1, "program file")?;
+    let mut poll_ms: u64 = 250;
+    let mut max_events: u64 = 0; // 0 = watch forever
+    let mut it = rest.iter().skip(2);
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--poll-ms" => {
+                poll_ms = it
+                    .next()
+                    .ok_or("--poll-ms needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --poll-ms: {e}"))?;
+                poll_ms = poll_ms.max(1);
+            }
+            "--max-events" => {
+                max_events = it
+                    .next()
+                    .ok_or("--max-events needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-events: {e}"))?;
+            }
+            other => return Err(format!("unknown watch option {other:?}\n{USAGE}")),
+        }
+    }
+    let session = Session::load(dir)?;
+    let mut engine = session.engine()?;
+    println!("watching {file} (poll every {poll_ms}ms; ctrl-c to stop)");
+    let mut last: Option<String> = None;
+    let mut events: u64 = 0;
+    loop {
+        match std::fs::read_to_string(file) {
+            Ok(source) => {
+                if last.as_deref() != Some(source.as_str()) {
+                    events += 1;
+                    println!("--- event {events}: {file} changed ---");
+                    match engine.plan_incremental(&source) {
+                        Ok((plan_text, trace)) => {
+                            print!("{plan_text}");
+                            print!("{trace}");
+                        }
+                        Err(e) => println!("plan failed: {e}"),
+                    }
+                    let _ = std::io::stdout().flush();
+                    last = Some(source);
+                    if max_events > 0 && events >= max_events {
+                        println!("({events} event(s) seen; exiting)");
+                        return Ok(());
+                    }
+                }
+            }
+            // mid-save or briefly missing: keep polling rather than die
+            Err(e) => eprintln!("cannot read {file}: {e} (still watching)"),
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+    }
 }
 
 /// Build the apply's resilience policy from `--legacy-retry`,

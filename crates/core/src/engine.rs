@@ -9,6 +9,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+use crate::pipeline::{
+    ChangeTrace, FrontendOutput, IncrementalPipeline, PipelineConfig, PipelineCtx, PipelineError,
+};
 use cloudless_analyze::{lint_program, LintGate, LintReport};
 use cloudless_cloud::{ApiOp, ApiRequest, Cloud, CloudConfig, OpOutcome};
 use cloudless_deploy::diff::{diff, Action as DiffAction};
@@ -116,6 +119,16 @@ impl fmt::Display for ConvergeError {
 
 impl std::error::Error for ConvergeError {}
 
+impl From<PipelineError> for ConvergeError {
+    fn from(e: PipelineError) -> ConvergeError {
+        match e {
+            PipelineError::Frontend(d) => ConvergeError::Frontend(d),
+            PipelineError::Lint(r) => ConvergeError::Lint(r),
+            PipelineError::Validation(r) => ConvergeError::Validation(r),
+        }
+    }
+}
+
 /// The result of a successful (possibly partially failed) converge.
 #[derive(Debug)]
 pub struct ConvergeOutcome {
@@ -164,6 +177,7 @@ pub struct Cloudless {
     watcher: LogWatcher,
     cost: CostModel,
     config: Config,
+    pipeline: IncrementalPipeline,
 }
 
 impl Cloudless {
@@ -185,6 +199,7 @@ impl Cloudless {
             watcher,
             cost: CostModel::new(),
             config,
+            pipeline: IncrementalPipeline::default(),
         }
     }
 
@@ -300,6 +315,63 @@ impl Cloudless {
 
     // ---------- plan / apply ----------
 
+    /// Run the memoized front end (parse → lint → expand → validate →
+    /// diff) over `source` against current engine state.
+    fn run_pipeline(&mut self, source: &str) -> Result<FrontendOutput, PipelineError> {
+        let Cloudless {
+            pipeline,
+            data,
+            cloud,
+            store,
+            miner,
+            config,
+            ..
+        } = self;
+        let ctx = PipelineCtx {
+            inputs: &config.inputs,
+            modules: &config.modules,
+            lint: config.lint,
+            level: config.validation_level,
+            data: &*data,
+            catalog: cloud.catalog(),
+            state: store.current(),
+            miner: Some(&*miner),
+            recorder: &config.recorder,
+        };
+        pipeline.run(source, &ctx)
+    }
+
+    /// Plan-only converge front end through the memoized pipeline: parse,
+    /// lint, expand, validate and diff `source` against current state,
+    /// re-running only the stages (and the resource subgraph) the edit
+    /// impacts when the memo is warm. Returns the rendered plan and the
+    /// [`ChangeTrace`] of what actually ran. Never locks, applies, or
+    /// mutates state — `cloudless watch` and the replan experiments sit on
+    /// this.
+    pub fn plan_incremental(
+        &mut self,
+        source: &str,
+    ) -> Result<(String, ChangeTrace), ConvergeError> {
+        let out = self.run_pipeline(source)?;
+        Ok((out.plan_text, out.trace))
+    }
+
+    /// Drop the incremental pipeline's memo; the next converge/plan is a
+    /// cold full run.
+    pub fn clear_pipeline_cache(&mut self) {
+        self.pipeline.clear();
+    }
+
+    /// Replace the pipeline configuration (and drop any memo).
+    pub fn set_pipeline_config(&mut self, config: PipelineConfig) {
+        self.pipeline = IncrementalPipeline::new(config);
+    }
+
+    /// The incremental pipeline (memo introspection for tests/tools).
+    pub fn pipeline(&self) -> &IncrementalPipeline {
+        &self.pipeline
+    }
+
     /// Compute the plan for a manifest against current state.
     pub fn plan(&self, manifest: &Manifest) -> (Plan, String) {
         let changes = diff(
@@ -390,27 +462,19 @@ impl Cloudless {
         targets: &[cloudless_types::ResourceAddr],
         completed: &std::collections::BTreeSet<String>,
     ) -> Result<ConvergeOutcome, ConvergeError> {
-        let program = Program::from_file(
-            cloudless_hcl::parse(source, "main.tf").map_err(ConvergeError::Frontend)?,
-        )
-        .map_err(ConvergeError::Frontend)?;
-        // Static-analysis gate: refuse to plan on deny-level findings. The
-        // analyzer sees the un-expanded program, so this also covers code
-        // the expander would never evaluate.
-        if let Some(lint_cfg) = self.config.lint.config() {
-            let report = lint_program(&program, &self.config.modules, &lint_cfg);
-            if report.fails(&lint_cfg) {
-                return Err(ConvergeError::Lint(report));
-            }
-        }
-        let manifest = self
-            .expand_program(&program)
-            .map_err(ConvergeError::Frontend)?;
-        let validation = self.validate(&manifest);
-        if !validation.ok() {
-            return Err(ConvergeError::Validation(validation));
-        }
-        let (plan, plan_text) = self.plan(&manifest);
+        // The whole front end — parse → lint gate → expand → validate →
+        // diff — runs through the memoized incremental pipeline. A warm
+        // memo turns a block-local edit into an O(edit) replan; any doubt
+        // falls back to the cold path, which is the exact monolithic chain
+        // this method used to inline.
+        let FrontendOutput {
+            manifest,
+            validation,
+            changes,
+            plan_text,
+            trace: _,
+        } = self.run_pipeline(source)?;
+        let plan = Plan::build(changes, self.store.current(), self.cloud.catalog());
         let (plan, plan_text) = if targets.is_empty() {
             (plan, plan_text)
         } else {
@@ -615,19 +679,22 @@ impl Cloudless {
             self.cloud.catalog(),
         );
 
-        // synthesize the patch under the engine's lint gate
+        // synthesize the patch under the engine's lint gate, routing every
+        // candidate through the memoized pipeline: a repaired candidate that
+        // differs from the previous one in a single op replays only the
+        // impacted subgraph, and the final accepted candidate leaves the
+        // memo warm so the converge below re-parses nothing
         let patch_config = cloudless_synth::PatchConfig {
             lint: self.config.lint.config().unwrap_or_default(),
             ..cloudless_synth::PatchConfig::default()
         };
-        let outcome = cloudless_synth::synthesize_patch(
-            &file,
-            &drift,
-            self.cloud.catalog(),
-            &self.config.modules,
-            &self.config.inputs,
-            &patch_config,
-        );
+        let fail_on = patch_config.lint.fail_on;
+        let mut checker = |candidate: &str| match self.run_pipeline(candidate) {
+            Ok(_) => Vec::new(),
+            Err(err) => err.patch_messages(fail_on),
+        };
+        let outcome =
+            cloudless_synth::synthesize_patch_with(&file, &drift, &patch_config, &mut checker);
         if !outcome.ok {
             // even the unpatched program fails the gate: refuse rather than
             // emit a patch that cannot be admitted
@@ -1042,6 +1109,46 @@ resource "azure_virtual_machine" "vm" {
             "dry run must not mutate state"
         );
         assert_eq!(e.history().len(), 1, "no new checkpoint");
+    }
+
+    #[test]
+    fn reconcile_routes_candidates_through_memoized_pipeline() {
+        let rec = cloudless_obs::FlightRecorder::shared(4096);
+        let mut e = Cloudless::new(Config {
+            cloud: CloudConfig::exact(),
+            recorder: rec.clone(),
+            ..Config::default()
+        });
+        e.converge(WEB).expect("deploy");
+        let subnet_id = e
+            .state()
+            .get(&"aws_subnet.app".parse().unwrap())
+            .unwrap()
+            .id
+            .clone();
+        e.cloud_mut()
+            .out_of_band_update(
+                "clickops",
+                &subnet_id,
+                attrs([("cidr_block", Value::from("10.0.5.0/24"))]),
+            )
+            .unwrap();
+        let r = e.reconcile(WEB, false).expect("reconciles");
+        assert!(r.converged);
+        let m = e.metrics().expect("flight recorder keeps metrics");
+        // one cold run: the initial converge. The patch candidate (a single
+        // attribute edit) and the post-patch converge both replay the memo —
+        // before the pipeline wiring each of those was its own full parse.
+        assert_eq!(
+            m.counter("pipeline.runs_full"),
+            1,
+            "only the seed converge runs cold"
+        );
+        assert!(
+            m.counter("pipeline.runs_incremental") >= 2,
+            "candidate check + final converge reuse the memo (got {})",
+            m.counter("pipeline.runs_incremental")
+        );
     }
 
     #[test]

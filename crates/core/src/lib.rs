@@ -55,6 +55,8 @@ pub use cloudless_types as types;
 pub use cloudless_validate as validate;
 
 mod engine;
+pub mod pipeline;
 
 pub use cloudless_analyze::{LintConfig, LintGate, LintReport};
 pub use engine::{Cloudless, Config, ConvergeError, ConvergeOutcome, ReconcileReport};
+pub use pipeline::{ChangeTrace, IncrementalPipeline, PipelineConfig, PipelineError};

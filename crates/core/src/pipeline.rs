@@ -1,0 +1,1045 @@
+//! The incremental converge pipeline: memoized front-end stages and
+//! O(edit) replans.
+//!
+//! Paper §3.3: "modifications to individual resources have a limited
+//! impact … by identifying the 'impact scope' of a deployment change, we
+//! can confine the changes to a significantly smaller resource subgraph."
+//! The monolithic converge front end (parse → lint → expand → validate →
+//! plan) re-derives the whole world on every call, which at 100k resources
+//! costs seconds per keystroke. This module memoizes each stage behind
+//! content-hashed chunk fingerprints ([`cloudless_hcl::fingerprint`]) so
+//! that an edit confined to one resource block re-runs only the impacted
+//! slice of each stage.
+//!
+//! # The clean-program fast path
+//!
+//! Exactness comes before speed: the pipeline's contract is that its
+//! output (manifest, validation report, plan text) is **byte-identical**
+//! to a cold full run on the same source. Rather than re-deriving every
+//! stage's diagnostics incrementally — which would mean replaying span
+//! arithmetic through every lint and validation rule — the fast path only
+//! engages when the memoized run was *clean*: no lint findings (and no
+//! suppressions), no validation diagnostics, no expansion warnings, no
+//! modules. Under that precondition an edit can only *introduce*
+//! problems, and introducing any problem is detected by cheap per-block
+//! re-checks; detection falls back to the cold path, whose output is
+//! exact by construction. The fast path therefore never has to reproduce
+//! a diagnostic — it only has to prove there are none, which is an
+//! O(edit) property:
+//!
+//! 1. **parse** — [`diff_chunks`] aligns the edit to top-level chunks;
+//!    only dirty *resource* chunks are re-parsed (standalone, so stale
+//!    spans persist in unedited blocks — harmless, because the clean path
+//!    emits no diagnostics and plan text contains no spans).
+//! 2. **lint** — cached [`LintEnv`] + per-block [`block_is_clean`], with
+//!    reference-stability guards ([`block_refs`]) standing in for the
+//!    whole-program graph passes, and a maintained identity-claims map
+//!    standing in for the write-write-conflict scan.
+//! 3. **expand** — only the dirty blocks re-expand
+//!    ([`expand_resource_block`] with the cached variable/local bindings);
+//!    their instances splice into the cached manifest in place. Address
+//!    lists must match exactly, so instance-level `depends_on` can be
+//!    copied from the cached instances (sound because the dependency
+//!    reference set is guard-checked equal).
+//! 4. **validate** — [`check_scope`] re-runs the per-instance layers over
+//!    the edited blocks and their direct dependents; maintained VAL306
+//!    name-claim and VAL307 quota-count maps cover the aggregate rules.
+//! 5. **plan** — the cached diff replays only the [`ImpactScope`] of the
+//!    edit (dirty blocks + descendants in the block DAG) through
+//!    [`plan_one`] along the cached Kahn order; everything else reuses
+//!    its cached [`PlannedChange`].
+//!
+//! Every decision is recorded in a [`ChangeTrace`] and mirrored into the
+//! engine's metrics registry (`pipeline.runs_incremental`,
+//! `pipeline.runs_full`, per-stage counters), so `cloudless watch` and the
+//! experiment harnesses can prove which stages actually ran.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+use cloudless_analyze::incremental::{
+    block_claims, block_is_clean, block_refs, BlockRefs, LintEnv,
+};
+use cloudless_analyze::{lint_program, LintGate, LintReport};
+use cloudless_cloud::Catalog;
+use cloudless_deploy::diff::{dependency_order, diff, plan_one, render, Action, PlannedChange};
+use cloudless_graph::{DagBuilder, ImpactScope, NodeId};
+use cloudless_hcl::eval::Resolver;
+use cloudless_hcl::fingerprint::{diff_chunks, ChunkDelta, ChunkKind, ChunkMap};
+use cloudless_hcl::program::{
+    bind_env, expand, expand_resource_block, Manifest, ModuleLibrary, Program, ResourceInstance,
+};
+use cloudless_hcl::Diagnostics;
+use cloudless_obs::Recorder;
+use cloudless_state::{BlockIndex, Snapshot};
+use cloudless_types::Value;
+use cloudless_validate::incremental::{check_scope, name_claim, quota_key, ManifestIndex};
+use cloudless_validate::{validate, SpecMiner, ValidationLevel, ValidationReport};
+
+/// Why a pipeline run refused to produce a plan — the front-end subset of
+/// the engine's converge errors.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The program does not parse/expand.
+    Frontend(Diagnostics),
+    /// The static-analysis gate found deny-level defects.
+    Lint(LintReport),
+    /// Compile-time validation rejected the program.
+    Validation(ValidationReport),
+}
+
+impl PipelineError {
+    /// The failing diagnostics as `CODE: message` lines — the format the
+    /// patch repair loop ([`cloudless_synth::synthesize_patch_with`])
+    /// matches against edit-op targets. Lint findings below `fail_on` are
+    /// elided, mirroring [`cloudless_synth::check_patch`].
+    pub fn patch_messages(&self, fail_on: cloudless_hcl::Severity) -> Vec<String> {
+        match self {
+            PipelineError::Frontend(diags) => diags
+                .iter()
+                .map(|d| format!("{}: {}", d.code, d.message))
+                .collect(),
+            PipelineError::Lint(report) => report
+                .findings
+                .iter()
+                .filter(|f| f.diagnostic.severity >= fail_on)
+                .map(|f| format!("{}: {}", f.diagnostic.code, f.diagnostic.message))
+                .collect(),
+            PipelineError::Validation(v) => v
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == cloudless_hcl::Severity::Error)
+                .map(|d| format!("{}: {}", d.code, d.message))
+                .collect(),
+        }
+    }
+}
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Byte budget for the memo cache (approximate, see
+    /// [`IncrementalPipeline::approx_bytes`]). When a run's retained
+    /// artifacts would exceed it, the memo is dropped and every subsequent
+    /// run is cold until the program shrinks. `0` disables memoization.
+    pub max_cache_bytes: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            // generous: a 100k-resource program retains roughly 200 MB
+            max_cache_bytes: 1 << 30,
+        }
+    }
+}
+
+/// The front-end result converge consumes: the expanded manifest, its
+/// validation report, the computed changes, and the rendered plan text —
+/// plus the trace of how much work producing them took.
+pub struct FrontendOutput {
+    pub manifest: Manifest,
+    pub validation: ValidationReport,
+    /// Planned changes in declaration order (NoOps elided on the fast
+    /// path; [`cloudless_deploy::Plan::build`] drops them anyway).
+    pub changes: Vec<PlannedChange>,
+    pub plan_text: String,
+    pub trace: ChangeTrace,
+}
+
+/// What each stage of one run did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTrace {
+    /// `parse` | `lint` | `expand` | `validate` | `plan`.
+    pub stage: &'static str,
+    /// `full` | `incremental` | `cached`.
+    pub action: &'static str,
+    /// Human-readable amplification: what subset ran.
+    pub detail: String,
+}
+
+/// A record of which stages ran, hit cache, or re-ran a subset — and why.
+#[derive(Debug, Clone, Default)]
+pub struct ChangeTrace {
+    pub stages: Vec<StageTrace>,
+    /// Whether the run stayed on the incremental fast path end to end.
+    pub fast_path: bool,
+    /// Why the fast path was refused (cold runs only).
+    pub fallback_reason: Option<String>,
+}
+
+impl ChangeTrace {
+    fn stage(&mut self, stage: &'static str, action: &'static str, detail: impl Into<String>) {
+        self.stages.push(StageTrace {
+            stage,
+            action,
+            detail: detail.into(),
+        });
+    }
+}
+
+impl fmt::Display for ChangeTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.fast_path {
+            writeln!(f, "pipeline: incremental")?;
+        } else {
+            writeln!(
+                f,
+                "pipeline: full ({})",
+                self.fallback_reason.as_deref().unwrap_or("cold")
+            )?;
+        }
+        for s in &self.stages {
+            writeln!(f, "  {}: {} ({})", s.stage, s.action, s.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything a run needs from the engine, borrowed for the call.
+pub struct PipelineCtx<'a> {
+    pub inputs: &'a BTreeMap<String, Value>,
+    pub modules: &'a ModuleLibrary,
+    pub lint: LintGate,
+    pub level: ValidationLevel,
+    pub data: &'a dyn Resolver,
+    pub catalog: &'a Catalog,
+    pub state: &'a Snapshot,
+    /// Mined-convention checker; a miner with observed specs forces the
+    /// validate stage onto the full path (mined findings are not
+    /// incrementalized).
+    pub miner: Option<&'a SpecMiner>,
+    pub recorder: &'a Arc<dyn Recorder>,
+}
+
+impl<'a> PipelineCtx<'a> {
+    fn miner_active(&self) -> bool {
+        self.miner.map(|m| !m.specs().is_empty()).unwrap_or(false)
+    }
+}
+
+/// Cached plan-stage artifacts, valid for one state serial.
+struct DiffCache {
+    serial: u64,
+    block_index: BlockIndex,
+    /// Kahn order over the cached manifest's instances.
+    kahn: Vec<usize>,
+    /// Final per-block dirtiness after the cached diff (`(rtype, name)` →
+    /// created-or-replaced).
+    dirty: HashMap<(String, String), bool>,
+    /// Non-NoOp changes, keyed by declaration position, sorted.
+    changes: Vec<(usize, PlannedChange)>,
+    /// Cached deletions (stable per address set + serial).
+    deletes: Vec<PlannedChange>,
+    plan_text: String,
+}
+
+/// The memoized artifacts of one clean cold run.
+struct Memo {
+    source: String,
+    chunks: ChunkMap,
+    /// Chunk index → resource-block index in `program.resources`.
+    chunk_block: Vec<Option<usize>>,
+    gate: LintGate,
+    level: ValidationLevel,
+    inputs: BTreeMap<String, Value>,
+    program: Program,
+    vars: Arc<BTreeMap<String, Value>>,
+    locals: Arc<BTreeMap<String, Value>>,
+    block_names: BTreeSet<(String, String)>,
+    lint_env: LintEnv,
+    /// Per-block reference sets (stability guards).
+    refs: Vec<BlockRefs>,
+    /// Per-block count-folds-to-zero status.
+    count_zero: Vec<bool>,
+    /// ANA402 identity-claims map: claim key → number of claiming blocks.
+    claims: HashMap<(String, String, String), usize>,
+    manifest: Manifest,
+    /// Per-block `[start, end)` instance-position ranges.
+    block_ranges: Vec<(usize, usize)>,
+    mindex: ManifestIndex,
+    /// VAL306 name-claim counts.
+    name_counts: HashMap<(String, String), usize>,
+    /// VAL307 per-(type, region) instance counts.
+    quota_counts: HashMap<(String, String), usize>,
+    validation: ValidationReport,
+    /// Block-level dependency DAG (edges: dependency → dependent).
+    dag: cloudless_graph::Dag<usize>,
+    /// Direct dependents per block (for the validate re-check scope).
+    dependents: Vec<Vec<usize>>,
+    diff: DiffCache,
+}
+
+/// The memoizing pipeline. One per engine; owns the memo across calls.
+#[derive(Default)]
+pub struct IncrementalPipeline {
+    memo: Option<Memo>,
+    config: PipelineConfig,
+}
+
+impl IncrementalPipeline {
+    pub fn new(config: PipelineConfig) -> Self {
+        IncrementalPipeline { memo: None, config }
+    }
+
+    /// Drop the memo; the next run is cold.
+    pub fn clear(&mut self) {
+        self.memo = None;
+    }
+
+    /// Whether a memo is currently held.
+    pub fn is_warm(&self) -> bool {
+        self.memo.is_some()
+    }
+
+    /// Approximate heap bytes retained by the memo.
+    pub fn approx_bytes(&self) -> usize {
+        self.memo.as_ref().map(Memo::approx_bytes).unwrap_or(0)
+    }
+
+    /// Run the front end: parse → lint → expand → validate → plan.
+    ///
+    /// Output is byte-identical to a cold full run on `source`; the memo
+    /// only changes *how much work* produces it.
+    pub fn run(
+        &mut self,
+        source: &str,
+        ctx: &PipelineCtx<'_>,
+    ) -> Result<FrontendOutput, PipelineError> {
+        let mut trace = ChangeTrace::default();
+        match self.try_fast(source, ctx, &mut trace) {
+            Ok(out) => {
+                ctx.recorder.counter("pipeline.runs_incremental", 1);
+                Ok(out)
+            }
+            Err(reason) => {
+                trace.fallback_reason = Some(reason);
+                trace.fast_path = false;
+                ctx.recorder.counter("pipeline.runs_full", 1);
+                self.run_cold(source, ctx, trace)
+            }
+        }
+    }
+
+    /// Attempt the incremental fast path. Any `Err(reason)` means "run
+    /// cold"; the memo may be partially mutated at that point, which is
+    /// safe because the cold run rebuilds (or drops) it wholesale.
+    fn try_fast(
+        &mut self,
+        source: &str,
+        ctx: &PipelineCtx<'_>,
+        trace: &mut ChangeTrace,
+    ) -> Result<FrontendOutput, String> {
+        let memo = self.memo.as_mut().ok_or("no memo (first run)")?;
+        if memo.gate != ctx.lint || memo.level != ctx.level || &memo.inputs != ctx.inputs {
+            return Err("engine configuration changed".into());
+        }
+        if ctx.miner_active() {
+            return Err("spec miner holds observed conventions".into());
+        }
+
+        // ---- parse: chunk-align the edit ----
+        let dirty_blocks: Vec<usize> = match diff_chunks(&memo.chunks, &memo.source, source) {
+            ChunkDelta::Unchanged => {
+                trace.stage("parse", "cached", "source unchanged");
+                Vec::new()
+            }
+            ChunkDelta::BodyEdit { dirty, map } => {
+                let total = map.chunks.len();
+                let mut blocks = Vec::with_capacity(dirty.len());
+                for &ci in &dirty {
+                    match memo.chunk_block[ci] {
+                        Some(b) => blocks.push(b),
+                        None => return Err("edit touches a non-resource block".into()),
+                    }
+                }
+                trace.stage(
+                    "parse",
+                    "incremental",
+                    format!("re-parsed {}/{} chunks", dirty.len(), total),
+                );
+                memo.chunks = map;
+                memo.source = source.to_owned();
+                blocks
+            }
+            ChunkDelta::Structural { .. } => {
+                return Err("structural edit (blocks added/removed/renamed)".into())
+            }
+        };
+
+        // ---- per-dirty-block: parse standalone, guard, re-expand ----
+        let lint_cfg = ctx.lint.config();
+        let mut respliced_instances = 0usize;
+        for &bi in &dirty_blocks {
+            let ci = memo
+                .chunk_block
+                .iter()
+                .position(|b| *b == Some(bi))
+                .expect("dirty block has a chunk");
+            let chunk = &memo.chunks.chunks[ci];
+            let chunk_src = &memo.source[chunk.start..chunk.end];
+            let file = cloudless_hcl::parse(chunk_src, &memo.program.filename)
+                .map_err(|_| format!("dirty block {bi} no longer parses"))?;
+            let sub = Program::from_file(file)
+                .map_err(|_| format!("dirty block {bi} no longer classifies"))?;
+            if sub.resources.len() != 1
+                || !sub.variables.is_empty()
+                || !sub.locals.is_empty()
+                || !sub.outputs.is_empty()
+                || !sub.modules.is_empty()
+                || !sub.data.is_empty()
+                || !sub.providers.is_empty()
+            {
+                return Err("dirty chunk is not exactly one resource block".into());
+            }
+            let new_rb = sub.resources.into_iter().next().expect("one resource");
+            let old_rb = &memo.program.resources[bi];
+            if new_rb.rtype != old_rb.rtype || new_rb.name != old_rb.name {
+                return Err("dirty block changed identity".into());
+            }
+
+            // Reference-stability guards: the block digraph and the
+            // expansion dependency set must be unchanged, and nothing may
+            // become unused.
+            let old_refs = &memo.refs[bi];
+            let new_refs = block_refs(&new_rb);
+            if new_refs.expand_deps != old_refs.expand_deps
+                || new_refs.hazard_refs != old_refs.hazard_refs
+            {
+                return Err("dependency edges changed".into());
+            }
+            if !old_refs.var_uses.is_subset(&new_refs.var_uses)
+                || !old_refs.local_uses.is_subset(&new_refs.local_uses)
+            {
+                return Err("a variable/local use disappeared".into());
+            }
+            if memo.lint_env.count_folds_zero(&new_rb) != memo.count_zero[bi] {
+                return Err("count-disabled status changed".into());
+            }
+
+            // Lint: the edited block must stay finding-free, and its
+            // identity claims must stay collision-free.
+            if let Some(cfg) = &lint_cfg {
+                if !block_is_clean(&memo.program, &new_rb, &memo.lint_env, cfg) {
+                    return Err("edited block has lint findings".into());
+                }
+                for key in block_claims(&memo.program.resources[bi], &memo.lint_env) {
+                    if let Some(n) = memo.claims.get_mut(&key) {
+                        *n = n.saturating_sub(1);
+                    }
+                }
+                for key in block_claims(&new_rb, &memo.lint_env) {
+                    let n = memo.claims.entry(key).or_insert(0);
+                    *n += 1;
+                    if *n > 1 {
+                        return Err("identity claim collides (write-write conflict)".into());
+                    }
+                }
+            }
+
+            // Expand the edited block alone under the cached bindings.
+            let mut diags = Diagnostics::new();
+            let mut fresh: Vec<ResourceInstance> = Vec::new();
+            expand_resource_block(
+                &new_rb,
+                &memo.vars,
+                &memo.locals,
+                &memo.block_names,
+                ctx.data,
+                &memo.program.filename.clone(),
+                &[],
+                &mut diags,
+                &mut fresh,
+            );
+            if !diags.is_empty() {
+                return Err("re-expansion produced diagnostics".into());
+            }
+            let (lo, hi) = memo.block_ranges[bi];
+            if fresh.len() != hi - lo {
+                return Err("instance count changed".into());
+            }
+            for (k, ni) in fresh.iter().enumerate() {
+                if ni.addr != memo.manifest.instances[lo + k].addr {
+                    return Err("instance addresses changed".into());
+                }
+            }
+
+            // Validation aggregates: maintain VAL306/VAL307 claim maps.
+            for k in lo..hi {
+                let old = &memo.manifest.instances[k];
+                if let Some(key) = name_claim(old) {
+                    if let Some(n) = memo.name_counts.get_mut(&key) {
+                        *n = n.saturating_sub(1);
+                    }
+                }
+                if let Some(n) = memo.quota_counts.get_mut(&quota_key(old)) {
+                    *n = n.saturating_sub(1);
+                }
+            }
+            let mut touched_quota: BTreeSet<(String, String)> = BTreeSet::new();
+            for ni in &fresh {
+                if let Some(key) = name_claim(ni) {
+                    let n = memo.name_counts.entry(key).or_insert(0);
+                    *n += 1;
+                    if *n > 1 {
+                        return Err("global name claim collides".into());
+                    }
+                }
+                let qk = quota_key(ni);
+                *memo.quota_counts.entry(qk.clone()).or_insert(0) += 1;
+                touched_quota.insert(qk);
+            }
+            for qk in touched_quota {
+                if let Some(schema) = ctx.catalog.get_str(&qk.0) {
+                    let n = memo.quota_counts.get(&qk).copied().unwrap_or(0);
+                    if n as u32 > schema.default_quota {
+                        return Err("per-region quota exceeded".into());
+                    }
+                }
+            }
+
+            // Commit the splice: program block + manifest instance range.
+            // Instance-level `depends_on` copies over from the cached
+            // instances (exact, because `expand_deps` is unchanged).
+            memo.program.resources[bi] = new_rb;
+            for (k, mut ni) in fresh.into_iter().enumerate() {
+                ni.depends_on = memo.manifest.instances[lo + k].depends_on.clone();
+                memo.manifest.instances[lo + k] = Arc::new(ni);
+                respliced_instances += 1;
+            }
+            memo.refs[bi] = new_refs;
+        }
+        if dirty_blocks.is_empty() {
+            trace.stage("lint", "cached", "report clean, source unchanged");
+            trace.stage("expand", "cached", "manifest unchanged");
+            trace.stage("validate", "cached", "report clean, manifest unchanged");
+        } else {
+            trace.stage(
+                "lint",
+                "incremental",
+                format!(
+                    "re-checked {} block(s), claims map maintained",
+                    dirty_blocks.len()
+                ),
+            );
+            trace.stage(
+                "expand",
+                "incremental",
+                format!(
+                    "re-expanded {} block(s), spliced {} instance(s)",
+                    dirty_blocks.len(),
+                    respliced_instances
+                ),
+            );
+
+            // ---- validate: re-check edited blocks + direct dependents ----
+            let mut scope_blocks: BTreeSet<usize> = dirty_blocks.iter().copied().collect();
+            for &bi in &dirty_blocks {
+                scope_blocks.extend(memo.dependents[bi].iter().copied());
+            }
+            let mut positions: Vec<usize> = Vec::new();
+            for &bi in &scope_blocks {
+                let (lo, hi) = memo.block_ranges[bi];
+                positions.extend(lo..hi);
+            }
+            positions.sort_unstable();
+            let vdiags = check_scope(&memo.manifest, &memo.mindex, &positions, ctx.catalog);
+            if !vdiags.is_empty() {
+                return Err("edited scope has validation findings".into());
+            }
+            trace.stage(
+                "validate",
+                "incremental",
+                format!(
+                    "re-checked {} instance(s), aggregates maintained",
+                    positions.len()
+                ),
+            );
+        }
+
+        // ---- plan: replay only the impact scope of the edit ----
+        let n = memo.manifest.instances.len();
+        if memo.diff.serial != ctx.state.serial {
+            // State moved under us (an apply happened): the front-end memo
+            // stays warm but the diff must rebuild.
+            let changes = diff(&memo.manifest, ctx.state, ctx.catalog, ctx.data);
+            let dc = DiffCache::build(&memo.manifest, ctx.state, changes);
+            trace.stage(
+                "plan",
+                "full",
+                format!("state serial changed, re-diffed {n} instance(s)"),
+            );
+            memo.diff = dc;
+        } else if dirty_blocks.is_empty() {
+            trace.stage("plan", "cached", "state and manifest unchanged");
+        } else {
+            let scope =
+                ImpactScope::compute(&memo.dag, dirty_blocks.iter().map(|&b| NodeId(b as u32)));
+            let mut scope_pos: HashSet<usize> = HashSet::new();
+            for node in &scope.replan {
+                let (lo, hi) = memo.block_ranges[node.index()];
+                scope_pos.extend(lo..hi);
+            }
+            let mut fresh: Vec<(usize, PlannedChange)> = Vec::new();
+            for &idx in &memo.diff.kahn {
+                if !scope_pos.contains(&idx) {
+                    continue;
+                }
+                let inst = &memo.manifest.instances[idx];
+                let dirty_map = &memo.diff.dirty;
+                let change = plan_one(
+                    inst,
+                    ctx.state,
+                    ctx.catalog,
+                    &memo.diff.block_index,
+                    ctx.data,
+                    &mut |t, nm| {
+                        dirty_map
+                            .get(&(t.to_owned(), nm.to_owned()))
+                            .copied()
+                            .unwrap_or(true)
+                    },
+                );
+                let is_dirty = matches!(change.action, Action::Create | Action::Replace { .. });
+                memo.diff.dirty.insert(
+                    (inst.addr.rtype.as_str().to_owned(), inst.addr.name.clone()),
+                    is_dirty,
+                );
+                fresh.push((idx, change));
+            }
+            fresh.sort_by_key(|(i, _)| *i);
+            // Merge: cached non-NoOps outside the scope + fresh non-NoOps.
+            let mut merged: Vec<(usize, PlannedChange)> =
+                Vec::with_capacity(memo.diff.changes.len() + fresh.len());
+            let kept = memo
+                .diff
+                .changes
+                .drain(..)
+                .filter(|(i, _)| !scope_pos.contains(i));
+            let fresh_non_noop = fresh.into_iter().filter(|(_, c)| !c.action.is_noop());
+            for pair in itertools_merge(kept, fresh_non_noop) {
+                merged.push(pair);
+            }
+            trace.stage(
+                "plan",
+                "incremental",
+                format!("re-planned {}/{} instance(s)", scope_pos.len(), n),
+            );
+            memo.diff.changes = merged;
+            let mut all: Vec<PlannedChange> =
+                memo.diff.changes.iter().map(|(_, c)| c.clone()).collect();
+            all.extend(memo.diff.deletes.iter().cloned());
+            memo.diff.plan_text = render(&all);
+        }
+
+        let mut changes: Vec<PlannedChange> =
+            memo.diff.changes.iter().map(|(_, c)| c.clone()).collect();
+        changes.extend(memo.diff.deletes.iter().cloned());
+        trace.fast_path = true;
+        Ok(FrontendOutput {
+            manifest: memo.manifest.clone(),
+            validation: memo.validation.clone(),
+            changes,
+            plan_text: memo.diff.plan_text.clone(),
+            trace: std::mem::take(trace),
+        })
+    }
+
+    /// The cold path: the exact monolithic front end, plus memo rebuild.
+    fn run_cold(
+        &mut self,
+        source: &str,
+        ctx: &PipelineCtx<'_>,
+        mut trace: ChangeTrace,
+    ) -> Result<FrontendOutput, PipelineError> {
+        self.memo = None;
+        trace.stage("parse", "full", "whole file");
+        let program = Program::from_file(
+            cloudless_hcl::parse(source, "main.tf").map_err(PipelineError::Frontend)?,
+        )
+        .map_err(PipelineError::Frontend)?;
+
+        let mut lint_clean = ctx.lint.config().is_none();
+        if let Some(lint_cfg) = ctx.lint.config() {
+            trace.stage("lint", "full", "whole program");
+            let report = lint_program(&program, ctx.modules, &lint_cfg);
+            if report.fails(&lint_cfg) {
+                return Err(PipelineError::Lint(report));
+            }
+            lint_clean = report.findings.is_empty() && report.suppressed == 0;
+        }
+
+        trace.stage("expand", "full", "whole program");
+        let manifest =
+            expand(&program, ctx.inputs, ctx.modules, ctx.data).map_err(PipelineError::Frontend)?;
+
+        trace.stage("validate", "full", "every instance");
+        let validation = validate(&manifest, ctx.catalog, ctx.level, ctx.miner);
+        if !validation.ok() {
+            return Err(PipelineError::Validation(validation));
+        }
+
+        trace.stage(
+            "plan",
+            "full",
+            format!("diffed {} instance(s)", manifest.instances.len()),
+        );
+        let changes = diff(&manifest, ctx.state, ctx.catalog, ctx.data);
+        let plan_text = render(&changes);
+
+        // Memoize when the run is eligible for the clean-program fast path.
+        let eligible = self.config.max_cache_bytes > 0
+            && lint_clean
+            && validation.diagnostics.is_empty()
+            && manifest.warnings.is_empty()
+            && program.modules.is_empty()
+            && !ctx.miner_active();
+        if eligible {
+            match Memo::build(source, &program, &manifest, &validation, &changes, ctx) {
+                Some(memo) => {
+                    let bytes = memo.approx_bytes();
+                    if bytes > self.config.max_cache_bytes {
+                        ctx.recorder.counter("pipeline.evictions", 1);
+                        trace.stage(
+                            "memo",
+                            "evicted",
+                            format!(
+                                "{} bytes exceeds the {}-byte budget",
+                                bytes, self.config.max_cache_bytes
+                            ),
+                        );
+                    } else {
+                        trace.stage("memo", "stored", format!("~{bytes} bytes retained"));
+                        self.memo = Some(memo);
+                    }
+                }
+                None => trace.stage("memo", "skipped", "program shape not memoizable"),
+            }
+        } else {
+            trace.stage("memo", "skipped", "run not clean or not eligible");
+        }
+
+        Ok(FrontendOutput {
+            manifest,
+            validation,
+            changes,
+            plan_text,
+            trace,
+        })
+    }
+}
+
+/// Merge two position-sorted iterators of `(position, change)`.
+fn itertools_merge<I, J>(a: I, b: J) -> impl Iterator<Item = (usize, PlannedChange)>
+where
+    I: Iterator<Item = (usize, PlannedChange)>,
+    J: Iterator<Item = (usize, PlannedChange)>,
+{
+    let mut a = a.peekable();
+    let mut b = b.peekable();
+    std::iter::from_fn(move || match (a.peek(), b.peek()) {
+        (Some(x), Some(y)) => {
+            if x.0 <= y.0 {
+                a.next()
+            } else {
+                b.next()
+            }
+        }
+        (Some(_), None) => a.next(),
+        (None, Some(_)) => b.next(),
+        (None, None) => None,
+    })
+}
+
+impl DiffCache {
+    /// Derive the plan-stage cache from a full diff's output. `changes`
+    /// holds the declaration-ordered slots first, then the deletions.
+    fn build(manifest: &Manifest, state: &Snapshot, changes: Vec<PlannedChange>) -> DiffCache {
+        let n = manifest.instances.len();
+        let plan_text = render(&changes);
+        let kahn = dependency_order(manifest);
+        let mut dirty: HashMap<(String, String), bool> = HashMap::with_capacity(n);
+        let mut slots: Vec<(usize, PlannedChange)> = Vec::new();
+        for (i, c) in changes.iter().take(n).enumerate() {
+            if !c.action.is_noop() {
+                slots.push((i, c.clone()));
+            }
+        }
+        for &idx in &kahn {
+            let inst = &manifest.instances[idx];
+            let is_dirty = matches!(changes[idx].action, Action::Create | Action::Replace { .. });
+            dirty.insert(
+                (inst.addr.rtype.as_str().to_owned(), inst.addr.name.clone()),
+                is_dirty,
+            );
+        }
+        let deletes = changes.into_iter().skip(n).collect();
+        DiffCache {
+            serial: state.serial,
+            block_index: BlockIndex::build(state),
+            kahn,
+            dirty,
+            changes: slots,
+            deletes,
+            plan_text,
+        }
+    }
+}
+
+impl Memo {
+    /// Build the memo from a clean cold run. `None` when the program's
+    /// shape defeats chunk↔block mapping (duplicate block keys, chunks the
+    /// scanner could not separate, non-contiguous instance ranges).
+    fn build(
+        source: &str,
+        program: &Program,
+        manifest: &Manifest,
+        validation: &ValidationReport,
+        changes: &[PlannedChange],
+        ctx: &PipelineCtx<'_>,
+    ) -> Option<Memo> {
+        let chunks = ChunkMap::build(source);
+        // chunk ↔ block mapping: every resource chunk maps to exactly one
+        // program block and vice versa.
+        let mut block_of: HashMap<(&str, &str), usize> = HashMap::new();
+        for (i, rb) in program.resources.iter().enumerate() {
+            if block_of
+                .insert((rb.rtype.as_str(), rb.name.as_str()), i)
+                .is_some()
+            {
+                return None; // duplicate block key
+            }
+        }
+        let mut chunk_block: Vec<Option<usize>> = Vec::with_capacity(chunks.chunks.len());
+        let mut mapped = 0usize;
+        for c in &chunks.chunks {
+            match &c.kind {
+                ChunkKind::Resource { rtype, name } => {
+                    let bi = *block_of.get(&(rtype.as_str(), name.as_str()))?;
+                    chunk_block.push(Some(bi));
+                    mapped += 1;
+                }
+                ChunkKind::Other => chunk_block.push(None),
+            }
+        }
+        if mapped != program.resources.len() {
+            return None;
+        }
+
+        // Per-block instance ranges: root-module expansion emits instances
+        // grouped in block declaration order; verify.
+        let mut block_ranges: Vec<(usize, usize)> = vec![(0, 0); program.resources.len()];
+        let mut pos = 0usize;
+        for (bi, rb) in program.resources.iter().enumerate() {
+            let lo = pos;
+            while pos < manifest.instances.len() {
+                let a = &manifest.instances[pos].addr;
+                if a.module_path.is_empty() && a.rtype.as_str() == rb.rtype && a.name == rb.name {
+                    pos += 1;
+                } else {
+                    break;
+                }
+            }
+            block_ranges[bi] = (lo, pos);
+        }
+        if pos != manifest.instances.len() {
+            return None; // stray instances (modules, or non-contiguous)
+        }
+
+        // Environments: re-bind once (cheap relative to the cold run) so
+        // splices can re-expand blocks under identical Arcs.
+        let mut warnings = Diagnostics::new();
+        let mut diags = Diagnostics::new();
+        let (vars, locals) = bind_env(program, ctx.inputs, ctx.data, &mut warnings, &mut diags);
+        if !diags.is_empty() || !warnings.is_empty() {
+            return None;
+        }
+        let block_names: BTreeSet<(String, String)> = program
+            .resources
+            .iter()
+            .map(|r| (r.rtype.clone(), r.name.clone()))
+            .collect();
+
+        let lint_env = LintEnv::build(program);
+        let refs: Vec<BlockRefs> = program.resources.iter().map(block_refs).collect();
+        let count_zero: Vec<bool> = program
+            .resources
+            .iter()
+            .map(|rb| lint_env.count_folds_zero(rb))
+            .collect();
+        let mut claims: HashMap<(String, String, String), usize> = HashMap::new();
+        for rb in &program.resources {
+            for key in block_claims(rb, &lint_env) {
+                *claims.entry(key).or_insert(0) += 1;
+            }
+        }
+
+        // Block-level DAG (dependency → dependent) from the expansion
+        // dependency sets.
+        let mut builder: DagBuilder<usize> = DagBuilder::new();
+        let nodes: Vec<NodeId> = (0..program.resources.len())
+            .map(|i| builder.add_node(i))
+            .collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); program.resources.len()];
+        for (i, r) in refs.iter().enumerate() {
+            for (t, nm) in &r.expand_deps {
+                if let Some(&j) = block_of.get(&(t.as_str(), nm.as_str())) {
+                    if j != i {
+                        builder.add_edge(nodes[j], nodes[i]).ok()?;
+                        dependents[j].push(i);
+                    }
+                }
+            }
+        }
+        let dag = builder.seal().ok()?;
+
+        let mindex = ManifestIndex::build(manifest);
+        let mut name_counts: HashMap<(String, String), usize> = HashMap::new();
+        let mut quota_counts: HashMap<(String, String), usize> = HashMap::new();
+        for inst in &manifest.instances {
+            if let Some(k) = name_claim(inst) {
+                *name_counts.entry(k).or_insert(0) += 1;
+            }
+            *quota_counts.entry(quota_key(inst)).or_insert(0) += 1;
+        }
+
+        let diff_cache = DiffCache::build(manifest, ctx.state, changes.to_vec());
+
+        Some(Memo {
+            source: source.to_owned(),
+            chunks,
+            chunk_block,
+            gate: ctx.lint,
+            level: ctx.level,
+            inputs: ctx.inputs.clone(),
+            program: program.clone(),
+            vars,
+            locals,
+            block_names,
+            lint_env,
+            refs,
+            count_zero,
+            claims,
+            manifest: manifest.clone(),
+            block_ranges,
+            mindex,
+            name_counts,
+            quota_counts,
+            validation: validation.clone(),
+            dag,
+            dependents,
+            diff: diff_cache,
+        })
+    }
+
+    /// Approximate retained heap bytes — intentionally coarse; the budget
+    /// is a guard rail, not an allocator.
+    fn approx_bytes(&self) -> usize {
+        let mut total = self.source.len() * 2; // source + program text-ish
+        total += self.chunks.approx_bytes();
+        total += self.program.resources.len() * 512;
+        for inst in &self.manifest.instances {
+            total += 384 + inst.attrs.len() * 96 + inst.deferred.len() * 160;
+        }
+        total += self.mindex.approx_bytes();
+        total += (self.claims.len() + self.name_counts.len() + self.quota_counts.len()) * 128;
+        total += self.refs.len() * 256;
+        total += self.diff.kahn.len() * 8;
+        total += self.diff.dirty.len() * 96;
+        total += self.diff.changes.len() * 512;
+        total += self.diff.deletes.len() * 512;
+        total += self.diff.plan_text.len();
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Cloudless, Config};
+
+    const SRC: &str = r#"
+variable "region" { default = "us-east-1" }
+resource "aws_vpc" "main" { cidr_block = "10.0.0.0/16" }
+resource "aws_subnet" "app" {
+  vpc_id     = aws_vpc.main.id
+  cidr_block = "10.0.1.0/24"
+}
+resource "aws_s3_bucket" "logs" {
+  bucket = "logs-${var.region}"
+}
+"#;
+
+    fn engine() -> Cloudless {
+        Cloudless::new(Config::default())
+    }
+
+    #[test]
+    fn warm_attribute_edit_is_fast_and_exact() {
+        let edited = SRC.replace("10.0.1.0/24", "10.0.2.0/24");
+        let mut warm = engine();
+        let (_, t0) = warm.plan_incremental(SRC).unwrap();
+        assert!(!t0.fast_path, "first run must be cold:\n{t0}");
+        assert!(warm.pipeline().is_warm());
+        let (warm_text, t1) = warm.plan_incremental(&edited).unwrap();
+        assert!(t1.fast_path, "edit should stay on the fast path:\n{t1}");
+        let (cold_text, _) = engine().plan_incremental(&edited).unwrap();
+        assert_eq!(warm_text, cold_text, "fast path must be byte-identical");
+    }
+
+    #[test]
+    fn unchanged_source_replans_from_cache() {
+        let mut e = engine();
+        let (a, _) = e.plan_incremental(SRC).unwrap();
+        let (b, t) = e.plan_incremental(SRC).unwrap();
+        assert!(t.fast_path, "{t}");
+        assert!(t.stages.iter().all(|s| s.action == "cached"), "{t}");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn structural_edit_falls_back_cold() {
+        let mut e = engine();
+        e.plan_incremental(SRC).unwrap();
+        let grown = format!("{SRC}resource \"aws_s3_bucket\" \"extra\" {{ bucket = \"extra\" }}\n");
+        let (text, t) = e.plan_incremental(&grown).unwrap();
+        assert!(!t.fast_path, "{t}");
+        let (cold, _) = engine().plan_incremental(&grown).unwrap();
+        assert_eq!(text, cold);
+    }
+
+    #[test]
+    fn converge_then_edit_replans_incrementally() {
+        let mut e = engine();
+        let out = e.converge(SRC).expect("deploys");
+        assert!(out.apply.all_ok());
+        // state serial moved during apply: next plan re-diffs but keeps
+        // the front-end memo warm
+        let (_, t) = e.plan_incremental(SRC).unwrap();
+        assert!(t.fast_path, "{t}");
+        let edited = SRC.replace("logs-${var.region}", "logs-v2-${var.region}");
+        let (text, t2) = e.plan_incremental(&edited).unwrap();
+        assert!(t2.fast_path, "{t2}");
+        assert!(text.contains("logs"), "{text}");
+        let mut cold = engine();
+        cold.converge(SRC).expect("deploys");
+        cold.clear_pipeline_cache();
+        let (cold_text, ct) = cold.plan_incremental(&edited).unwrap();
+        assert!(!ct.fast_path);
+        assert_eq!(text, cold_text);
+    }
+
+    #[test]
+    fn eviction_respects_byte_budget() {
+        let mut e = engine();
+        e.set_pipeline_config(crate::PipelineConfig {
+            max_cache_bytes: 64,
+        });
+        let (_, t) = e.plan_incremental(SRC).unwrap();
+        assert!(!t.fast_path);
+        assert!(!e.pipeline().is_warm(), "memo must be evicted");
+        assert!(e.pipeline().approx_bytes() <= 64);
+        let (_, t2) = e.plan_incremental(SRC).unwrap();
+        assert!(!t2.fast_path, "evicted memo keeps runs cold");
+    }
+}

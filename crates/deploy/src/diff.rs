@@ -97,56 +97,70 @@ pub fn diff(
     let order = dependency_order(manifest);
     for &idx in &order {
         let inst = &manifest.instances[idx];
-        let prior = state.get(&inst.addr);
-        let resolver = StateResolver::new(state)
-            .in_module(&inst.addr.module_path)
-            .with_data(data)
-            .with_index(&block_index);
-        // Try to finalize deferred attributes against *prior* state; if the
-        // referenced block is dirty or unknown, the attr stays unknown.
-        let mut planned = inst.attrs.clone();
-        let mut unknown = Vec::new();
-        for d in &inst.deferred {
-            let scope = inst.env.scope(&resolver);
-            let dep_dirty = d.waiting_on.iter().any(|r| {
-                r.parts.len() >= 2
-                    && dirty
-                        .get(&(r.parts[0].as_str(), r.parts[1].as_str()))
-                        .copied()
-                        .unwrap_or(true)
-            });
-            if dep_dirty {
-                unknown.push(d.name.clone());
-                continue;
-            }
-            match cloudless_hcl::eval::eval(&d.expr, &scope) {
-                Ok(v) => {
-                    planned.insert(d.name.clone(), v);
-                }
-                Err(_) => unknown.push(d.name.clone()),
-            }
-        }
+        let change = plan_one(inst, state, catalog, &block_index, data, &mut |t, n| {
+            dirty.get(&(t, n)).copied().unwrap_or(true)
+        });
+        let is_dirty = matches!(change.action, Action::Create | Action::Replace { .. });
+        dirty.insert(
+            (inst.addr.rtype.as_str(), inst.addr.name.as_str()),
+            is_dirty,
+        );
+        slots[idx] = Some(change);
+    }
+    let mut changes: Vec<PlannedChange> = slots.into_iter().flatten().collect();
+    changes.extend(delete_changes(manifest, state));
+    changes
+}
 
-        let action = match prior {
-            None => Action::Create,
-            Some(prior) => {
-                let mut changed: Vec<String> = Vec::new();
-                let mut force_new = false;
-                let schema = catalog.get(&inst.addr.rtype);
-                for (name, desired_v) in &planned {
-                    let prior_v = prior.attrs.get(name).unwrap_or(&Value::Null);
-                    if prior_v != desired_v && !(desired_v.is_null() && prior_v.is_null()) {
-                        changed.push(name.clone());
-                        if let Some(s) = schema {
-                            if s.attr(name).map(|a| a.force_new).unwrap_or(false) {
-                                force_new = true;
-                            }
-                        }
-                    }
-                }
-                // Unknown attrs on an existing resource: conservatively
-                // treat as changed (their dependency is being replaced).
-                for name in &unknown {
+/// Diff a single instance against prior state. `dep_dirty` answers whether
+/// a referenced block `(type, name)` is being created or replaced — in the
+/// full diff it closes over the dirtiness accumulated in dependency order;
+/// the incremental planner feeds it from a cached map. The caller is
+/// responsible for recording this change's own dirtiness afterwards.
+pub fn plan_one(
+    inst: &Arc<ResourceInstance>,
+    state: &Snapshot,
+    catalog: &Catalog,
+    block_index: &cloudless_state::BlockIndex,
+    data: &dyn Resolver,
+    dep_dirty: &mut dyn FnMut(&str, &str) -> bool,
+) -> PlannedChange {
+    let prior = state.get(&inst.addr);
+    let resolver = StateResolver::new(state)
+        .in_module(&inst.addr.module_path)
+        .with_data(data)
+        .with_index(block_index);
+    // Try to finalize deferred attributes against *prior* state; if the
+    // referenced block is dirty or unknown, the attr stays unknown.
+    let mut planned = inst.attrs.clone();
+    let mut unknown = Vec::new();
+    for d in &inst.deferred {
+        let scope = inst.env.scope(&resolver);
+        let waiting_dirty = d
+            .waiting_on
+            .iter()
+            .any(|r| r.parts.len() >= 2 && dep_dirty(r.parts[0].as_str(), r.parts[1].as_str()));
+        if waiting_dirty {
+            unknown.push(d.name.clone());
+            continue;
+        }
+        match cloudless_hcl::eval::eval(&d.expr, &scope) {
+            Ok(v) => {
+                planned.insert(d.name.clone(), v);
+            }
+            Err(_) => unknown.push(d.name.clone()),
+        }
+    }
+
+    let action = match prior {
+        None => Action::Create,
+        Some(prior) => {
+            let mut changed: Vec<String> = Vec::new();
+            let mut force_new = false;
+            let schema = catalog.get(&inst.addr.rtype);
+            for (name, desired_v) in &planned {
+                let prior_v = prior.attrs.get(name).unwrap_or(&Value::Null);
+                if prior_v != desired_v && !(desired_v.is_null() && prior_v.is_null()) {
                     changed.push(name.clone());
                     if let Some(s) = schema {
                         if s.attr(name).map(|a| a.force_new).unwrap_or(false) {
@@ -154,35 +168,44 @@ pub fn diff(
                         }
                     }
                 }
-                changed.sort();
-                changed.dedup();
-                if changed.is_empty() {
-                    Action::NoOp
-                } else if force_new {
-                    Action::Replace { changed }
-                } else {
-                    Action::Update { changed }
+            }
+            // Unknown attrs on an existing resource: conservatively
+            // treat as changed (their dependency is being replaced).
+            for name in &unknown {
+                changed.push(name.clone());
+                if let Some(s) = schema {
+                    if s.attr(name).map(|a| a.force_new).unwrap_or(false) {
+                        force_new = true;
+                    }
                 }
             }
-        };
-        let is_dirty = matches!(action, Action::Create | Action::Replace { .. });
-        dirty.insert(
-            (inst.addr.rtype.as_str(), inst.addr.name.as_str()),
-            is_dirty,
-        );
-        slots[idx] = Some(PlannedChange {
-            addr: inst.addr.clone(),
-            action,
-            desired: Some(Arc::clone(inst)),
-            planned_attrs: planned,
-            unknown_attrs: unknown,
-        });
+            changed.sort();
+            changed.dedup();
+            if changed.is_empty() {
+                Action::NoOp
+            } else if force_new {
+                Action::Replace { changed }
+            } else {
+                Action::Update { changed }
+            }
+        }
+    };
+    PlannedChange {
+        addr: inst.addr.clone(),
+        action,
+        desired: Some(Arc::clone(inst)),
+        planned_attrs: planned,
+        unknown_attrs: unknown,
     }
-    let mut changes: Vec<PlannedChange> = slots.into_iter().flatten().collect();
+}
 
-    // Deletions: in state but not desired.
+/// Deletions: resources in state but not in the desired manifest, in state
+/// (address) order. Stable for a given (manifest address set, state
+/// serial), which is what lets the incremental planner cache it.
+pub fn delete_changes(manifest: &Manifest, state: &Snapshot) -> Vec<PlannedChange> {
     let desired_addrs: HashSet<&ResourceAddr> =
         manifest.instances.iter().map(|i| &i.addr).collect();
+    let mut changes = Vec::new();
     for r in state.resources.values() {
         if !desired_addrs.contains(&r.addr) {
             changes.push(PlannedChange {
@@ -199,7 +222,7 @@ pub fn diff(
 
 /// Kahn's algorithm over instance `depends_on`, returning indices into
 /// `manifest.instances`; unresolved leftovers (cycles) appended last.
-fn dependency_order(manifest: &Manifest) -> Vec<usize> {
+pub fn dependency_order(manifest: &Manifest) -> Vec<usize> {
     let n = manifest.instances.len();
     let index_of: HashMap<&ResourceAddr, usize> = manifest
         .instances

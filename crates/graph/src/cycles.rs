@@ -12,6 +12,8 @@
 //! lowered into the same flat [`Csr`] the `Dag` uses and walked by the same
 //! three-color DFS ([`Csr::find_cycle`]) — one implementation, two callers.
 
+use std::collections::HashSet;
+
 use crate::csr::Csr;
 use crate::dag::NodeId;
 
@@ -20,6 +22,9 @@ use crate::dag::NodeId;
 pub struct Digraph {
     nodes: usize,
     edges: Vec<(NodeId, NodeId)>,
+    /// Membership index so `has_edge` is a hash probe, not an O(E) scan —
+    /// the hazard pass asks `has_edge(i, i)` once per block.
+    present: HashSet<(NodeId, NodeId)>,
 }
 
 impl Digraph {
@@ -27,6 +32,7 @@ impl Digraph {
         Digraph {
             nodes,
             edges: Vec::new(),
+            present: HashSet::new(),
         }
     }
 
@@ -43,17 +49,20 @@ impl Digraph {
     /// feed raw reference edges, hazards included.
     pub fn add_edge(&mut self, from: usize, to: usize) {
         assert!(from < self.nodes && to < self.nodes, "node bounds");
-        self.edges.push((NodeId(from as u32), NodeId(to as u32)));
+        let e = (NodeId(from as u32), NodeId(to as u32));
+        self.edges.push(e);
+        self.present.insert(e);
     }
 
     pub fn has_edge(&self, from: usize, to: usize) -> bool {
-        self.edges
+        self.present
             .contains(&(NodeId(from as u32), NodeId(to as u32)))
     }
 
     pub fn remove_edge(&mut self, from: usize, to: usize) {
         let e = (NodeId(from as u32), NodeId(to as u32));
         self.edges.retain(|&x| x != e);
+        self.present.remove(&e);
     }
 
     /// Find one cycle, if any, as the list of nodes along it (first node

@@ -1,0 +1,602 @@
+//! Block-granular source fingerprinting for the incremental pipeline.
+//!
+//! The converge pipeline wants to know, after an edit, *which top-level
+//! blocks actually changed* — without re-lexing the whole file. This module
+//! splits source text into **chunks** (one per top-level block, leading
+//! trivia attached to the block that follows it), hashes each chunk, and
+//! diffs an edited source against a cached [`ChunkMap`] in O(edit): a
+//! common-prefix/common-suffix byte scan narrows the edit to a window,
+//! only that window is re-scanned, and every chunk outside it is reused
+//! with its offsets shifted.
+//!
+//! The scanner is deliberately *not* the lexer: it only needs to find
+//! top-level `}` closers, which requires tracking strings (with `${ … }`
+//! interpolations, which themselves nest strings), comments, and brace
+//! depth — nothing else. Anything the scanner cannot align confidently is
+//! reported as [`ChunkDelta::Structural`], which callers treat as a full
+//! invalidation; the fast path is an optimization, never a semantics
+//! change.
+
+use std::fmt;
+
+/// FNV-1a 64-bit over a byte slice — stable, dependency-free, fast enough
+/// to hash only the chunks inside an edit window.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// What kind of top-level block a chunk holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkKind {
+    /// `resource "<rtype>" "<name>" { … }`
+    Resource { rtype: String, name: String },
+    /// Any other top-level block (`variable`, `locals`, `output`, …) or
+    /// trailing trivia.
+    Other,
+}
+
+/// One top-level chunk of source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    /// Byte offset of the chunk start (inclusive).
+    pub start: usize,
+    /// Byte offset of the chunk end (exclusive).
+    pub end: usize,
+    /// 1-based line number of the chunk start.
+    pub line: u32,
+    /// FNV-1a hash of the chunk bytes.
+    pub hash: u64,
+    pub kind: ChunkKind,
+}
+
+/// The chunk table for one version of a source file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChunkMap {
+    pub chunks: Vec<Chunk>,
+    pub src_len: usize,
+}
+
+/// Result of diffing an edited source against a cached [`ChunkMap`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChunkDelta {
+    /// Byte-identical source.
+    Unchanged,
+    /// Same number of chunks, same kinds and keys in the same order; the
+    /// listed chunk indices changed content.
+    BodyEdit { dirty: Vec<usize>, map: ChunkMap },
+    /// Chunks were added/removed/renamed/re-kinded (or the scanner could
+    /// not align the edit); callers must invalidate everything.
+    Structural { map: ChunkMap },
+}
+
+impl fmt::Display for ChunkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChunkKind::Resource { rtype, name } => write!(f, "resource {rtype}.{name}"),
+            ChunkKind::Other => write!(f, "(other)"),
+        }
+    }
+}
+
+/// Scanner state for skipping a double-quoted string starting at `i`
+/// (byte of the opening `"`). Returns the index just past the closing
+/// quote. Handles `\` escapes and `${ … }` interpolations, which may nest
+/// strings (and those strings further interpolations).
+fn skip_string(b: &[u8], mut i: usize) -> usize {
+    debug_assert_eq!(b[i], b'"');
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'$' if i + 1 < b.len() && b[i + 1] == b'{' => {
+                // interpolation: balanced braces, strings nest
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    match b[i] {
+                        b'{' => {
+                            depth += 1;
+                            i += 1;
+                        }
+                        b'}' => {
+                            depth -= 1;
+                            i += 1;
+                        }
+                        b'"' => i = skip_string(b, i),
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scan `src[start..limit]` into chunks, assuming `start` is a chunk
+/// boundary on line `start_line`. Returns `Err(())` when a chunk would
+/// extend past `limit` (the window is not self-contained) — callers fall
+/// back to a full rescan.
+fn scan_region(src: &str, start: usize, limit: usize, start_line: u32) -> Result<Vec<Chunk>, ()> {
+    let b = src.as_bytes();
+    let mut chunks = Vec::new();
+    let mut i = start;
+    let mut line = start_line;
+    let mut chunk_start = start;
+    let mut chunk_line = start_line;
+    let mut depth = 0usize;
+    let mut saw_block = false;
+    while i < limit {
+        match b[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+                // a chunk ends at the end of the line on which its last
+                // top-level brace closed
+                if depth == 0 && saw_block {
+                    chunks.push(make_chunk(src, chunk_start, i, chunk_line));
+                    chunk_start = i;
+                    chunk_line = line;
+                    saw_block = false;
+                }
+            }
+            b'#' => i = skip_line(b, i),
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => i = skip_line(b, i),
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
+            b'"' => {
+                let j = skip_string(b, i);
+                line += b[i..j.min(b.len())].iter().filter(|&&c| c == b'\n').count() as u32;
+                i = j;
+            }
+            b'{' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    saw_block = true;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    if depth != 0 || (saw_block && limit != src.len() && limit != b.len()) {
+        // unbalanced, or a block closed without a trailing newline inside a
+        // bounded window: cannot align
+        if depth != 0 {
+            return Err(());
+        }
+    }
+    // trailing bytes: a closed-but-unterminated-line block, or trivia.
+    // Attach to a final chunk (trivia joins the preceding block when one
+    // exists in this region and the region runs to EOF).
+    if chunk_start < limit {
+        if saw_block || chunks.is_empty() {
+            chunks.push(make_chunk(src, chunk_start, limit, chunk_line));
+        } else if limit == src.len() {
+            // trailing trivia at EOF: merge into the last chunk so edits
+            // there invalidate that block rather than vanish
+            let last = chunks.last_mut().expect("nonempty");
+            last.end = limit;
+            last.hash = fnv1a(&b[last.start..limit]);
+        } else {
+            return Err(());
+        }
+    }
+    Ok(chunks)
+}
+
+fn skip_line(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && b[i] != b'\n' {
+        i += 1;
+    }
+    i
+}
+
+fn make_chunk(src: &str, start: usize, end: usize, line: u32) -> Chunk {
+    let bytes = &src.as_bytes()[start..end];
+    Chunk {
+        start,
+        end,
+        line,
+        hash: fnv1a(bytes),
+        kind: classify(src[start..end].trim_start()),
+    }
+}
+
+/// Peek the head of a chunk: `resource "<t>" "<n>"` → `Resource`.
+fn classify(head: &str) -> ChunkKind {
+    let mut rest = head;
+    // skip leading comment lines
+    loop {
+        rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix('#') {
+            rest = r.split_once('\n').map(|(_, r)| r).unwrap_or("");
+        } else if let Some(r) = rest.strip_prefix("//") {
+            rest = r.split_once('\n').map(|(_, r)| r).unwrap_or("");
+        } else if let Some(r) = rest.strip_prefix("/*") {
+            rest = r.split_once("*/").map(|(_, r)| r).unwrap_or("");
+        } else {
+            break;
+        }
+    }
+    let Some(rest) = rest.strip_prefix("resource") else {
+        return ChunkKind::Other;
+    };
+    let mut labels = Vec::new();
+    let mut rest = rest.trim_start();
+    for _ in 0..2 {
+        let Some(r) = rest.strip_prefix('"') else {
+            return ChunkKind::Other;
+        };
+        let Some(q) = r.find('"') else {
+            return ChunkKind::Other;
+        };
+        labels.push(r[..q].to_owned());
+        rest = r[q + 1..].trim_start();
+    }
+    let name = labels.pop().expect("two labels");
+    let rtype = labels.pop().expect("two labels");
+    ChunkKind::Resource { rtype, name }
+}
+
+impl ChunkMap {
+    /// Scan a whole source file into its chunk table.
+    pub fn build(src: &str) -> ChunkMap {
+        let chunks = scan_region(src, 0, src.len(), 1).unwrap_or_else(|_| {
+            // unbalanced braces: a single opaque chunk (always "dirty")
+            vec![make_chunk(src, 0, src.len(), 1)]
+        });
+        ChunkMap {
+            chunks,
+            src_len: src.len(),
+        }
+    }
+
+    /// Indices of chunks holding resource blocks.
+    pub fn resource_chunks(&self) -> impl Iterator<Item = usize> + '_ {
+        self.chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c.kind, ChunkKind::Resource { .. }))
+            .map(|(i, _)| i)
+    }
+
+    /// Approximate retained size in bytes (table only, not the source).
+    pub fn approx_bytes(&self) -> usize {
+        self.chunks.len() * std::mem::size_of::<Chunk>()
+    }
+}
+
+/// Diff an edited `new_src` against the cached map of `old_src`.
+///
+/// Cost is O(edit): a prefix/suffix byte scan locates the changed window,
+/// only the window is re-scanned, and the chunk table outside it is reused
+/// with shifted offsets (O(#chunks) pointer arithmetic, no re-hashing).
+pub fn diff_chunks(old: &ChunkMap, old_src: &str, new_src: &str) -> ChunkDelta {
+    let ob = old_src.as_bytes();
+    let nb = new_src.as_bytes();
+    debug_assert_eq!(old.src_len, ob.len(), "old map must match old source");
+
+    // common prefix / suffix
+    let mut p = 0;
+    let max_p = ob.len().min(nb.len());
+    while p < max_p && ob[p] == nb[p] {
+        p += 1;
+    }
+    if p == ob.len() && p == nb.len() {
+        return ChunkDelta::Unchanged;
+    }
+    let mut s = 0;
+    let max_s = max_p - p;
+    while s < max_s && ob[ob.len() - 1 - s] == nb[nb.len() - 1 - s] {
+        s += 1;
+    }
+
+    let rebuild = || full_delta(old, ChunkMap::build(new_src));
+    if old.chunks.is_empty() {
+        return rebuild();
+    }
+
+    // expand the changed byte window [p, len-s) to old chunk boundaries
+    let win_lo = p;
+    let win_hi = ob.len() - s; // exclusive, in old coordinates
+    let a = match old.chunks.iter().position(|c| c.end > win_lo) {
+        Some(a) => a,
+        None => old.chunks.len() - 1, // edit in trailing bytes
+    };
+    let b = old
+        .chunks
+        .iter()
+        .rposition(|c| c.start < win_hi.max(win_lo + 1))
+        .unwrap_or(a)
+        .max(a);
+    let ws = old.chunks[a].start;
+    let we_old = old.chunks[b].end;
+    if we_old < win_hi {
+        // the edit ran past the last chunk's recorded end — realign fully
+        return rebuild();
+    }
+    // matching window end in new coordinates
+    let tail_len = ob.len() - we_old;
+    if nb.len() < ws + tail_len {
+        return rebuild();
+    }
+    let we_new = nb.len() - tail_len;
+
+    // re-scan only the window
+    let start_line = old.chunks[a].line;
+    let Ok(window) = scan_region(new_src, ws, we_new, start_line) else {
+        return rebuild();
+    };
+
+    // alignment check: same chunk count, kinds and keys positionally
+    if window.len() != b - a + 1 {
+        return full_delta(
+            old,
+            splice(old, a, b, window, nb.len(), we_new, we_old, new_src),
+        );
+    }
+    let kinds_match = window
+        .iter()
+        .zip(&old.chunks[a..=b])
+        .all(|(n, o)| n.kind == o.kind);
+    let dirty: Vec<usize> = window
+        .iter()
+        .enumerate()
+        .filter(|(k, n)| n.hash != old.chunks[a + *k].hash)
+        .map(|(k, _)| a + k)
+        .collect();
+    let map = splice(old, a, b, window, nb.len(), we_new, we_old, new_src);
+    if kinds_match {
+        ChunkDelta::BodyEdit { dirty, map }
+    } else {
+        ChunkDelta::Structural { map }
+    }
+}
+
+/// Build the new map from the old one plus a re-scanned window, shifting
+/// the suffix chunks by the byte/line delta.
+#[allow(clippy::too_many_arguments)]
+fn splice(
+    old: &ChunkMap,
+    a: usize,
+    b: usize,
+    window: Vec<Chunk>,
+    new_len: usize,
+    we_new: usize,
+    we_old: usize,
+    new_src: &str,
+) -> ChunkMap {
+    let mut chunks = Vec::with_capacity(old.chunks.len() + window.len());
+    chunks.extend_from_slice(&old.chunks[..a]);
+    let new_window_lines = count_lines(&new_src.as_bytes()[old.chunks[a].start..we_new]);
+    let old_window_lines: u32 = old
+        .chunks
+        .get(b + 1)
+        .map(|c| c.line - old.chunks[a].line)
+        .unwrap_or(new_window_lines);
+    let dline = new_window_lines as i64 - old_window_lines as i64;
+    let doff = we_new as i64 - we_old as i64;
+    chunks.extend(window);
+    for c in &old.chunks[b + 1..] {
+        let mut c = c.clone();
+        c.start = (c.start as i64 + doff) as usize;
+        c.end = (c.end as i64 + doff) as usize;
+        c.line = (c.line as i64 + dline) as u32;
+        chunks.push(c);
+    }
+    ChunkMap {
+        chunks,
+        src_len: new_len,
+    }
+}
+
+fn count_lines(bytes: &[u8]) -> u32 {
+    bytes.iter().filter(|&&b| b == b'\n').count() as u32
+}
+
+/// Compare two maps chunk-by-chunk when windowed alignment failed: still
+/// report `BodyEdit` when the structure happens to line up.
+fn full_delta(old: &ChunkMap, map: ChunkMap) -> ChunkDelta {
+    if map.chunks.len() == old.chunks.len()
+        && map
+            .chunks
+            .iter()
+            .zip(&old.chunks)
+            .all(|(n, o)| n.kind == o.kind)
+    {
+        let dirty = map
+            .chunks
+            .iter()
+            .zip(&old.chunks)
+            .enumerate()
+            .filter(|(_, (n, o))| n.hash != o.hash)
+            .map(|(i, _)| i)
+            .collect();
+        ChunkDelta::BodyEdit { dirty, map }
+    } else {
+        ChunkDelta::Structural { map }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"variable "region" { default = "us-east-1" }
+# fleet
+resource "aws_virtual_machine" "web" {
+  name   = "web"
+  region = var.region
+}
+resource "aws_s3_bucket" "logs" {
+  bucket = "logs"
+}
+output "b" { value = aws_s3_bucket.logs.bucket }
+"#;
+
+    #[test]
+    fn chunks_cover_source_and_classify() {
+        let map = ChunkMap::build(SRC);
+        assert_eq!(map.chunks.len(), 4, "{:#?}", map.chunks);
+        assert_eq!(map.chunks[0].start, 0);
+        assert_eq!(map.chunks.last().unwrap().end, SRC.len());
+        for w in map.chunks.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "chunks must tile the source");
+        }
+        assert_eq!(map.chunks[0].kind, ChunkKind::Other);
+        assert_eq!(
+            map.chunks[1].kind,
+            ChunkKind::Resource {
+                rtype: "aws_virtual_machine".into(),
+                name: "web".into()
+            }
+        );
+        assert_eq!(map.chunks[1].line, 2, "leading comment joins the block");
+        assert_eq!(map.resource_chunks().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn identical_source_is_unchanged() {
+        let map = ChunkMap::build(SRC);
+        assert_eq!(
+            diff_chunks(&map, SRC, SRC),
+            ChunkDelta::Unchanged
+        );
+    }
+
+    #[test]
+    fn attribute_edit_dirties_one_chunk() {
+        let map = ChunkMap::build(SRC);
+        let edited = SRC.replace("= \"web\"", "= \"web-2\"");
+        match diff_chunks(&map, SRC, &edited) {
+            ChunkDelta::BodyEdit { dirty, map: new } => {
+                assert_eq!(dirty, vec![1]);
+                assert_eq!(new, ChunkMap::build(&edited), "spliced == full rescan");
+            }
+            other => panic!("expected BodyEdit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiline_growth_shifts_suffix_chunks() {
+        let map = ChunkMap::build(SRC);
+        let edited = SRC.replace(
+            "  name   = \"web\"\n",
+            "  name   = \"web\"\n  zone   = \"a\"\n  extra  = 1\n",
+        );
+        match diff_chunks(&map, SRC, &edited) {
+            ChunkDelta::BodyEdit { dirty, map: new } => {
+                assert_eq!(dirty, vec![1]);
+                assert_eq!(new, ChunkMap::build(&edited));
+            }
+            other => panic!("expected BodyEdit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_addition_is_structural() {
+        let map = ChunkMap::build(SRC);
+        let edited = format!("{SRC}resource \"aws_vpc\" \"v\" {{ cidr_block = \"10.0.0.0/8\" }}\n");
+        assert!(matches!(
+            diff_chunks(&map, SRC, &edited),
+            ChunkDelta::Structural { .. }
+        ));
+    }
+
+    #[test]
+    fn block_rename_is_structural() {
+        let map = ChunkMap::build(SRC);
+        let edited = SRC.replace("\"logs\" {", "\"archive\" {");
+        assert!(matches!(
+            diff_chunks(&map, SRC, &edited),
+            ChunkDelta::Structural { .. }
+        ));
+    }
+
+    #[test]
+    fn edit_across_two_blocks_dirties_both() {
+        let map = ChunkMap::build(SRC);
+        let edited = SRC
+            .replace("region = var.region", "region = \"eu-west-1\"")
+            .replace("bucket = \"logs\"", "bucket = \"archive\"");
+        match diff_chunks(&map, SRC, &edited) {
+            ChunkDelta::BodyEdit { dirty, map: new } => {
+                assert_eq!(dirty, vec![1, 2]);
+                assert_eq!(new, ChunkMap::build(&edited));
+            }
+            other => panic!("expected BodyEdit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strings_with_braces_and_interpolation_do_not_confuse_depth() {
+        let src = "resource \"aws_s3_bucket\" \"b\" {\n  bucket = \"a${var.x}-{literal}\"\n}\nresource \"aws_vpc\" \"v\" {\n  cidr_block = \"10.0.0.0/8\"\n}\n";
+        let map = ChunkMap::build(src);
+        assert_eq!(map.chunks.len(), 2, "{:#?}", map.chunks);
+        let edited = src.replace("10.0.0.0/8", "10.1.0.0/8");
+        match diff_chunks(&map, src, &edited) {
+            ChunkDelta::BodyEdit { dirty, map: new } => {
+                assert_eq!(dirty, vec![1]);
+                assert_eq!(new, ChunkMap::build(&edited));
+            }
+            other => panic!("expected BodyEdit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whole_block_rewrite_same_key_is_body_edit() {
+        let map = ChunkMap::build(SRC);
+        let edited = SRC.replace(
+            "resource \"aws_s3_bucket\" \"logs\" {\n  bucket = \"logs\"\n}",
+            "resource \"aws_s3_bucket\" \"logs\" {\n  bucket = \"logs-v2\"\n  acl    = \"private\"\n}",
+        );
+        match diff_chunks(&map, SRC, &edited) {
+            ChunkDelta::BodyEdit { dirty, map: new } => {
+                assert_eq!(dirty, vec![2]);
+                assert_eq!(new, ChunkMap::build(&edited));
+            }
+            other => panic!("expected BodyEdit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn large_file_edit_is_windowed() {
+        // synthetic large file; edit near the end must not re-hash the
+        // early chunks (checked indirectly: spliced result equals rescan)
+        let mut src = String::new();
+        for i in 0..500 {
+            src.push_str(&format!(
+                "resource \"aws_s3_bucket\" \"b{i}\" {{\n  bucket = \"b-{i}\"\n}}\n"
+            ));
+        }
+        let map = ChunkMap::build(&src);
+        assert_eq!(map.chunks.len(), 500);
+        let edited = src.replace("\"b-499\"", "\"b-499-edited\"");
+        match diff_chunks(&map, &src, &edited) {
+            ChunkDelta::BodyEdit { dirty, map: new } => {
+                assert_eq!(dirty, vec![499]);
+                assert_eq!(new, ChunkMap::build(&edited));
+            }
+            other => panic!("expected BodyEdit, got {other:?}"),
+        }
+    }
+}

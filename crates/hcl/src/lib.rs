@@ -36,6 +36,7 @@
 pub mod ast;
 pub mod diag;
 pub mod eval;
+pub mod fingerprint;
 pub mod fold;
 pub mod funcs;
 pub mod lexer;

@@ -593,22 +593,23 @@ pub fn expand(
 /// Maximum module nesting depth (defensive bound against recursive modules).
 const MAX_MODULE_DEPTH: usize = 16;
 
-#[allow(clippy::too_many_arguments)]
-fn expand_into(
+/// A shared name→value environment (variable or local bindings), in the
+/// `Arc` form [`EvalEnv`] captures.
+pub type Bindings = Arc<BTreeMap<String, Value>>;
+
+/// Steps 1–2 of expansion: bind variable inputs (inputs override defaults;
+/// missing required → error; declared types enforced on whichever value
+/// wins) and evaluate locals to fixpoint. Shared by full expansion and the
+/// incremental converge pipeline, which caches the returned environments.
+pub fn bind_env(
     program: &Program,
     inputs: &BTreeMap<String, Value>,
-    modules: &ModuleLibrary,
     data_resolver: &dyn Resolver,
-    module_path: &[String],
-    manifest: &mut Manifest,
+    warnings: &mut Diagnostics,
     diags: &mut Diagnostics,
-    depth: usize,
-) {
+) -> (Bindings, Bindings) {
     let fname = &program.filename;
 
-    // 1. Bind variables: inputs override defaults; missing required → error.
-    //    Declared types (`type = string`…) are enforced on whichever value
-    //    wins.
     let type_ok = |ty: &str, val: &Value| -> bool {
         match ty {
             "string" => matches!(val, Value::Str(_)),
@@ -678,7 +679,7 @@ fn expand_into(
     // Unknown inputs are a warning (typo detection).
     for k in inputs.keys() {
         if !program.variables.iter().any(|v| &v.name == k) {
-            manifest.warnings.push(Diagnostic::warning(
+            warnings.push(Diagnostic::warning(
                 "HCL032",
                 fname,
                 Span::synthetic(),
@@ -737,8 +738,157 @@ fn expand_into(
         pending = still;
     }
 
-    let vars = Arc::new(vars);
-    let locals = Arc::new(locals);
+    (Arc::new(vars), Arc::new(locals))
+}
+
+/// Expand one resource block into its per-key instances (step 4 of
+/// expansion). `block_names` is the set of `type.name` blocks declared in
+/// the same module, used for dependency extraction; the produced instances
+/// still carry *block-level* `depends_on` addresses (key `None`) — the
+/// caller fixes them up to instance level once all blocks are expanded.
+#[allow(clippy::too_many_arguments)]
+pub fn expand_resource_block(
+    rb: &ResourceBlock,
+    vars: &Arc<BTreeMap<String, Value>>,
+    locals: &Arc<BTreeMap<String, Value>>,
+    block_names: &BTreeSet<(String, String)>,
+    data_resolver: &dyn Resolver,
+    fname: &str,
+    module_path: &[String],
+    diags: &mut Diagnostics,
+    out: &mut Vec<ResourceInstance>,
+) {
+    let base_env = EvalEnv {
+        vars: vars.clone(),
+        locals: locals.clone(),
+        count_index: None,
+        each: None,
+    };
+    let keys = match expansion_keys(rb, &base_env, data_resolver, fname, diags) {
+        Some(k) => k,
+        None => return,
+    };
+    for key in keys {
+        let env = EvalEnv {
+            vars: vars.clone(),
+            locals: locals.clone(),
+            count_index: key.index(),
+            each: key.each(),
+        };
+        let mut addr = ResourceAddr::root(ResourceTypeName::new(&rb.rtype), &rb.name);
+        for m in module_path.iter().rev() {
+            addr = addr.in_module(m.clone());
+        }
+        addr.key = key.to_resource_key();
+        let mut inst = ResourceInstance {
+            addr,
+            attrs: Attrs::new(),
+            deferred: Vec::new(),
+            depends_on: BTreeSet::new(),
+            span: rb.span,
+            attr_spans: BTreeMap::new(),
+            lifecycle: rb.lifecycle,
+            env: env.clone(),
+            file: fname.to_owned(),
+        };
+        let scope = env.scope(data_resolver);
+        for a in &rb.attrs {
+            inst.attr_spans.insert(a.name.clone(), a.span);
+            match eval(&a.value, &scope) {
+                Ok(v) => {
+                    inst.attrs.insert(a.name.clone(), v);
+                }
+                Err(e) if e.is_deferred() => {
+                    let mut waiting = Vec::new();
+                    a.value.walk_refs(&mut |r, _| {
+                        if is_resource_ref(r) {
+                            waiting.push(r.clone());
+                        }
+                    });
+                    inst.deferred.push(DeferredAttr {
+                        name: a.name.clone(),
+                        expr: a.value.clone(),
+                        span: a.span,
+                        waiting_on: waiting,
+                    });
+                }
+                Err(e) => diags.push(Diagnostic::error(
+                    "HCL036",
+                    fname,
+                    e.span(),
+                    format!(
+                        "in {}.{}: cannot evaluate {:?}: {e}",
+                        rb.rtype, rb.name, a.name
+                    ),
+                )),
+            }
+        }
+        // Dependency extraction: explicit depends_on + references.
+        let mut dep_blocks: BTreeSet<(String, String)> = BTreeSet::new();
+        for d in &rb.depends_on {
+            if d.parts.len() >= 2 {
+                dep_blocks.insert((d.parts[0].clone(), d.parts[1].clone()));
+            }
+        }
+        for a in &rb.attrs {
+            a.value.walk_refs(&mut |r, _| {
+                if is_resource_ref(r) && r.parts.len() >= 2 {
+                    dep_blocks.insert((r.parts[0].clone(), r.parts[1].clone()));
+                }
+            });
+        }
+        for (t, n) in &dep_blocks {
+            if !block_names.contains(&(t.clone(), n.clone())) {
+                diags.push(Diagnostic::error(
+                    "HCL037",
+                    fname,
+                    rb.span,
+                    format!(
+                        "{}.{} references undeclared resource {t}.{n}",
+                        rb.rtype, rb.name
+                    ),
+                ));
+                continue;
+            }
+            // depend on every instance of the referenced block (they are
+            // expanded in program order, so targets may appear later —
+            // resolve after the loop).
+        }
+        inst.depends_on = dep_blocks
+            .into_iter()
+            .map(|(t, n)| {
+                let mut a = ResourceAddr::root(ResourceTypeName::new(t), n);
+                for m in module_path.iter().rev() {
+                    a = a.in_module(m.clone());
+                }
+                a
+            })
+            .collect();
+        out.push(inst);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn expand_into(
+    program: &Program,
+    inputs: &BTreeMap<String, Value>,
+    modules: &ModuleLibrary,
+    data_resolver: &dyn Resolver,
+    module_path: &[String],
+    manifest: &mut Manifest,
+    diags: &mut Diagnostics,
+    depth: usize,
+) {
+    let fname = &program.filename;
+
+    // 1–2. Bind variables and evaluate locals.
+    let (vars, locals) = bind_env(
+        program,
+        inputs,
+        data_resolver,
+        &mut manifest.warnings,
+        diags,
+    );
 
     // 3. Provider config blocks (root module only).
     if module_path.is_empty() {
@@ -770,12 +920,6 @@ fn expand_into(
     }
 
     // 4. Expand resources.
-    let base_env = EvalEnv {
-        vars: vars.clone(),
-        locals: locals.clone(),
-        count_index: None,
-        each: None,
-    };
     // Set of `type.name` blocks in this module, for dependency extraction.
     let block_names: BTreeSet<(String, String)> = program
         .resources
@@ -784,108 +928,19 @@ fn expand_into(
         .collect();
 
     for rb in &program.resources {
-        let keys = match expansion_keys(rb, &base_env, data_resolver, fname, diags) {
-            Some(k) => k,
-            None => continue,
-        };
-        for key in keys {
-            let env = EvalEnv {
-                vars: vars.clone(),
-                locals: locals.clone(),
-                count_index: key.index(),
-                each: key.each(),
-            };
-            let mut addr = ResourceAddr::root(ResourceTypeName::new(&rb.rtype), &rb.name);
-            for m in module_path.iter().rev() {
-                addr = addr.in_module(m.clone());
-            }
-            addr.key = key.to_resource_key();
-            let mut inst = ResourceInstance {
-                addr,
-                attrs: Attrs::new(),
-                deferred: Vec::new(),
-                depends_on: BTreeSet::new(),
-                span: rb.span,
-                attr_spans: BTreeMap::new(),
-                lifecycle: rb.lifecycle,
-                env: env.clone(),
-                file: fname.clone(),
-            };
-            let scope = env.scope(data_resolver);
-            for a in &rb.attrs {
-                inst.attr_spans.insert(a.name.clone(), a.span);
-                match eval(&a.value, &scope) {
-                    Ok(v) => {
-                        inst.attrs.insert(a.name.clone(), v);
-                    }
-                    Err(e) if e.is_deferred() => {
-                        let mut waiting = Vec::new();
-                        a.value.walk_refs(&mut |r, _| {
-                            if is_resource_ref(r) {
-                                waiting.push(r.clone());
-                            }
-                        });
-                        inst.deferred.push(DeferredAttr {
-                            name: a.name.clone(),
-                            expr: a.value.clone(),
-                            span: a.span,
-                            waiting_on: waiting,
-                        });
-                    }
-                    Err(e) => diags.push(Diagnostic::error(
-                        "HCL036",
-                        fname,
-                        e.span(),
-                        format!(
-                            "in {}.{}: cannot evaluate {:?}: {e}",
-                            rb.rtype, rb.name, a.name
-                        ),
-                    )),
-                }
-            }
-            // Dependency extraction: explicit depends_on + references.
-            let mut dep_blocks: BTreeSet<(String, String)> = BTreeSet::new();
-            for d in &rb.depends_on {
-                if d.parts.len() >= 2 {
-                    dep_blocks.insert((d.parts[0].clone(), d.parts[1].clone()));
-                }
-            }
-            for a in &rb.attrs {
-                a.value.walk_refs(&mut |r, _| {
-                    if is_resource_ref(r) && r.parts.len() >= 2 {
-                        dep_blocks.insert((r.parts[0].clone(), r.parts[1].clone()));
-                    }
-                });
-            }
-            for (t, n) in &dep_blocks {
-                if !block_names.contains(&(t.clone(), n.clone())) {
-                    diags.push(Diagnostic::error(
-                        "HCL037",
-                        fname,
-                        rb.span,
-                        format!(
-                            "{}.{} references undeclared resource {t}.{n}",
-                            rb.rtype, rb.name
-                        ),
-                    ));
-                    continue;
-                }
-                // depend on every instance of the referenced block (they are
-                // expanded in program order, so targets may appear later —
-                // resolve after the loop).
-            }
-            inst.depends_on = dep_blocks
-                .into_iter()
-                .map(|(t, n)| {
-                    let mut a = ResourceAddr::root(ResourceTypeName::new(t), n);
-                    for m in module_path.iter().rev() {
-                        a = a.in_module(m.clone());
-                    }
-                    a
-                })
-                .collect();
-            manifest.instances.push(Arc::new(inst));
-        }
+        let mut insts = Vec::new();
+        expand_resource_block(
+            rb,
+            &vars,
+            &locals,
+            &block_names,
+            data_resolver,
+            fname,
+            module_path,
+            diags,
+            &mut insts,
+        );
+        manifest.instances.extend(insts.into_iter().map(Arc::new));
     }
 
     // Fix up block-level dependencies to instance-level: a dependency on

@@ -199,6 +199,21 @@ pub fn synthesize_patch(
     inputs: &BTreeMap<String, Value>,
     config: &PatchConfig,
 ) -> PatchOutcome {
+    let mut checker = |source: &str| check_patch(source, catalog, modules, inputs, &config.lint);
+    synthesize_patch_with(base, plan, config, &mut checker)
+}
+
+/// [`synthesize_patch`] with a caller-supplied candidate checker: given a
+/// candidate source, return the failing messages (empty = admitted). The
+/// engine routes this through its memoized converge pipeline so repeated
+/// repair iterations — and the converge that follows a successful patch —
+/// do not each pay a full parse/lint/expand/validate.
+pub fn synthesize_patch_with(
+    base: &File,
+    plan: &ReconcilePlan,
+    config: &PatchConfig,
+    checker: &mut dyn FnMut(&str) -> Vec<String>,
+) -> PatchOutcome {
     let mut active: Vec<EditOp> = plan.ops.clone();
     let mut dropped: Vec<(EditOp, String)> = Vec::new();
     let mut iterations = 0;
@@ -206,7 +221,7 @@ pub fn synthesize_patch(
         iterations += 1;
         let file = apply_ops(base, &active);
         let source = render_file(&file);
-        let errors = check_patch(&source, catalog, modules, inputs, &config.lint);
+        let errors = checker(&source);
         if errors.is_empty() {
             return PatchOutcome {
                 file,
@@ -294,7 +309,7 @@ fn surviving_plan(original: &ReconcilePlan, active: &[EditOp]) -> ReconcilePlan 
 
 /// The full front end as a pass/fail check returning the failing messages,
 /// each prefixed with its diagnostic code.
-fn check_patch(
+pub fn check_patch(
     source: &str,
     catalog: &Catalog,
     modules: &ModuleLibrary,

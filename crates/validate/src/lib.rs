@@ -24,6 +24,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod incremental;
 pub mod mining;
 pub mod pipeline;
 pub mod rules;

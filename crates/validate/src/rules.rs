@@ -36,8 +36,8 @@ pub fn check(manifest: &Manifest, catalog: &Catalog) -> Diagnostics {
 }
 
 /// Lookup from `(module path, "type.name")` to instances of that block.
-struct InstanceIndex<'a> {
-    by_block: BTreeMap<(Vec<String>, String), Vec<&'a ResourceInstance>>,
+pub(crate) struct InstanceIndex<'a> {
+    pub(crate) by_block: BTreeMap<(Vec<String>, String), Vec<&'a ResourceInstance>>,
 }
 
 impl<'a> InstanceIndex<'a> {
@@ -54,7 +54,7 @@ impl<'a> InstanceIndex<'a> {
     }
 
     /// Instances a deferred attribute's references point at.
-    fn targets(&self, from: &ResourceInstance, attr: &str) -> Vec<&'a ResourceInstance> {
+    pub(crate) fn targets(&self, from: &ResourceInstance, attr: &str) -> Vec<&'a ResourceInstance> {
         let mut out = Vec::new();
         for d in &from.deferred {
             if d.name != attr {
@@ -94,7 +94,11 @@ pub fn region_of(inst: &ResourceInstance) -> Option<String> {
 }
 
 /// §3.2 flagship: VM and its NICs must share a region.
-fn rule_vm_nic_region(inst: &ResourceInstance, index: &InstanceIndex, diags: &mut Diagnostics) {
+pub(crate) fn rule_vm_nic_region(
+    inst: &ResourceInstance,
+    index: &InstanceIndex,
+    diags: &mut Diagnostics,
+) {
     if !matches!(
         inst.addr.rtype.as_str(),
         "azure_virtual_machine" | "aws_virtual_machine"
@@ -139,7 +143,7 @@ fn rule_vm_nic_region(inst: &ResourceInstance, index: &InstanceIndex, diags: &mu
 /// ([`cloudless_hcl::fold`]) resolves the foldable cases exactly; when the
 /// value is genuinely unknowable at plan time the finding is downgraded to
 /// a warning instead of flatly claiming the password "is set".
-fn rule_password_flag(inst: &ResourceInstance, diags: &mut Diagnostics) {
+pub(crate) fn rule_password_flag(inst: &ResourceInstance, diags: &mut Diagnostics) {
     if inst.addr.rtype.as_str() != "azure_virtual_machine" {
         return;
     }
@@ -193,7 +197,11 @@ fn rule_password_flag(inst: &ResourceInstance, diags: &mut Diagnostics) {
 
 /// §3.2: "Azure virtual networks cannot have overlapping address spaces if
 /// they are connected with each other through peering."
-fn rule_peering_overlap(inst: &ResourceInstance, index: &InstanceIndex, diags: &mut Diagnostics) {
+pub(crate) fn rule_peering_overlap(
+    inst: &ResourceInstance,
+    index: &InstanceIndex,
+    diags: &mut Diagnostics,
+) {
     if inst.addr.rtype.as_str() != "azure_vnet_peering" {
         return;
     }
@@ -228,7 +236,7 @@ fn rule_peering_overlap(inst: &ResourceInstance, index: &InstanceIndex, diags: &
 }
 
 /// Subnets must fit inside their parent network.
-fn rule_subnet_containment(
+pub(crate) fn rule_subnet_containment(
     inst: &ResourceInstance,
     index: &InstanceIndex,
     diags: &mut Diagnostics,
@@ -273,7 +281,7 @@ fn rule_subnet_containment(
 }
 
 /// Port sanity inside nested rule blocks.
-fn rule_port_ranges(inst: &ResourceInstance, diags: &mut Diagnostics) {
+pub(crate) fn rule_port_ranges(inst: &ResourceInstance, diags: &mut Diagnostics) {
     let list_attr = match inst.addr.rtype.as_str() {
         "aws_security_group" => "ingress",
         "gcp_firewall_rule" => "allow_ports",

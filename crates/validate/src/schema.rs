@@ -18,7 +18,7 @@ fn span_of(inst: &ResourceInstance, attr: &str) -> Span {
     inst.attr_spans.get(attr).copied().unwrap_or(inst.span)
 }
 
-fn check_instance(inst: &ResourceInstance, catalog: &Catalog, diags: &mut Diagnostics) {
+pub(crate) fn check_instance(inst: &ResourceInstance, catalog: &Catalog, diags: &mut Diagnostics) {
     let Some(schema) = catalog.get(&inst.addr.rtype) else {
         diags.push(
             Diagnostic::error(

@@ -46,7 +46,7 @@ fn span_of(inst: &ResourceInstance, attr: &str) -> Span {
     inst.attr_spans.get(attr).copied().unwrap_or(inst.span)
 }
 
-fn check_instance(
+pub(crate) fn check_instance(
     inst: &ResourceInstance,
     catalog: &Catalog,
     block_types: &BTreeMap<(Vec<String>, String), String>,

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# End-to-end smoke for `cloudless watch`: spawn the watcher on a tiny
+# program, save the file twice, and assert both replans took the
+# incremental path (the printed ChangeTrace leads with
+# "pipeline: incremental"). The first event is the initial read and is
+# expected to be a full run — only the edits must be O(edit).
+set -euo pipefail
+
+out=${1:-/tmp/watch_smoke_out.txt}
+
+cargo build --quiet --release -p cloudless-cli
+bin=./target/release/cloudless
+
+work=$(mktemp -d)
+pid=""
+cleanup() {
+  [[ -n "$pid" ]] && kill "$pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+"$bin" init "$work/session"
+cat > "$work/main.tf" <<'EOF'
+resource "aws_s3_bucket" "logs" {
+  bucket = "watch-logs"
+}
+
+resource "aws_virtual_machine" "web" {
+  name = "watch-web"
+  depends_on = [aws_s3_bucket.logs]
+}
+EOF
+
+# event 1: initial read (cold). events 2 and 3: the edits below.
+"$bin" watch "$work/session" "$work/main.tf" --poll-ms 50 --max-events 3 > "$out" &
+pid=$!
+
+sleep 1
+sed -i 's/watch-web/watch-web-2/' "$work/main.tf"
+sleep 1
+sed -i 's/watch-logs/watch-logs-2/' "$work/main.tf"
+
+# the watcher exits on its own after 3 events; bound the wait at ~20s
+for _ in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.2
+done
+if kill -0 "$pid" 2>/dev/null; then
+  echo "watch smoke FAILED: watcher did not exit after 3 events" >&2
+  cat "$out" >&2
+  exit 1
+fi
+wait "$pid"
+pid=""
+
+events=$(grep -c -- "--- event" "$out" || true)
+incremental=$(grep -c "pipeline: incremental" "$out" || true)
+if [[ "$events" -ne 3 || "$incremental" -lt 2 ]]; then
+  echo "watch smoke FAILED: $events events, $incremental incremental replans (want 3 events, >=2 incremental)" >&2
+  cat "$out" >&2
+  exit 1
+fi
+echo "watch smoke ok: $events events, $incremental incremental replans"

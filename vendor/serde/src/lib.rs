@@ -94,6 +94,19 @@ pub fn get_field<T: Deserialize>(obj: &[(String, Json)], name: &str) -> Result<T
     }
 }
 
+/// `#[serde(default)]` on a field: a missing key falls back to
+/// `T::default()` instead of erroring (documents written before the field
+/// existed stay readable).
+pub fn get_field_default<T: Deserialize + Default>(
+    obj: &[(String, Json)],
+    name: &str,
+) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deser(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
 // ------------------------------------------------------------- primitives
 
 impl Serialize for bool {

@@ -11,12 +11,21 @@
 //!   (externally tagged `{"Variant": ...}`)
 //! - `#[serde(untagged)]` enums (first variant that deserializes wins)
 //! - `#[serde(rename_all = "lowercase")]` on unit-variant enums
+//! - `#[serde(default)]` on named fields (missing key → `Default::default()`)
 
 use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 
 #[derive(Clone)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: fall back to `Default::default()` when the key
+    /// is absent from the document.
+    default: bool,
+}
+
+#[derive(Clone)]
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
 }
@@ -148,6 +157,21 @@ fn parse_input(ts: TokenStream) -> Input {
     }
 }
 
+/// Is this attribute group (the brackets after `#`) `serde(default)`?
+fn is_serde_default(g: &Group) -> bool {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() || !is_ident(&toks[0], "serde") {
+        return false;
+    }
+    match toks.get(1) {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
 fn scan_serde_attr(g: &Group, untagged: &mut bool, rename_lowercase: &mut bool) {
     let toks: Vec<TokenTree> = g.stream().into_iter().collect();
     if toks.is_empty() || !is_ident(&toks[0], "serde") {
@@ -181,13 +205,18 @@ fn scan_serde_attr(g: &Group, untagged: &mut bool, rename_lowercase: &mut bool) 
     }
 }
 
-fn parse_named_fields(g: &Group) -> Vec<String> {
+fn parse_named_fields(g: &Group) -> Vec<Field> {
     let toks: Vec<TokenTree> = g.stream().into_iter().collect();
     let mut i = 0;
     let mut fields = Vec::new();
     while i < toks.len() {
+        let mut default = false;
         while i < toks.len() && is_punct(&toks[i], '#') {
-            i += 2; // attribute: `#` + bracket group
+            // attribute: `#` + bracket group; honor `#[serde(default)]`
+            if let Some(TokenTree::Group(attr)) = toks.get(i + 1) {
+                default |= is_serde_default(attr);
+            }
+            i += 2;
         }
         if i >= toks.len() {
             break;
@@ -200,7 +229,10 @@ fn parse_named_fields(g: &Group) -> Vec<String> {
             }
         }
         match &toks[i] {
-            TokenTree::Ident(id) => fields.push(id.to_string()),
+            TokenTree::Ident(id) => fields.push(Field {
+                name: id.to_string(),
+                default,
+            }),
             t => panic!("expected field name, found {t}"),
         }
         i += 2; // name + ':'
@@ -318,6 +350,7 @@ fn gen_serialize(input: &Input) -> String {
             let pushes = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), ::serde::Serialize::ser(&self.{f}))"
                     )
@@ -374,10 +407,15 @@ fn gen_serialize(input: &Input) -> String {
                             format!("Self::{vname}({binds}) => {payload},")
                         }
                         Fields::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let pushes = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(::std::string::String::from(\"{f}\"), ::serde::Serialize::ser({f}))"
                                     )
@@ -404,10 +442,18 @@ fn gen_serialize(input: &Input) -> String {
     format!("{header} {{\n fn ser(&self) -> ::serde::Json {{ {body} }}\n}}")
 }
 
-fn deser_named_fields(fields: &[String], obj_expr: &str, ctor: &str) -> String {
+fn deser_named_fields(fields: &[Field], obj_expr: &str, ctor: &str) -> String {
     let inits = fields
         .iter()
-        .map(|f| format!("{f}: ::serde::get_field({obj_expr}, \"{f}\")?,"))
+        .map(|f| {
+            let getter = if f.default {
+                "get_field_default"
+            } else {
+                "get_field"
+            };
+            let f = &f.name;
+            format!("{f}: ::serde::{getter}({obj_expr}, \"{f}\")?,")
+        })
         .collect::<Vec<_>>()
         .join(" ");
     format!("{ctor} {{ {inits} }}")
