@@ -19,7 +19,7 @@
 use std::process::ExitCode;
 
 use cloudless_bench::experiments::e14_scale::{self, ScaleReport};
-use cloudless_bench::experiments::e16_replan;
+use cloudless_bench::experiments::{e16_replan, e17_state};
 
 fn usage() -> ! {
     eprintln!(
@@ -82,6 +82,9 @@ fn main() -> ExitCode {
         // absolute floor: incremental replans must beat the full front end
         // by 10x at 10k and 25x at 100k, independent of the baseline
         regressions.extend(e16_replan::speedup_gates(&pr.replan));
+        // absolute floor: the log-structured state store must beat the
+        // legacy full-snapshot comparators by 10x on every operation
+        regressions.extend(e17_state::state_gates(&pr.state));
         if regressions.is_empty() {
             println!(
                 "bench check ok: {pr_path} within {:.0}% of {base_path}",

@@ -1,0 +1,61 @@
+//! E17 — the state-store benchmark runner.
+//!
+//! Measures the log-structured store against the legacy full-snapshot
+//! comparators and prints the table. With `--attach FILE` the points are
+//! also folded into an existing `BENCH_*.json` scale report (the `state`
+//! section), which `exp_scale --compare` then gates.
+//!
+//! ```text
+//! exp_state [--tier smoke|full] [--attach BENCH_pr.json]
+//! ```
+
+use std::process::ExitCode;
+
+use cloudless_bench::experiments::e14_scale::ScaleReport;
+use cloudless_bench::experiments::e17_state;
+
+fn usage() -> ! {
+    eprintln!("usage: exp_state [--tier smoke|full] [--attach FILE]");
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tier = "smoke".to_owned();
+    let mut attach: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tier" => {
+                i += 1;
+                tier = args.get(i).cloned().unwrap_or_else(|| usage());
+                if tier != "smoke" && tier != "full" {
+                    usage();
+                }
+            }
+            "--attach" => {
+                i += 1;
+                attach = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let points = e17_state::run(&tier);
+    println!("{}", e17_state::render(&points));
+
+    if let Some(path) = attach {
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read bench report {path}: {e}"));
+        let mut report: ScaleReport = serde_json::from_str(&raw)
+            .unwrap_or_else(|e| panic!("cannot parse bench report {path}: {e}"));
+        report.state = points;
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&path, json + "\n")
+            .unwrap_or_else(|e| panic!("cannot write bench report {path}: {e}"));
+        println!("attached state section to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -101,6 +101,10 @@ pub struct ScaleReport {
     /// the incremental pipeline).
     #[serde(default)]
     pub replan: Vec<super::e16_replan::ReplanPoint>,
+    /// E17 state-store measurements (empty in reports that predate the
+    /// log-structured store; `exp_state --attach` fills them in).
+    #[serde(default)]
+    pub state: Vec<super::e17_state::StatePoint>,
 }
 
 /// Sizes per tier: `(workload name, resource count, best-of runs)`.
@@ -205,6 +209,7 @@ pub fn run(tier: &str) -> ScaleReport {
             .map(|(name, n, iters)| measure(name, n, iters))
             .collect(),
         replan: Vec::new(),
+        state: Vec::new(),
     }
 }
 
@@ -294,6 +299,7 @@ mod tests {
             tier: "test".into(),
             points: vec![point],
             replan: Vec::new(),
+            state: Vec::new(),
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: ScaleReport = serde_json::from_str(&json).unwrap();
@@ -322,6 +328,7 @@ mod tests {
                 },
             }],
             replan: Vec::new(),
+            state: Vec::new(),
         };
         let base = mk(100.0);
         assert!(regressions(&base, &mk(110.0), 0.2, 5.0).is_empty());
@@ -337,6 +344,7 @@ mod tests {
             tier: "test".into(),
             points: vec![],
             replan: Vec::new(),
+            state: Vec::new(),
         };
         assert_eq!(regressions(&base, &empty, 0.2, 5.0).len(), 1);
     }

@@ -92,7 +92,9 @@ fn scenario(mode: &str, force_new_change: bool) -> Outcome {
     let v1 = v_src("t3.micro", "10.0.0.0/16");
     engine.converge(&v1).expect("v1");
     let checkpoint_serial = engine.history().latest().unwrap().serial;
-    let checkpoint = engine.history().latest().unwrap().snapshot.clone();
+    let checkpoint = engine
+        .state_at(checkpoint_serial)
+        .expect("checkpoint addressable");
 
     // v2: resize the fleet; optionally also a force_new VPC change
     let v2 = if force_new_change {

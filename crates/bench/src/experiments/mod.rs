@@ -9,6 +9,7 @@ pub mod e13_analyze;
 pub mod e14_scale;
 pub mod e15_reconcile;
 pub mod e16_replan;
+pub mod e17_state;
 pub mod e1_deploy;
 pub mod e2_incremental;
 pub mod e3_locks;

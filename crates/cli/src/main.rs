@@ -96,6 +96,10 @@ commands:
             [--events <out.jsonl>]     dump raw flight-recorder events as JSONL
   destroy   <dir>                      destroy all managed resources
   state     <dir>                      list managed resources
+  state     history  <dir>             list committed versions (time machine)
+  state     rollback <dir> <serial>    time-travel state to a past serial
+  state     fsck     <dir>             verify the delta log's integrity
+  state     migrate  <dir>             upgrade a legacy session to the log store
   drift     <dir>                      scan the cloud for drift
   reconcile <dir> <file.tf>            fold drift back into the program:
                                        classify, synthesize a minimal patch,
@@ -510,6 +514,13 @@ fn cmd_destroy(rest: &[&str]) -> Result<(), String> {
 }
 
 fn cmd_state(rest: &[&str]) -> Result<(), String> {
+    match rest.first().copied() {
+        Some("fsck") => return cmd_state_fsck(&rest[1..]),
+        Some("migrate") => return cmd_state_migrate(&rest[1..]),
+        Some("history") => return cmd_state_history(&rest[1..]),
+        Some("rollback") => return cmd_state_rollback(&rest[1..]),
+        _ => {}
+    }
     let dir = want(rest, 0, "session directory")?;
     let session = Session::load(dir)?;
     let engine = session.engine()?;
@@ -520,6 +531,88 @@ fn cmd_state(rest: &[&str]) -> Result<(), String> {
     for (addr, rec) in &engine.state().resources {
         println!("{addr:<50} {:<16} {}", rec.id.to_string(), rec.region);
     }
+    Ok(())
+}
+
+/// `cloudless state fsck <dir>`: verify the delta log offline — record
+/// checksums, content-address integrity, undo-chain consistency, and
+/// checkpoint reachability. Exits non-zero unless the log is clean.
+fn cmd_state_fsck(rest: &[&str]) -> Result<(), String> {
+    let dir = want(rest, 0, "session directory")?;
+    let session = Session::load(dir)?;
+    let log = session.log_path();
+    if !log.exists() {
+        return Err(format!(
+            "{dir} has no state.log (legacy session — run `cloudless state migrate {dir}` first)"
+        ));
+    }
+    let report = cloudless::state::fsck_file(&log)
+        .map_err(|e| format!("cannot read {}: {e}", log.display()))?;
+    print!("{}", report.render());
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(format!("{} is not clean", log.display()))
+    }
+}
+
+/// `cloudless state migrate <dir>`: one-shot upgrade of a legacy
+/// full-JSON session to the log store, preserving every historical
+/// version found in `history.json` (if present) byte-identically.
+fn cmd_state_migrate(rest: &[&str]) -> Result<(), String> {
+    let dir = want(rest, 0, "session directory")?;
+    Session::load(dir)?; // validates the directory is a session
+    let report = cloudless::state::migrate_dir(std::path::Path::new(dir))?;
+    println!(
+        "migrated: {} version(s), {} resource(s), state.log is {} byte(s)",
+        report.versions, report.resources, report.log_bytes
+    );
+    println!("verify with `cloudless state fsck {dir}`");
+    Ok(())
+}
+
+/// `cloudless state history <dir>`: the time machine — every committed
+/// version with its delta size, straight off the log (no state reads).
+fn cmd_state_history(rest: &[&str]) -> Result<(), String> {
+    let dir = want(rest, 0, "session directory")?;
+    let session = Session::load(dir)?;
+    let engine = session.engine()?;
+    if engine.history().is_empty() {
+        println!("(no versions committed yet)");
+        return Ok(());
+    }
+    for v in engine.history().iter() {
+        println!(
+            "{:>6}  {}  {:<12} +{:<4} -{:<4} {}",
+            v.serial,
+            v.at,
+            v.author,
+            v.puts.len(),
+            v.dels.len(),
+            v.message
+        );
+    }
+    Ok(())
+}
+
+/// `cloudless state rollback <dir> <serial>`: time-travel the *state
+/// document* to a historical serial (O(delta) against the log). The
+/// simulated cloud is untouched; a following `apply`/`drift` reconciles
+/// infrastructure against the restored state.
+fn cmd_state_rollback(rest: &[&str]) -> Result<(), String> {
+    let dir = want(rest, 0, "session directory")?;
+    let serial: u64 = want(rest, 1, "target serial")?
+        .parse()
+        .map_err(|e| format!("bad serial: {e}"))?;
+    let session = Session::load(dir)?;
+    let mut engine = session.engine()?;
+    match engine.rollback_state(serial)? {
+        Some(new_serial) => {
+            println!("state rolled back to serial {serial} (committed as serial {new_serial})")
+        }
+        None => println!("state already matches serial {serial}; nothing to do"),
+    }
+    session.save(&engine)?;
     Ok(())
 }
 

@@ -1,4 +1,11 @@
-//! Session persistence: the CLI's world lives in two JSON files.
+//! Session persistence: the CLI's world lives in a session directory.
+//!
+//! Log-native sessions hold `state.log` (the append-only delta log — the
+//! source of truth for state *and* version history), a `state.json`
+//! mirror of the current snapshot (kept for interop/inspection), and
+//! `cloud.json` (live simulated resources). Legacy sessions have only
+//! `state.json`; they load transparently (state without history) and can
+//! be upgraded in place with `cloudless state migrate <dir>`.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
@@ -7,12 +14,11 @@ use std::sync::Arc;
 use cloudless::cloud::{CloudConfig, ResourceRecord};
 use cloudless::deploy::ResiliencePolicy;
 use cloudless::obs::{MetricsSnapshot, NullRecorder, Recorder};
-use cloudless::state::Snapshot;
+use cloudless::state::{LogStore, Snapshot};
 use cloudless::types::ResourceId;
 use cloudless::{Cloudless, Config};
 
-/// A session directory: `state.json` (golden state) + `cloud.json` (live
-/// simulated resources).
+/// A session directory: `state.log` + `state.json` + `cloud.json`.
 pub struct Session {
     dir: PathBuf,
 }
@@ -26,6 +32,8 @@ impl Session {
             return Err(format!("{dir} already holds a session"));
         }
         std::fs::write(s.state_path(), Snapshot::new().to_json()).map_err(|e| e.to_string())?;
+        // new sessions are log-native from the first commit
+        LogStore::open_file(&s.log_path()).map_err(|e| e.to_string())?;
         std::fs::write(s.cloud_path(), "{}").map_err(|e| e.to_string())?;
         // starter program for the quickstart path
         let starter = s.dir.join("main.tf");
@@ -52,6 +60,11 @@ impl Session {
 
     fn state_path(&self) -> PathBuf {
         self.dir.join("state.json")
+    }
+
+    /// The delta log (absent in legacy, pre-migration sessions).
+    pub fn log_path(&self) -> PathBuf {
+        self.dir.join("state.log")
     }
 
     fn cloud_path(&self) -> PathBuf {
@@ -84,9 +97,6 @@ impl Session {
         resilience: ResiliencePolicy,
         recorder: Arc<dyn Recorder>,
     ) -> Result<Cloudless, String> {
-        let state_text = std::fs::read_to_string(self.state_path()).map_err(|e| e.to_string())?;
-        let state =
-            Snapshot::from_json(&state_text).map_err(|e| format!("state.json corrupt: {e}"))?;
         let cloud_text = std::fs::read_to_string(self.cloud_path()).map_err(|e| e.to_string())?;
         let records: BTreeMap<ResourceId, ResourceRecord> =
             serde_json::from_str(&cloud_text).map_err(|e| format!("cloud.json corrupt: {e}"))?;
@@ -96,6 +106,23 @@ impl Session {
             recorder,
             ..Config::default()
         };
+        if self.log_path().exists() {
+            // log-native: the delta log is the source of truth; a torn
+            // final record (crash mid-commit) is truncated and persisted
+            let (store, recovery) =
+                LogStore::open_file(&self.log_path()).map_err(|e| e.to_string())?;
+            if recovery.torn_bytes_dropped > 0 {
+                eprintln!(
+                    "state.log: recovered torn final record ({} byte(s) dropped)",
+                    recovery.torn_bytes_dropped
+                );
+            }
+            return Ok(Cloudless::with_store(config, store, records));
+        }
+        // legacy layout: full-JSON snapshot, no version history
+        let state_text = std::fs::read_to_string(self.state_path()).map_err(|e| e.to_string())?;
+        let state =
+            Snapshot::from_json(&state_text).map_err(|e| format!("state.json corrupt: {e}"))?;
         Ok(Cloudless::with_session(config, state, records))
     }
 
@@ -142,7 +169,9 @@ impl Session {
         let _ = std::fs::remove_file(self.checkpoint_path());
     }
 
-    /// Persist the engine's world back to disk.
+    /// Persist the engine's world back to disk. A log-native session's
+    /// commits already landed in `state.log` as they happened; this
+    /// refreshes the `state.json` mirror and the cloud's records.
     pub fn save(&self, engine: &Cloudless) -> Result<(), String> {
         std::fs::write(self.state_path(), engine.state().to_json()).map_err(|e| e.to_string())?;
         let records = engine.cloud().export_records();

@@ -558,3 +558,136 @@ resource "aws_s3_bucket" "data" { bucket = "cli-gated" }
         stdout(&out)
     );
 }
+
+const PROGRAM_V2: &str = r#"
+resource "aws_vpc" "main" { cidr_block = "10.0.0.0/16" }
+resource "aws_subnet" "app" {
+  vpc_id     = aws_vpc.main.id
+  cidr_block = "10.0.2.0/24"
+}
+"#;
+
+#[test]
+fn state_history_and_rollback_time_travel() {
+    let t = TempSession::new("statelog");
+    assert!(run(&["init", t.path()]).status.success());
+    let v1 = t.write("v1.tf", PROGRAM);
+    let v2 = t.write("v2.tf", PROGRAM_V2);
+    assert!(run(&["apply", t.path(), &v1]).status.success());
+    assert!(run(&["apply", t.path(), &v2]).status.success());
+
+    // history lists both applies with delta sizes
+    let out = run(&["state", "history", t.path()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let hist = stdout(&out);
+    assert!(hist.contains("apply via"), "{hist}");
+    assert!(hist.lines().count() >= 2, "{hist}");
+
+    // roll the state document back to serial 1 (the v1 world)
+    let out = run(&["state", "rollback", t.path(), "1"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("rolled back to serial 1"),
+        "{}",
+        stdout(&out)
+    );
+
+    // the state.json mirror now shows the v1 subnet CIDR
+    let state = std::fs::read_to_string(t.dir.join("state.json")).unwrap();
+    assert!(state.contains("10.0.1.0/24"), "{state}");
+
+    // rollback to the same serial again is a fixpoint
+    let out = run(&["state", "rollback", t.path(), "1"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("nothing to do"), "{}", stdout(&out));
+
+    // the rollback itself is a new version; fsck is clean throughout
+    let out = run(&["state", "fsck", t.path()]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("clean"), "{}", stdout(&out));
+}
+
+#[test]
+fn state_fsck_flags_torn_log_and_open_recovers_it() {
+    let t = TempSession::new("fsck-torn");
+    assert!(run(&["init", t.path()]).status.success());
+    let tf = t.write("infra.tf", PROGRAM);
+    assert!(run(&["apply", t.path(), &tf]).status.success());
+
+    // simulate a crash mid-commit: chop bytes off the final record
+    let log = t.dir.join("state.log");
+    let bytes = std::fs::read(&log).unwrap();
+    std::fs::write(&log, &bytes[..bytes.len() - 7]).unwrap();
+
+    // fsck sees the torn tail and exits non-zero
+    let out = run(&["state", "fsck", t.path()]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("torn tail"), "{}", stdout(&out));
+
+    // any session load recovers (truncate-and-persist)…
+    let out = run(&["state", t.path()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("recovered torn final record"),
+        "{}",
+        stderr(&out)
+    );
+
+    // …after which fsck is clean
+    let out = run(&["state", "fsck", t.path()]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("clean"), "{}", stdout(&out));
+}
+
+#[test]
+fn legacy_session_loads_and_migrates_to_log_store() {
+    let t = TempSession::new("migrate");
+    assert!(run(&["init", t.path()]).status.success());
+    let tf = t.write("infra.tf", PROGRAM);
+    assert!(run(&["apply", t.path(), &tf]).status.success());
+
+    // turn the session legacy: drop the log, keep the state.json mirror
+    std::fs::remove_file(t.dir.join("state.log")).unwrap();
+
+    // fsck points at migrate for legacy sessions
+    let out = run(&["state", "fsck", t.path()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("state migrate"), "{}", stderr(&out));
+
+    // legacy sessions still load (state, no history)
+    let out = run(&["state", t.path()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("aws_vpc.main"));
+    let out = run(&["state", "history", t.path()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("no versions"), "{}", stdout(&out));
+
+    // migrate, then everything is log-native again
+    let out = run(&["state", "migrate", t.path()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("migrated: 1 version(s)"),
+        "{}",
+        stdout(&out)
+    );
+    let out = run(&["state", "fsck", t.path()]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    let out = run(&["state", "history", t.path()]);
+    assert!(stdout(&out).contains("migrate"), "{}", stdout(&out));
+
+    // migrating twice refuses
+    let out = run(&["state", "migrate", t.path()]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("already migrated"),
+        "{}",
+        stderr(&out)
+    );
+
+    // and applies keep working on the migrated log
+    let v2 = t.write("v2.tf", PROGRAM_V2);
+    let out = run(&["apply", t.path(), &v2]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = run(&["state", "history", t.path()]);
+    assert!(stdout(&out).contains("apply via"), "{}", stdout(&out));
+}

@@ -27,7 +27,8 @@ use cloudless_obs::{MetricsSnapshot, NullRecorder, Recorder};
 use cloudless_policy::observe::PlanSummary;
 use cloudless_policy::{Action, Controller, CostModel, LifecyclePhase, Observation};
 use cloudless_state::{
-    History, LockManager, LockScope, ObservedLockManager, ResourceLockManager, Snapshot, StateStore,
+    CommitMeta, HistoryView, LockManager, LockScope, LogStore, ObservedLockManager,
+    ResourceLockManager, Snapshot,
 };
 use cloudless_types::{Region, Value};
 use cloudless_validate::{validate, SpecMiner, ValidationLevel, ValidationReport};
@@ -168,8 +169,7 @@ pub struct ReconcileReport {
 /// The cloudless engine.
 pub struct Cloudless {
     cloud: Cloud,
-    store: StateStore,
-    history: History,
+    store: LogStore,
     data: DataResolver,
     controller: Controller,
     miner: SpecMiner,
@@ -188,10 +188,10 @@ impl Cloudless {
             LogWatcher::new([config.principal.clone()]).with_recorder(Arc::clone(&config.recorder));
         let locks =
             ObservedLockManager::new(ResourceLockManager::new(), Arc::clone(&config.recorder));
+        let store = LogStore::in_memory().with_recorder(Arc::clone(&config.recorder));
         Cloudless {
             cloud,
-            store: StateStore::new(),
-            history: History::new(),
+            store,
             data: DataResolver::new(),
             controller: Controller::new(),
             miner: SpecMiner::new(),
@@ -212,7 +212,23 @@ impl Cloudless {
     ) -> Self {
         let mut engine = Cloudless::new(config);
         engine.cloud.import_records(records);
-        engine.store = StateStore::from_snapshot(state);
+        let recorder = Arc::clone(&engine.config.recorder);
+        engine.store = LogStore::in_memory_seeded(state).with_recorder(recorder);
+        engine
+    }
+
+    /// Rebuild an engine around an already-open (typically file-backed)
+    /// log store: every commit the engine makes lands in the store's
+    /// device, and the full version history is immediately queryable.
+    pub fn with_store(
+        config: Config,
+        store: LogStore,
+        records: BTreeMap<cloudless_types::ResourceId, cloudless_cloud::ResourceRecord>,
+    ) -> Self {
+        let mut engine = Cloudless::new(config);
+        engine.cloud.import_records(records);
+        let recorder = Arc::clone(&engine.config.recorder);
+        engine.store = store.with_recorder(recorder);
         engine
     }
 
@@ -232,9 +248,40 @@ impl Cloudless {
         self.store.current()
     }
 
-    /// The apply history (time machine).
-    pub fn history(&self) -> &History {
-        &self.history
+    /// The apply history (time machine): version metadata straight off the
+    /// delta log, no state materialization.
+    pub fn history(&self) -> HistoryView<'_> {
+        self.store.history()
+    }
+
+    /// The log-structured state store (metrics, fsck, compaction hooks).
+    pub fn store(&self) -> &LogStore {
+        &self.store
+    }
+
+    /// Materialize the full state at a historical serial — O(delta) walk
+    /// back from the head, `None` if the serial was never committed.
+    pub fn state_at(&self, serial: u64) -> Option<Snapshot> {
+        self.store.snapshot_at(serial)
+    }
+
+    /// Time-travel the *state document* to a historical serial by
+    /// committing the inverse delta (the cloud is untouched — pair with
+    /// [`Cloudless::plan_rollback_to`]/[`Cloudless::execute_rollback`] to
+    /// move the infrastructure too). Returns the new serial, or `None`
+    /// when the state already matches the target.
+    pub fn rollback_state(&mut self, serial: u64) -> Result<Option<u64>, String> {
+        self.store
+            .rollback_to(
+                serial,
+                CommitMeta {
+                    at: self.cloud.now(),
+                    author: self.config.principal.clone(),
+                    message: format!("rollback state to serial {serial}"),
+                    config_source: None,
+                },
+            )
+            .map_err(|e| e.to_string())
     }
 
     /// The policy controller (register policies here).
@@ -579,16 +626,20 @@ impl Cloudless {
             }
         }
 
-        self.store.restore(state);
-
-        // checkpoint the new state with its source (time machine, §3.4)
-        self.history.checkpoint(
-            self.store.current().clone(),
-            self.cloud.now(),
-            &self.config.principal,
-            format!("apply via {}", apply.strategy),
-            source,
-        );
+        // commit the post-apply state: the delta log records only the
+        // changed resources, plus the source that produced them (time
+        // machine, §3.4)
+        self.store
+            .commit_snapshot(
+                &state,
+                CommitMeta {
+                    at: self.cloud.now(),
+                    author: self.config.principal.clone(),
+                    message: format!("apply via {}", apply.strategy),
+                    config_source: Some(source.to_owned()),
+                },
+            )
+            .expect("state log append");
 
         // observe conventions from successful applies (§3.2 mining)
         if apply.all_ok() {
@@ -621,7 +672,17 @@ impl Cloudless {
     pub fn refresh(&mut self) -> RefreshReport {
         let mut state = self.store.current().clone();
         let report = full_refresh(&mut self.cloud, &mut state, &self.config.principal);
-        self.store.restore(state);
+        self.store
+            .commit_snapshot_if_changed(
+                &state,
+                CommitMeta {
+                    at: self.cloud.now(),
+                    author: self.config.principal.clone(),
+                    message: "refresh".to_owned(),
+                    config_source: None,
+                },
+            )
+            .expect("state log append");
         report
     }
 
@@ -754,7 +815,17 @@ impl Cloudless {
         // commit the refreshed + surgered state, then converge the patched
         // program: adopted drift is already a no-op, dropped ops' drift is
         // overwritten back to the program
-        self.store.restore(state);
+        self.store
+            .commit_snapshot_if_changed(
+                &state,
+                CommitMeta {
+                    at: self.cloud.now(),
+                    author: self.config.principal.clone(),
+                    message: "reconcile: adopt drift".to_owned(),
+                    config_source: None,
+                },
+            )
+            .expect("state log append");
         let converge = self.converge(&outcome.source)?;
         let changes = diff(
             &patched_manifest,
@@ -795,7 +866,7 @@ impl Cloudless {
     /// Plan a rollback to a checkpoint serial. Refreshes first so that the
     /// plan also reverses out-of-band modifications.
     pub fn plan_rollback_to(&mut self, serial: u64) -> Option<RollbackPlan> {
-        let target = self.history.by_serial(serial)?.snapshot.clone();
+        let target = self.state_at(serial)?;
         self.refresh();
         Some(plan_rollback(
             self.store.current(),
@@ -913,7 +984,17 @@ impl Cloudless {
                 }
             }
         }
-        self.store.restore(state);
+        self.store
+            .commit_snapshot(
+                &state,
+                CommitMeta {
+                    at: self.cloud.now(),
+                    author: self.config.principal.clone(),
+                    message: "rollback".to_owned(),
+                    config_source: None,
+                },
+            )
+            .expect("state log append");
         Ok(())
     }
 }

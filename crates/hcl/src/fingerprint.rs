@@ -477,10 +477,7 @@ output "b" { value = aws_s3_bucket.logs.bucket }
     #[test]
     fn identical_source_is_unchanged() {
         let map = ChunkMap::build(SRC);
-        assert_eq!(
-            diff_chunks(&map, SRC, SRC),
-            ChunkDelta::Unchanged
-        );
+        assert_eq!(diff_chunks(&map, SRC, SRC), ChunkDelta::Unchanged);
     }
 
     #[test]

@@ -1,121 +1,109 @@
-//! The "time machine": version history of applied states.
+//! The "time machine": version history queries over the delta log.
 //!
 //! §3.4: "better version control systems that track the mapping between past
 //! configurations and their corresponding states — i.e., a 'time machine' —
 //! would be a significant help to checkpointing resource states and
 //! generating precise rollback plans."
 //!
-//! Every apply checkpoints the resulting snapshot together with the source
-//! text of the configuration that produced it, the author, and a message.
-//! The rollback planner (`cloudless-deploy::rollback`) diffs the current
-//! state against a historical entry to compute a *minimal* rollback plan.
+//! The old store checkpointed a *full snapshot* per version; the log store
+//! keeps one [`VersionRecord`] per commit instead — author, message, time,
+//! config hash, and the delta — and this view answers the same queries
+//! (`latest`, `by_serial`, `before`, `at_time`) over those records without
+//! materializing any state. Materialization is a separate, explicit step
+//! ([`crate::LogStore::snapshot_at`]), because most history queries never
+//! need it.
 
 use cloudless_types::SimTime;
-use serde::{Deserialize, Serialize};
 
-use crate::snapshot::Snapshot;
+use crate::log::VersionRecord;
 
-/// One checkpoint.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct HistoryEntry {
-    /// Serial of the checkpointed snapshot.
-    pub serial: u64,
-    pub at: SimTime,
-    pub author: String,
-    pub message: String,
-    /// The IaC source that produced this state (for config↔state mapping).
-    pub config_source: String,
-    pub snapshot: Snapshot,
+/// Borrowed, query-friendly view over the store's version records
+/// (oldest first). Obtained from [`crate::LogStore::history`].
+#[derive(Debug, Clone, Copy)]
+pub struct HistoryView<'a> {
+    versions: &'a [VersionRecord],
 }
 
-/// Append-only checkpoint history.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct History {
-    entries: Vec<HistoryEntry>,
-}
-
-impl History {
-    pub fn new() -> Self {
-        Self::default()
+impl<'a> HistoryView<'a> {
+    pub(crate) fn new(versions: &'a [VersionRecord]) -> HistoryView<'a> {
+        HistoryView { versions }
     }
 
-    /// Record a checkpoint after an apply.
-    pub fn checkpoint(
-        &mut self,
-        snapshot: Snapshot,
-        at: SimTime,
-        author: impl Into<String>,
-        message: impl Into<String>,
-        config_source: impl Into<String>,
-    ) {
-        self.entries.push(HistoryEntry {
-            serial: snapshot.serial,
-            at,
-            author: author.into(),
-            message: message.into(),
-            config_source: config_source.into(),
-            snapshot,
-        });
-    }
-
-    /// Number of checkpoints.
+    /// Number of committed versions.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.versions.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.versions.is_empty()
     }
 
-    /// Latest checkpoint.
-    pub fn latest(&self) -> Option<&HistoryEntry> {
-        self.entries.last()
+    /// Latest committed version.
+    pub fn latest(&self) -> Option<&'a VersionRecord> {
+        self.versions.last()
     }
 
-    /// Checkpoint with the given serial.
-    pub fn by_serial(&self, serial: u64) -> Option<&HistoryEntry> {
-        self.entries.iter().find(|e| e.serial == serial)
+    /// The version with the given serial.
+    pub fn by_serial(&self, serial: u64) -> Option<&'a VersionRecord> {
+        self.versions.iter().find(|v| v.serial == serial)
     }
 
-    /// The checkpoint immediately before `serial` (rollback target for
+    /// The version immediately before `serial` (rollback target for
     /// "undo the last apply").
-    pub fn before(&self, serial: u64) -> Option<&HistoryEntry> {
-        self.entries.iter().rev().find(|e| e.serial < serial)
+    pub fn before(&self, serial: u64) -> Option<&'a VersionRecord> {
+        self.versions.iter().rev().find(|v| v.serial < serial)
     }
 
-    /// The latest checkpoint at or before a point in time.
-    pub fn at_time(&self, t: SimTime) -> Option<&HistoryEntry> {
-        self.entries.iter().rev().find(|e| e.at <= t)
+    /// The latest version at or before a point in time.
+    pub fn at_time(&self, t: SimTime) -> Option<&'a VersionRecord> {
+        self.versions.iter().rev().find(|v| v.at <= t)
     }
 
-    /// All entries, oldest first.
-    pub fn iter(&self) -> impl Iterator<Item = &HistoryEntry> {
-        self.entries.iter()
+    /// All versions, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &'a VersionRecord> {
+        self.versions.iter()
+    }
+}
+
+impl<'a> IntoIterator for HistoryView<'a> {
+    type Item = &'a VersionRecord;
+    type IntoIter = std::slice::Iter<'a, VersionRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.versions.iter()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
 
-    fn snap(serial: u64) -> Snapshot {
-        Snapshot {
+    fn version(serial: u64, at: u64, author: &str) -> VersionRecord {
+        VersionRecord {
             serial,
-            ..Snapshot::new()
+            at: SimTime(at),
+            author: author.to_owned(),
+            message: format!("v{serial}"),
+            config: None,
+            puts: vec![],
+            dels: vec![],
+            outputs: BTreeMap::new(),
         }
     }
 
-    fn history() -> History {
-        let mut h = History::new();
-        h.checkpoint(snap(1), SimTime(100), "alice", "initial", "r1 {}");
-        h.checkpoint(snap(2), SimTime(200), "bob", "add subnet", "r2 {}");
-        h.checkpoint(snap(5), SimTime(500), "alice", "scale out", "r3 {}");
-        h
+    fn versions() -> Vec<VersionRecord> {
+        vec![
+            version(1, 100, "alice"),
+            version(2, 200, "bob"),
+            version(5, 500, "alice"),
+        ]
     }
 
     #[test]
     fn lookup_by_serial_and_latest() {
-        let h = history();
+        let vs = versions();
+        let h = HistoryView::new(&vs);
         assert_eq!(h.len(), 3);
         assert_eq!(h.latest().unwrap().serial, 5);
         assert_eq!(h.by_serial(2).unwrap().author, "bob");
@@ -124,7 +112,8 @@ mod tests {
 
     #[test]
     fn before_finds_rollback_target() {
-        let h = history();
+        let vs = versions();
+        let h = HistoryView::new(&vs);
         assert_eq!(h.before(5).unwrap().serial, 2);
         assert_eq!(h.before(2).unwrap().serial, 1);
         assert!(h.before(1).is_none());
@@ -132,16 +121,11 @@ mod tests {
 
     #[test]
     fn time_travel() {
-        let h = history();
+        let vs = versions();
+        let h = HistoryView::new(&vs);
         assert_eq!(h.at_time(SimTime(250)).unwrap().serial, 2);
         assert_eq!(h.at_time(SimTime(500)).unwrap().serial, 5);
         assert_eq!(h.at_time(SimTime(100)).unwrap().serial, 1);
         assert!(h.at_time(SimTime(50)).is_none());
-    }
-
-    #[test]
-    fn config_source_travels_with_state() {
-        let h = history();
-        assert_eq!(h.by_serial(2).unwrap().config_source, "r2 {}");
     }
 }

@@ -9,14 +9,26 @@
 //! past configurations and their corresponding states — i.e., a 'time
 //! machine' — would be a significant help."
 //!
-//! This crate provides all four pieces:
+//! This crate provides the pieces:
 //!
 //! * [`snapshot`] — the state document: the IaC-address → cloud-resource
 //!   mapping Terraform keeps in `terraform.tfstate`, serializable as JSON.
-//! * [`store`] — the current-state store with monotonically increasing
-//!   serials.
-//! * [`history`] — the time machine: every applied snapshot is checkpointed
-//!   with its author and message; rollback plans are computed against it.
+//! * [`store`] — the **log-structured store** ([`LogStore`]): an
+//!   append-only delta log where every commit records only changed
+//!   resources as content-addressed records, so commits, rollbacks, and
+//!   drift diffs read O(delta) instead of O(world).
+//! * [`cas`] — content addressing: each resource body stored once,
+//!   hash-shared across all versions that reference it.
+//! * [`log`] — the on-disk record format, checksummed line framing, and
+//!   torn-tail crash recovery.
+//! * [`history`] — the time machine view: version metadata queries
+//!   (`latest`, `by_serial`, `at_time`) over the delta log, with
+//!   materialization ([`LogStore::snapshot_at`]) a separate explicit step.
+//! * [`compact`] — folds cold log prefixes into checkpoint records while
+//!   keeping *every* version point-in-time addressable.
+//! * [`fsck`] — offline integrity verification (checksums, content
+//!   addresses, undo-chain consistency, checkpoint reachability).
+//! * [`migrate`] — one-shot migration from the legacy full-JSON layout.
 //! * [`lock`] — the lock manager, with both the baseline **global lock**
 //!   (what Terraform does today: "existing tools simply lock the entire
 //!   cloud infrastructure for modifications at any scale") and the
@@ -24,22 +36,39 @@
 //!   against.
 //! * [`txn`] — optimistic transactions over the golden state with
 //!   per-resource versions and first-committer-wins conflict detection.
+//!
+//! ## Observability
+//!
+//! With a recorder installed ([`LogStore::set_recorder`]) the store emits:
+//! `state.commits` / `state.compactions` / `state.torn_recoveries`
+//! (counters), and `state.log_bytes` / `state.records_deduped` /
+//! `state.checkpoint_lag` (gauges).
 
 #![forbid(unsafe_code)]
 
 pub mod block_index;
+pub mod cas;
+pub mod compact;
+pub mod fsck;
 pub mod history;
 pub mod lock;
+pub mod log;
+pub mod migrate;
 pub mod snapshot;
 pub mod store;
 pub mod txn;
 
 pub use block_index::BlockIndex;
-pub use history::{History, HistoryEntry};
+pub use cas::ContentHash;
+pub use compact::CompactReport;
+pub use fsck::{fsck_bytes, fsck_file, FsckReport};
+pub use history::HistoryView;
 pub use lock::{
     FairResourceLockManager, GlobalLock, LockGuard, LockManager, LockScope, ObservedLockManager,
     ResourceLockManager,
 };
+pub use log::{LogDevice, MemDevice, StoreError, VersionRecord};
+pub use migrate::{migrate_dir, LegacyHistoryEntry, MigrateReport};
 pub use snapshot::{DeployedResource, Snapshot};
-pub use store::StateStore;
+pub use store::{CommitMeta, DiffEntry, LogStore, RecoveryReport, StateDelta, VersionDiff};
 pub use txn::{Transaction, TxnError, TxnManager};

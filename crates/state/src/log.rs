@@ -1,0 +1,480 @@
+//! The append-only state log: devices, record framing, and crash-safe
+//! scanning.
+//!
+//! On-disk format (`state.log`), one record per line:
+//!
+//! ```text
+//! cloudless-statelog v1
+//! <16-hex fnv64 of payload> <payload JSON>
+//! <16-hex fnv64 of payload> <payload JSON>
+//! ...
+//! ```
+//!
+//! Payloads are single-line JSON (the vendored `serde_json` escapes
+//! newlines inside strings, so line framing is unambiguous). Three record
+//! kinds exist: **blobs** (content-addressed resource/config bodies),
+//! **versions** (one per commit: the delta of puts/dels by hash, each put
+//! carrying the *previous* hash so backward time travel is O(delta)), and
+//! **checkpoints** (the full address→hash map at a serial, folded in
+//! periodically so recovery and integrity checks need not replay a cold
+//! prefix record-by-record).
+//!
+//! Crash consistency: appends are buffered into whole lines and a torn
+//! final record — truncated line, bad checksum, or unparsable tail — is
+//! *recovered* by truncating back to the last whole record on open.
+//! Corruption anywhere before the final record is not survivable by
+//! truncation and is reported as an error instead.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+use cloudless_types::{SimTime, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::cas::{fnv64, ContentHash};
+
+/// The first line of every state log.
+pub const LOG_MAGIC: &str = "cloudless-statelog v1";
+
+/// Errors from the log store.
+#[derive(Debug)]
+pub enum StoreError {
+    Io(std::io::Error),
+    /// Unrecoverable log damage (anything a tail truncation cannot fix).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "state log i/o error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "state log corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+// ------------------------------------------------------------------ records
+
+/// One `puts` entry of a version record: `addr` now has content `hash`;
+/// `prev` is what it had before (`None` = newly created). The `prev`
+/// chain is what makes rollback and backward diffs O(delta): undoing a
+/// version never needs the rest of the world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PutEntry {
+    pub addr: String,
+    pub hash: ContentHash,
+    pub prev: Option<ContentHash>,
+}
+
+/// One `dels` entry: `addr` was removed; it previously had `prev`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelEntry {
+    pub addr: String,
+    pub prev: ContentHash,
+}
+
+/// A content-addressed body (canonical resource JSON or a config source).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlobRecord {
+    pub hash: ContentHash,
+    pub body: String,
+}
+
+/// One committed version: only what changed, by content hash.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionRecord {
+    pub serial: u64,
+    pub at: SimTime,
+    pub author: String,
+    pub message: String,
+    /// Content hash of the IaC source that produced this version (the
+    /// config↔state mapping of the time machine); config bodies are
+    /// CAS-shared too, so an unchanged program costs one hash per version.
+    pub config: Option<ContentHash>,
+    pub puts: Vec<PutEntry>,
+    pub dels: Vec<DelEntry>,
+    /// Root-module outputs as of this version (small, stored inline).
+    pub outputs: BTreeMap<String, Value>,
+}
+
+impl VersionRecord {
+    /// Number of delta entries (puts + dels).
+    pub fn delta_len(&self) -> usize {
+        self.puts.len() + self.dels.len()
+    }
+}
+
+/// The full address→hash map at `serial`, plus outputs: a fold of every
+/// record before it. Recovery, fsck, and compaction use checkpoints to
+/// avoid replaying cold prefixes entry-by-entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointRecord {
+    pub serial: u64,
+    pub entries: Vec<(String, ContentHash)>,
+    pub outputs: BTreeMap<String, Value>,
+}
+
+/// Any log record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogRecord {
+    Blob(BlobRecord),
+    Version(VersionRecord),
+    Checkpoint(CheckpointRecord),
+}
+
+/// Frame a record as one checksummed log line (with trailing newline).
+pub fn frame(record: &LogRecord) -> String {
+    let payload = serde_json::to_string(record).expect("log record serializes");
+    debug_assert!(!payload.contains('\n'));
+    format!("{:016x} {payload}\n", fnv64(payload.as_bytes()))
+}
+
+/// Parse one framed line (without its newline).
+fn parse_line(line: &str) -> Result<LogRecord, String> {
+    let (sum_hex, payload) = line
+        .split_once(' ')
+        .ok_or_else(|| "missing checksum field".to_owned())?;
+    let want = u64::from_str_radix(sum_hex, 16).map_err(|_| format!("bad checksum {sum_hex:?}"))?;
+    let got = fnv64(payload.as_bytes());
+    if want != got {
+        return Err(format!(
+            "checksum mismatch: framed {want:016x}, computed {got:016x}"
+        ));
+    }
+    serde_json::from_str(payload).map_err(|e| format!("unparsable record: {e}"))
+}
+
+// --------------------------------------------------------------------- scan
+
+/// Result of scanning raw log bytes.
+#[derive(Debug)]
+pub struct ScanOutcome {
+    pub records: Vec<LogRecord>,
+    /// Byte length of the valid prefix (header + whole records). Anything
+    /// past this is the torn tail.
+    pub keep_len: u64,
+    /// Bytes of torn final record dropped by recovery (0 = clean log).
+    pub torn_bytes: u64,
+}
+
+/// Scan raw log bytes into records, detecting a torn final record.
+///
+/// A defect on the *final* record (no newline, bad checksum, unparsable
+/// payload) is the signature of a crash mid-append and comes back as
+/// `torn_bytes > 0` with the valid prefix intact. A defect followed by
+/// further records cannot be a torn append and is [`StoreError::Corrupt`].
+pub fn scan(bytes: &[u8]) -> Result<ScanOutcome, StoreError> {
+    if bytes.is_empty() {
+        return Ok(ScanOutcome {
+            records: Vec::new(),
+            keep_len: 0,
+            torn_bytes: 0,
+        });
+    }
+    let header = format!("{LOG_MAGIC}\n");
+    if !bytes.starts_with(header.as_bytes()) {
+        // a crash during the very first append can leave a partial
+        // header; that prefix is a torn tail (recover to the empty log),
+        // anything else is corruption
+        if header.as_bytes().starts_with(bytes) {
+            return Ok(ScanOutcome {
+                records: Vec::new(),
+                keep_len: 0,
+                torn_bytes: bytes.len() as u64,
+            });
+        }
+        return Err(StoreError::Corrupt(format!(
+            "missing magic header {LOG_MAGIC:?}"
+        )));
+    }
+    let mut records = Vec::new();
+    let mut pos = header.len();
+    let mut keep = pos as u64;
+    while pos < bytes.len() {
+        let torn = |why: String| -> Result<(), StoreError> {
+            // only the last record can be torn: everything after `pos`
+            // must belong to this one damaged line
+            match bytes[pos..].iter().position(|&b| b == b'\n') {
+                Some(nl) if pos + nl + 1 < bytes.len() => Err(StoreError::Corrupt(format!(
+                    "record {} at byte {pos} is damaged mid-log ({why})",
+                    records.len() + 1
+                ))),
+                _ => Ok(()),
+            }
+        };
+        let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+            // no terminating newline: torn tail by definition
+            break;
+        };
+        let line = match std::str::from_utf8(&bytes[pos..pos + nl]) {
+            Ok(l) => l,
+            Err(e) => {
+                torn(format!("invalid utf-8: {e}"))?;
+                break;
+            }
+        };
+        match parse_line(line) {
+            Ok(record) => {
+                records.push(record);
+                pos += nl + 1;
+                keep = pos as u64;
+            }
+            Err(why) => {
+                torn(why)?;
+                break;
+            }
+        }
+    }
+    Ok(ScanOutcome {
+        records,
+        keep_len: keep,
+        torn_bytes: bytes.len() as u64 - keep,
+    })
+}
+
+// ------------------------------------------------------------------ devices
+
+/// Where log bytes live. The store drives devices with whole framed
+/// records only, so any append that completes fully preserves the
+/// recovery invariant.
+pub trait LogDevice: Send {
+    /// The entire current contents.
+    fn read_all(&mut self) -> Result<Vec<u8>, StoreError>;
+    /// Append bytes at the end.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError>;
+    /// Truncate to `len` bytes (torn-tail recovery).
+    fn truncate(&mut self, len: u64) -> Result<(), StoreError>;
+    /// Atomically replace the whole contents (compaction rewrite).
+    fn replace(&mut self, bytes: &[u8]) -> Result<(), StoreError>;
+}
+
+/// In-memory device: property tests, seeded engine stores, experiments.
+#[derive(Debug, Default)]
+pub struct MemDevice {
+    bytes: Vec<u8>,
+}
+
+impl MemDevice {
+    pub fn new() -> MemDevice {
+        MemDevice::default()
+    }
+
+    /// Start from existing bytes (replay a captured log).
+    pub fn from_bytes(bytes: Vec<u8>) -> MemDevice {
+        MemDevice { bytes }
+    }
+
+    /// The raw log bytes (tests snapshot these to simulate crashes).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl LogDevice for MemDevice {
+    fn read_all(&mut self) -> Result<Vec<u8>, StoreError> {
+        Ok(self.bytes.clone())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.bytes.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), StoreError> {
+        self.bytes.truncate(len as usize);
+        Ok(())
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.bytes = bytes.to_vec();
+        Ok(())
+    }
+}
+
+/// File-backed device. Appends go through one long-lived handle;
+/// `replace` writes a temp file and renames over the log so compaction
+/// is atomic on POSIX filesystems.
+pub struct FileDevice {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl FileDevice {
+    /// Open (creating if absent) the log file at `path`.
+    pub fn open(path: &Path) -> Result<FileDevice, StoreError> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(FileDevice {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl LogDevice for FileDevice {
+    fn read_all(&mut self) -> Result<Vec<u8>, StoreError> {
+        let mut bytes = Vec::new();
+        self.file.seek(std::io::SeekFrom::Start(0))?;
+        self.file.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.file.write_all(bytes)?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), StoreError> {
+        self.file.set_len(len)?;
+        Ok(())
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        let tmp = self.path.with_extension("log.tmp");
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, &self.path)?;
+        // reopen: the old handle points at the unlinked inode
+        self.file = std::fs::OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn version(serial: u64) -> LogRecord {
+        LogRecord::Version(VersionRecord {
+            serial,
+            at: SimTime(serial * 10),
+            author: "t".into(),
+            message: format!("v{serial}"),
+            config: None,
+            puts: vec![PutEntry {
+                addr: format!("aws_vpc.v{serial}"),
+                hash: ContentHash::of(&format!("body-{serial}")),
+                prev: None,
+            }],
+            dels: vec![],
+            outputs: BTreeMap::new(),
+        })
+    }
+
+    fn log_of(records: &[LogRecord]) -> Vec<u8> {
+        let mut bytes = format!("{LOG_MAGIC}\n").into_bytes();
+        for r in records {
+            bytes.extend_from_slice(frame(r).as_bytes());
+        }
+        bytes
+    }
+
+    #[test]
+    fn frame_and_scan_round_trip() {
+        let records = vec![
+            LogRecord::Blob(BlobRecord {
+                hash: ContentHash::of("x"),
+                body: "x".into(),
+            }),
+            version(1),
+            LogRecord::Checkpoint(CheckpointRecord {
+                serial: 1,
+                entries: vec![("aws_vpc.v1".into(), ContentHash::of("body-1"))],
+                outputs: BTreeMap::new(),
+            }),
+        ];
+        let bytes = log_of(&records);
+        let out = scan(&bytes).expect("clean scan");
+        assert_eq!(out.records, records);
+        assert_eq!(out.torn_bytes, 0);
+        assert_eq!(out.keep_len, bytes.len() as u64);
+    }
+
+    #[test]
+    fn scan_detects_and_isolates_torn_tail() {
+        let whole = log_of(&[version(1), version(2)]);
+        // cut mid-way through the final record: every prefix length from
+        // "one byte into record 2" to "all but its newline" must recover
+        let v1_only = log_of(&[version(1)]);
+        for cut in (v1_only.len() + 1)..whole.len() {
+            let out = scan(&whole[..cut]).expect("torn tail is recoverable");
+            assert_eq!(out.records.len(), 1, "cut at {cut}");
+            assert_eq!(out.keep_len, v1_only.len() as u64);
+            assert_eq!(out.torn_bytes, (cut - v1_only.len()) as u64);
+        }
+    }
+
+    #[test]
+    fn scan_rejects_mid_log_damage() {
+        let mut bytes = log_of(&[version(1), version(2)]);
+        // flip one byte inside the first record's payload
+        let idx = LOG_MAGIC.len() + 30;
+        bytes[idx] ^= 0x01;
+        let err = scan(&bytes).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn scan_rejects_wrong_magic_and_accepts_empty() {
+        assert!(matches!(
+            scan(b"not a statelog\n"),
+            Err(StoreError::Corrupt(_))
+        ));
+        let out = scan(b"").expect("empty is a fresh log");
+        assert!(out.records.is_empty());
+        assert_eq!(out.keep_len, 0);
+    }
+
+    #[test]
+    fn mem_device_round_trips() {
+        let mut d = MemDevice::new();
+        d.append(b"abc").unwrap();
+        d.append(b"def").unwrap();
+        assert_eq!(d.read_all().unwrap(), b"abcdef");
+        d.truncate(4).unwrap();
+        assert_eq!(d.read_all().unwrap(), b"abcd");
+        d.replace(b"xyz").unwrap();
+        assert_eq!(d.read_all().unwrap(), b"xyz");
+    }
+
+    #[test]
+    fn file_device_round_trips() {
+        let dir = std::env::temp_dir().join("cloudless-logdev-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.log");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut d = FileDevice::open(&path).unwrap();
+            d.append(b"hello ").unwrap();
+            d.append(b"world").unwrap();
+            assert_eq!(d.read_all().unwrap(), b"hello world");
+            d.truncate(5).unwrap();
+            assert_eq!(d.read_all().unwrap(), b"hello");
+            d.replace(b"rewritten").unwrap();
+            d.append(b"!").unwrap();
+        }
+        let mut d = FileDevice::open(&path).unwrap();
+        assert_eq!(d.read_all().unwrap(), b"rewritten!");
+        std::fs::remove_file(&path).ok();
+    }
+}

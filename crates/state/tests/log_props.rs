@@ -1,0 +1,225 @@
+//! Property tests on the log-structured store: arbitrary commit
+//! sequences replayed against an in-memory model, compaction and
+//! crash-truncation preserving every addressable version, and the
+//! rollback fixpoint.
+//!
+//! Each case drives a *file-backed* store in a scratch directory so the
+//! reopen/recovery paths under test are the exact ones production
+//! sessions use.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cloudless_state::{fsck_bytes, CommitMeta, DeployedResource, LogStore, Snapshot, StateDelta};
+use cloudless_types::{ResourceId, SimTime, Value};
+use proptest::prelude::*;
+
+/// One generated commit: resource puts (index, revision), deletes
+/// (index), and optionally replacement outputs.
+type Op = (Vec<(u8, u8)>, Vec<u8>, Option<u8>);
+
+fn addr(i: u8) -> String {
+    format!("aws_s3_bucket.b[{i}]")
+}
+
+fn res(i: u8, rev: u8) -> DeployedResource {
+    DeployedResource {
+        addr: addr(i).parse().expect("addr"),
+        id: ResourceId(format!("b-{i:04}")),
+        rtype: "aws_s3_bucket".into(),
+        region: "us-east-1".into(),
+        attrs: [
+            ("bucket".to_owned(), Value::from(format!("b-{i}"))),
+            ("acl".to_owned(), Value::from(format!("rev-{rev}"))),
+        ]
+        .into(),
+        depends_on: Vec::new(),
+        created_at: SimTime::ZERO,
+    }
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec((0u8..12, 0u8..4), 0..4),
+            proptest::collection::vec(0u8..12, 0..3),
+            (0u8..6).prop_map(|o| if o < 3 { Some(o) } else { None }),
+        ),
+        1..12,
+    )
+}
+
+/// A scratch log path unique to this process + case.
+fn scratch_log() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cloudless-log-props-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join("state.log")
+}
+
+/// The reference model: what the world should look like after each
+/// committed version.
+#[derive(Clone, Debug, PartialEq)]
+struct Model {
+    resources: BTreeMap<String, DeployedResource>,
+    outputs: BTreeMap<String, Value>,
+}
+
+/// Apply every op to a fresh file-backed store and the model in
+/// lockstep; returns the store plus the model as of each committed
+/// serial.
+fn drive(path: &Path, ops: &[Op]) -> (LogStore, Vec<(u64, Model)>) {
+    let (mut store, recovery) = LogStore::open_file(path).expect("open");
+    assert_eq!(recovery.torn_bytes_dropped, 0);
+    let mut model = Model {
+        resources: BTreeMap::new(),
+        outputs: BTreeMap::new(),
+    };
+    let mut committed = Vec::new();
+    for (puts, dels, outputs) in ops {
+        let mut delta = StateDelta::default();
+        for (i, rev) in puts {
+            delta.puts.push(res(*i, *rev));
+        }
+        for i in dels {
+            delta.dels.push(addr(*i));
+        }
+        if let Some(o) = outputs {
+            delta.outputs = Some([("gen".to_owned(), Value::from(format!("o-{o}")))].into());
+        }
+        // model mirrors the store's delta semantics: all puts apply in
+        // order, then all deletes
+        for r in &delta.puts {
+            model.resources.insert(r.addr.to_string(), r.clone());
+        }
+        for a in &delta.dels {
+            model.resources.remove(a);
+        }
+        if let Some(o) = &delta.outputs {
+            model.outputs = o.clone();
+        }
+        if let Some(serial) = store
+            .commit_if_changed(delta, CommitMeta::bare("prop"))
+            .expect("commit")
+        {
+            committed.push((serial, model.clone()));
+        }
+    }
+    (store, committed)
+}
+
+fn assert_matches_model(snap: &Snapshot, model: &Model) {
+    assert_eq!(snap.resources, model.resources);
+    assert_eq!(snap.outputs, model.outputs);
+}
+
+proptest! {
+    /// Replay equivalence: the live fold, the model, and a from-scratch
+    /// reopen all agree — on the head world and on every historical
+    /// version.
+    #[test]
+    fn random_commit_sequences_replay_to_the_model(ops in ops()) {
+        let path = scratch_log();
+        let (store, committed) = drive(&path, &ops);
+        if let Some((serial, model)) = committed.last() {
+            prop_assert_eq!(store.serial(), *serial);
+            assert_matches_model(store.current(), model);
+        }
+        let (reopened, recovery) = LogStore::open_file(&path).expect("reopen");
+        prop_assert_eq!(recovery.torn_bytes_dropped, 0);
+        prop_assert_eq!(reopened.serial(), store.serial());
+        assert_matches_model(reopened.current(), &Model {
+            resources: store.current().resources.clone(),
+            outputs: store.current().outputs.clone(),
+        });
+        for (serial, model) in &committed {
+            let snap = reopened.snapshot_at(*serial).expect("addressable");
+            assert_matches_model(&snap, model);
+        }
+    }
+
+    /// Compaction preserves every addressable version, survives a
+    /// reopen, and leaves a log fsck calls clean.
+    #[test]
+    fn compaction_preserves_every_addressable_version(ops in ops()) {
+        let path = scratch_log();
+        let (mut store, committed) = drive(&path, &ops);
+        store.compact().expect("compact");
+        for (serial, model) in &committed {
+            let snap = store.snapshot_at(*serial).expect("addressable after compact");
+            assert_matches_model(&snap, model);
+        }
+        let (reopened, _) = LogStore::open_file(&path).expect("reopen after compact");
+        prop_assert_eq!(reopened.serial(), store.serial());
+        for (serial, model) in &committed {
+            let snap = reopened.snapshot_at(*serial).expect("addressable after reopen");
+            assert_matches_model(&snap, model);
+        }
+        let report = fsck_bytes(&std::fs::read(&path).expect("read log"));
+        prop_assert!(report.clean(), "{}", report.render());
+    }
+
+    /// Rollback restores the target world exactly, and rolling back (or
+    /// re-committing the target snapshot) again is a no-op fixpoint.
+    #[test]
+    fn rollback_then_recommit_is_a_fixpoint(ops in ops(), pick in 0usize..64) {
+        let path = scratch_log();
+        let (mut store, committed) = drive(&path, &ops);
+        // target any committed serial, or 0 = the empty pre-history world
+        let (target, model) = match committed.get(pick % (committed.len() + 1)) {
+            Some((serial, model)) => (*serial, model.clone()),
+            None => (0, Model { resources: BTreeMap::new(), outputs: BTreeMap::new() }),
+        };
+        store
+            .rollback_to(target, CommitMeta::bare("prop rollback"))
+            .expect("target is addressable");
+        assert_matches_model(store.current(), &model);
+        // fixpoint: the world already matches the target
+        prop_assert_eq!(
+            store
+                .rollback_to(target, CommitMeta::bare("again"))
+                .expect("still addressable"),
+            None
+        );
+        let target_snap = store.snapshot_at(target).expect("still addressable");
+        prop_assert_eq!(
+            store
+                .commit_snapshot_if_changed(&target_snap, CommitMeta::bare("recommit"))
+                .expect("commit"),
+            None
+        );
+    }
+
+    /// Crash-truncating the log at *any* byte recovers to a valid prefix
+    /// of history: open succeeds, the head matches the model at whatever
+    /// serial survived, and the recovered file fscks clean.
+    #[test]
+    fn truncation_at_any_byte_recovers_a_prefix(ops in ops(), cut in 1u64..5_000) {
+        let path = scratch_log();
+        let (store, committed) = drive(&path, &ops);
+        let full = std::fs::read(&path).expect("read log");
+        prop_assert_eq!(full.len() as u64, store.log_bytes());
+        drop(store);
+        let keep = (full.len() as u64).saturating_sub(cut).max(1);
+        std::fs::write(&path, &full[..keep as usize]).expect("truncate");
+
+        let (reopened, _) = LogStore::open_file(&path).expect("recovery");
+        let serial = reopened.serial();
+        match committed.iter().find(|(s, _)| *s == serial) {
+            Some((_, model)) => assert_matches_model(reopened.current(), model),
+            None => {
+                // only the empty pre-history world has no committed model
+                prop_assert_eq!(serial, 0);
+                prop_assert!(reopened.current().resources.is_empty());
+            }
+        }
+        drop(reopened);
+        let report = fsck_bytes(&std::fs::read(&path).expect("read recovered"));
+        prop_assert!(report.clean(), "{}", report.render());
+    }
+}

@@ -24,6 +24,11 @@ if [[ "${1:-}" == "--fresh" ]]; then
   candidate=/tmp/BENCH_fresh.json
   cargo run --release -p cloudless-bench --bin exp_scale -- \
     --tier full --out "$candidate"
+  # E17: state-store vs legacy comparators, folded into the same report
+  # (smoke tier — the absolute 10x floors are size-independent; the full
+  # 1M-resource tier is the committed BENCH_pr.json's job)
+  cargo run --release -p cloudless-bench --bin exp_state -- \
+    --tier smoke --attach "$candidate"
 fi
 
 cargo run --release -p cloudless-bench --bin exp_scale -- \

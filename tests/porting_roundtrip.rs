@@ -6,7 +6,7 @@ use cloudless::deploy::diff::{diff, Action};
 use cloudless::deploy::resolver::DataResolver;
 use cloudless::hcl::program::{expand, ModuleLibrary, Program};
 use cloudless::port::optimized_port;
-use cloudless::state::{DeployedResource, Snapshot, StateStore};
+use cloudless::state::{DeployedResource, LogStore, Snapshot};
 use cloudless::types::{SimTime, Value};
 use cloudless::{Cloudless, Config};
 use std::collections::BTreeMap;
@@ -67,7 +67,7 @@ resource "aws_virtual_machine" "web" {
             created_at: SimTime::ZERO,
         });
     }
-    let _store = StateStore::from_snapshot(state.clone());
+    let _store = LogStore::in_memory_seeded(state.clone());
 
     // …and the plan against the imported state is empty: nothing would be
     // churned by adopting the generated program
