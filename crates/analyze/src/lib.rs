@@ -20,12 +20,17 @@
 
 #![forbid(unsafe_code)]
 
+pub mod alias;
+pub mod blast;
+pub mod concurrency;
 pub mod dataflow;
 pub mod hazards;
 pub mod incremental;
+pub mod lockorder;
 pub mod report;
 pub mod rules;
 
+pub use concurrency::{analyze_manifest, AnalysisOutcome, AnalysisStats, BlastRequest, InstGraph};
 pub use report::{Finding, LintReport};
 pub use rules::{rule, LintConfig, RuleInfo, RULES};
 

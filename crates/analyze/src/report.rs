@@ -92,12 +92,6 @@ impl LintReport {
     /// SARIF-style output (static analysis interchange: one run, the rule
     /// registry as `tool.driver.rules`, findings as `results`).
     pub fn to_sarif(&self) -> String {
-        #[allow(non_snake_case)]
-        #[derive(Serialize)]
-        struct Sarif {
-            version: String,
-            runs: Vec<Run>,
-        }
         #[derive(Serialize)]
         struct Run {
             tool: Tool,
@@ -155,56 +149,203 @@ impl LintReport {
             endColumn: u32,
         }
 
-        let doc = Sarif {
-            version: "2.1.0".to_owned(),
-            runs: vec![Run {
-                tool: Tool {
-                    driver: Driver {
-                        name: "cloudless-analyze".to_owned(),
-                        rules: RULES
-                            .iter()
-                            .map(|r| SarifRule {
-                                id: r.id.to_owned(),
-                                name: r.name.to_owned(),
-                                shortDescription: Text {
-                                    text: r.summary.to_owned(),
-                                },
-                            })
-                            .collect(),
-                    },
-                },
-                results: self
-                    .findings
-                    .iter()
-                    .map(|f| SarifResult {
-                        ruleId: f.diagnostic.code.clone(),
-                        level: match f.diagnostic.severity {
-                            Severity::Error => "error",
-                            Severity::Warning => "warning",
-                            Severity::Note => "note",
-                        }
-                        .to_owned(),
-                        message: Text {
-                            text: f.diagnostic.message.clone(),
-                        },
-                        locations: vec![Location {
-                            physicalLocation: PhysicalLocation {
-                                artifactLocation: Artifact {
-                                    uri: f.diagnostic.file.clone(),
-                                },
-                                region: Region {
-                                    startLine: f.diagnostic.span.start.line,
-                                    startColumn: f.diagnostic.span.start.col,
-                                    endLine: f.diagnostic.span.end.line,
-                                    endColumn: f.diagnostic.span.end.col,
-                                },
+        let runs = vec![Run {
+            tool: Tool {
+                driver: Driver {
+                    name: "cloudless-analyze".to_owned(),
+                    rules: RULES
+                        .iter()
+                        .map(|r| SarifRule {
+                            id: r.id.to_owned(),
+                            name: r.name.to_owned(),
+                            shortDescription: Text {
+                                text: r.summary.to_owned(),
                             },
-                        }],
-                    })
-                    .collect(),
-            }],
-        };
+                        })
+                        .collect(),
+                },
+            },
+            results: self
+                .findings
+                .iter()
+                .map(|f| SarifResult {
+                    ruleId: f.diagnostic.code.clone(),
+                    level: match f.diagnostic.severity {
+                        Severity::Error => "error",
+                        Severity::Warning => "warning",
+                        Severity::Note => "note",
+                    }
+                    .to_owned(),
+                    message: Text {
+                        text: f.diagnostic.message.clone(),
+                    },
+                    locations: vec![Location {
+                        physicalLocation: PhysicalLocation {
+                            artifactLocation: Artifact {
+                                uri: f.diagnostic.file.clone(),
+                            },
+                            region: Region {
+                                startLine: f.diagnostic.span.start.line,
+                                startColumn: f.diagnostic.span.start.col,
+                                endLine: f.diagnostic.span.end.line,
+                                endColumn: f.diagnostic.span.end.col,
+                            },
+                        },
+                    }],
+                })
+                .collect(),
+        }];
+        // The vendored serde derive has no field-level rename, and
+        // `$schema` is not a legal Rust identifier — assemble the
+        // top-level object by hand.
+        let doc = serde::Json::Obj(vec![
+            (
+                "$schema".to_owned(),
+                serde::Json::Str("https://json.schemastore.org/sarif-2.1.0.json".to_owned()),
+            ),
+            ("version".to_owned(), serde::Json::Str("2.1.0".to_owned())),
+            ("runs".to_owned(), runs.ser()),
+        ]);
         serde_json::to_string_pretty(&doc).expect("sarif serializes")
+    }
+}
+
+/// The vendored structural subset of the SARIF 2.1.0 schema, baked into
+/// the binary so CI needs no network.
+pub const SARIF_SCHEMA: &str = include_str!("../schema/sarif-schema-2.1.0.json");
+
+/// Validate a SARIF document against the vendored 2.1.0 schema subset
+/// plus one semantic rule the schema cannot express: every `result.ruleId`
+/// must be declared in `tool.driver.rules`.
+///
+/// The checker interprets the subset of JSON Schema the vendored file
+/// uses — `type`, `required`, `properties`, `items`, `enum`, `minItems`,
+/// `minimum` — which keeps validation offline and dependency-free.
+pub fn validate_sarif(doc: &str) -> Result<(), Vec<String>> {
+    use serde::Json;
+
+    let value: Json = serde_json::from_str(doc).map_err(|e| vec![format!("not JSON: {e}")])?;
+    let schema: Json = serde_json::from_str(SARIF_SCHEMA).expect("vendored schema parses");
+    let mut errs = Vec::new();
+    check_schema(&value, &schema, "$", &mut errs);
+
+    // Semantic: results may only cite declared rules.
+    fn arr(j: Option<&Json>) -> &[Json] {
+        match j {
+            Some(Json::Arr(a)) => a,
+            _ => &[],
+        }
+    }
+    fn string(j: Option<&Json>) -> Option<&str> {
+        match j {
+            Some(Json::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+    for (ri, run) in arr(value.get("runs")).iter().enumerate() {
+        let declared: std::collections::BTreeSet<&str> = arr(run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules")))
+        .iter()
+        .filter_map(|r| string(r.get("id")))
+        .collect();
+        for (i, res) in arr(run.get("results")).iter().enumerate() {
+            if let Some(id) = string(res.get("ruleId")) {
+                if !declared.contains(id) {
+                    errs.push(format!(
+                        "$.runs[{ri}].results[{i}]: ruleId {id:?} not declared in tool.driver.rules"
+                    ));
+                }
+            }
+        }
+    }
+
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+fn check_schema(value: &serde::Json, schema: &serde::Json, path: &str, errs: &mut Vec<String>) {
+    use serde::Json;
+    if let Some(Json::Arr(allowed)) = schema.get("enum") {
+        if !allowed.contains(value) {
+            errs.push(format!("{path}: {value:?} not one of {allowed:?}"));
+        }
+        return;
+    }
+    if let Some(Json::Str(ty)) = schema.get("type") {
+        let ok = match ty.as_str() {
+            "object" => matches!(value, Json::Obj(_)),
+            "array" => matches!(value, Json::Arr(_)),
+            "string" => matches!(value, Json::Str(_)),
+            "integer" => matches!(value, Json::I64(_) | Json::U64(_)),
+            "number" => matches!(value, Json::I64(_) | Json::U64(_) | Json::F64(_)),
+            "boolean" => matches!(value, Json::Bool(_)),
+            other => {
+                errs.push(format!("{path}: schema uses unsupported type {other:?}"));
+                return;
+            }
+        };
+        if !ok {
+            errs.push(format!("{path}: expected {ty}"));
+            return;
+        }
+    }
+    match value {
+        Json::Obj(map) => {
+            if let Some(Json::Arr(req)) = schema.get("required") {
+                for key in req {
+                    if let Json::Str(key) = key {
+                        if !map.iter().any(|(k, _)| k == key) {
+                            errs.push(format!("{path}: missing required property {key:?}"));
+                        }
+                    }
+                }
+            }
+            if let Some(Json::Obj(props)) = schema.get("properties") {
+                for (key, sub) in props {
+                    if let Some(v) = value.get(key) {
+                        check_schema(v, sub, &format!("{path}.{key}"), errs);
+                    }
+                }
+            }
+        }
+        Json::Arr(items) => {
+            let min = match schema.get("minItems") {
+                Some(Json::U64(m)) => *m,
+                Some(Json::I64(m)) => (*m).max(0) as u64,
+                _ => 0,
+            };
+            if (items.len() as u64) < min {
+                errs.push(format!("{path}: fewer than {min} item(s)"));
+            }
+            if let Some(sub) = schema.get("items") {
+                for (i, v) in items.iter().enumerate() {
+                    check_schema(v, sub, &format!("{path}[{i}]"), errs);
+                }
+            }
+        }
+        Json::I64(_) | Json::U64(_) => {
+            let v = match value {
+                Json::I64(n) => *n,
+                Json::U64(n) => *n as i64,
+                _ => unreachable!(),
+            };
+            let min = match schema.get("minimum") {
+                Some(Json::U64(m)) => Some(*m as i64),
+                Some(Json::I64(m)) => Some(*m),
+                _ => None,
+            };
+            if let Some(min) = min {
+                if v < min {
+                    errs.push(format!("{path}: {v} below minimum {min}"));
+                }
+            }
+        }
+        _ => {}
     }
 }
 
@@ -320,9 +461,66 @@ mod tests {
     fn sarif_has_rules_and_results() {
         let sarif = sample().to_sarif();
         assert!(sarif.contains("\"version\""));
+        assert!(sarif.contains("\"$schema\""));
         assert!(sarif.contains("cloudless-analyze"));
         assert!(sarif.contains("ANA101"));
         assert!(sarif.contains("startLine"));
+    }
+
+    #[test]
+    fn sarif_validates_against_vendored_schema() {
+        validate_sarif(&sample().to_sarif()).expect("emitted SARIF is schema-valid");
+        validate_sarif(&LintReport::default().to_sarif()).expect("empty report is schema-valid");
+    }
+
+    #[test]
+    fn schema_rejects_malformed_documents() {
+        let errs = validate_sarif("{}").unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("version")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("runs")), "{errs:?}");
+
+        let bad_version = r#"{"version":"9.9.9","runs":[]}"#;
+        let errs = validate_sarif(bad_version).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("9.9.9")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("fewer than 1")), "{errs:?}");
+
+        // Undeclared ruleId is the semantic check beyond the schema.
+        let undeclared = r#"{
+          "version": "2.1.0",
+          "runs": [{
+            "tool": { "driver": { "name": "x", "rules": [] } },
+            "results": [{
+              "ruleId": "GHOST1",
+              "level": "error",
+              "message": { "text": "m" },
+              "locations": [{ "physicalLocation": {
+                "artifactLocation": { "uri": "a.tf" },
+                "region": { "startLine": 1 } } }]
+            }]
+          }]
+        }"#;
+        let errs = validate_sarif(undeclared).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("GHOST1")), "{errs:?}");
+
+        // Region lines are 1-based.
+        let zero_line = r#"{
+          "version": "2.1.0",
+          "runs": [{
+            "tool": { "driver": { "name": "x", "rules": [
+              { "id": "R1", "name": "r-one", "shortDescription": { "text": "s" } }
+            ] } },
+            "results": [{
+              "ruleId": "R1",
+              "level": "note",
+              "message": { "text": "m" },
+              "locations": [{ "physicalLocation": {
+                "artifactLocation": { "uri": "a.tf" },
+                "region": { "startLine": 0 } } }]
+            }]
+          }]
+        }"#;
+        let errs = validate_sarif(zero_line).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("below minimum")), "{errs:?}");
     }
 
     #[test]

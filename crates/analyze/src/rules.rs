@@ -18,7 +18,8 @@ pub struct RuleInfo {
 
 /// Every rule the engine knows, in id order. Dataflow rules are `ANA1xx`
 /// (def-use) and `ANA2xx` (constant folding + intervals) and `ANA3xx`
-/// (taint); plan-graph hazard rules are `ANA4xx`.
+/// (taint); plan-graph hazard rules are `ANA4xx`; whole-program
+/// concurrency rules over the expanded manifest are `ANA5xx`.
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "ANA101",
@@ -103,6 +104,36 @@ pub const RULES: &[RuleInfo] = &[
         name: "self-reference",
         severity: Severity::Error,
         summary: "a resource references its own attributes; the value can never resolve",
+    },
+    RuleInfo {
+        id: "ANA501",
+        name: "missing-edge-race",
+        severity: Severity::Error,
+        summary: "an instance reads computed attributes of another but is not ordered after the producing write in the sealed plan graph; the wave scheduler may run the pair concurrently",
+    },
+    RuleInfo {
+        id: "ANA502",
+        name: "alias-write-write",
+        severity: Severity::Error,
+        summary: "two expanded instances resolve to the same cloud-side object identity; a parallel apply is a write-write race on one object",
+    },
+    RuleInfo {
+        id: "ANA503",
+        name: "lock-order-deadlock",
+        severity: Severity::Error,
+        summary: "two independent estates acquire shared per-resource locks in opposite wave orders; concurrent converges can deadlock",
+    },
+    RuleInfo {
+        id: "ANA504",
+        name: "replace-self-race",
+        severity: Severity::Warning,
+        summary: "a create_before_destroy resource has a plan-time-constant identity; every replace races its own doomed predecessor on the same cloud object",
+    },
+    RuleInfo {
+        id: "ANA505",
+        name: "blast-radius",
+        severity: Severity::Note,
+        summary: "severity-ranked impact report: how many downstream resources an edit to this instance would force through replan/reapply",
     },
 ];
 

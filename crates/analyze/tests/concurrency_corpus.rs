@@ -1,0 +1,150 @@
+//! The seeded concurrency defect corpus (`examples/hcl/defects/concurrency`)
+//! pinned to expected-findings snapshots: every defect class is caught by
+//! exactly the rules that define it, every false-positive guard analyzes
+//! clean, and every rendered SARIF document validates against the vendored
+//! SARIF 2.1.0 schema.
+
+use cloudless_analyze::report::validate_sarif;
+use cloudless_analyze::{analyze_manifest, LintConfig};
+use cloudless_hcl::program::{Manifest, ModuleLibrary};
+
+/// (file name, source, expected rule codes in report order).
+/// An empty expectation is a false-positive guard: the file must be clean.
+const CORPUS: &[(&str, &str, &[&str])] = &[
+    (
+        "missing_edge.tf",
+        include_str!("../../../examples/hcl/defects/concurrency/missing_edge.tf"),
+        &["ANA501"],
+    ),
+    (
+        "missing_edge_counted.tf",
+        include_str!("../../../examples/hcl/defects/concurrency/missing_edge_counted.tf"),
+        // Sealing drops one cycle-closing edge per direction; dedup is per
+        // (producer block, reader block) pair, so each direction reports once.
+        &["ANA501", "ANA501"],
+    ),
+    (
+        "alias_folded.tf",
+        include_str!("../../../examples/hcl/defects/concurrency/alias_folded.tf"),
+        &["ANA502"],
+    ),
+    (
+        "alias_foreach.tf",
+        include_str!("../../../examples/hcl/defects/concurrency/alias_foreach.tf"),
+        &["ANA502"],
+    ),
+    (
+        "alias_counted.tf",
+        include_str!("../../../examples/hcl/defects/concurrency/alias_counted.tf"),
+        &["ANA502"],
+    ),
+    (
+        "lock_cycle.tf",
+        include_str!("../../../examples/hcl/defects/concurrency/lock_cycle.tf"),
+        &["ANA502", "ANA502", "ANA503"],
+    ),
+    (
+        "self_race_replace.tf",
+        include_str!("../../../examples/hcl/defects/concurrency/self_race_replace.tf"),
+        &["ANA504"],
+    ),
+    (
+        "compound.tf",
+        include_str!("../../../examples/hcl/defects/concurrency/compound.tf"),
+        &["ANA501", "ANA502"],
+    ),
+    (
+        "clean_fanout.tf",
+        include_str!("../../../examples/hcl/defects/concurrency/clean_fanout.tf"),
+        &[],
+    ),
+    (
+        "clean_shared_prefix.tf",
+        include_str!("../../../examples/hcl/defects/concurrency/clean_shared_prefix.tf"),
+        &[],
+    ),
+    (
+        "clean_cbd_rotating.tf",
+        include_str!("../../../examples/hcl/defects/concurrency/clean_cbd_rotating.tf"),
+        &[],
+    ),
+];
+
+fn expand(name: &str, src: &str) -> Manifest {
+    let p = cloudless_hcl::load(src, name).unwrap_or_else(|d| panic!("{name} parses: {d}"));
+    cloudless_hcl::program::expand(
+        &p,
+        &std::collections::BTreeMap::new(),
+        &ModuleLibrary::new(),
+        &cloudless_hcl::eval::DeferAll,
+    )
+    .unwrap_or_else(|d| panic!("{name} expands: {d}"))
+}
+
+/// Snapshot: findings per corpus file, in report order. 100% of seeded
+/// defects caught; 0 findings on the false-positive guards.
+#[test]
+fn corpus_findings_match_expected_snapshot() {
+    for (name, src, expected) in CORPUS {
+        let m = expand(name, src);
+        let out = analyze_manifest(&m, &LintConfig::default(), None);
+        let codes: Vec<&str> = out
+            .report
+            .findings
+            .iter()
+            .map(|f| f.diagnostic.code.as_str())
+            .collect();
+        assert_eq!(
+            &codes,
+            expected,
+            "{name}: expected findings {expected:?}, got {codes:?}\n{}",
+            out.report.to_json()
+        );
+    }
+}
+
+/// Every finding carries a resolvable span inside its corpus file (the
+/// SARIF region consumers jump to).
+#[test]
+fn corpus_findings_are_localized() {
+    for (name, src, expected) in CORPUS {
+        if expected.is_empty() {
+            continue;
+        }
+        let m = expand(name, src);
+        let out = analyze_manifest(&m, &LintConfig::default(), None);
+        for f in &out.report.findings {
+            assert_eq!(&f.diagnostic.file, name, "{name}: finding file");
+            assert!(
+                (f.diagnostic.span.start.offset as usize) < src.len(),
+                "{name}: span inside source"
+            );
+        }
+    }
+}
+
+/// Rendered SARIF for every corpus file validates against the vendored
+/// SARIF 2.1.0 schema — including the clean files (empty `results`).
+#[test]
+fn corpus_sarif_validates_against_vendored_schema() {
+    for (name, src, _) in CORPUS {
+        let m = expand(name, src);
+        let out = analyze_manifest(&m, &LintConfig::default(), None);
+        let sarif = out.report.to_sarif();
+        if let Err(errs) = validate_sarif(&sarif) {
+            panic!("{name}: SARIF fails schema validation: {errs:?}");
+        }
+    }
+}
+
+/// Analysis of the corpus is byte-deterministic run-to-run.
+#[test]
+fn corpus_analysis_is_deterministic() {
+    for (name, src, _) in CORPUS {
+        let m = expand(name, src);
+        let a = analyze_manifest(&m, &LintConfig::default(), None);
+        let b = analyze_manifest(&m, &LintConfig::default(), None);
+        assert_eq!(a.report.to_json(), b.report.to_json(), "{name}");
+        assert_eq!(a.report.to_sarif(), b.report.to_sarif(), "{name}");
+    }
+}

@@ -105,6 +105,11 @@ pub struct ScaleReport {
     /// log-structured store; `exp_state --attach` fills them in).
     #[serde(default)]
     pub state: Vec<super::e17_state::StatePoint>,
+    /// E18 analyzer-vs-plan wall-time measurements (empty in reports that
+    /// predate the concurrency analyzer; `exp_concurrency --attach` fills
+    /// them in).
+    #[serde(default)]
+    pub analyze: Vec<super::e18_concurrency::AnalyzePoint>,
 }
 
 /// Sizes per tier: `(workload name, resource count, best-of runs)`.
@@ -210,6 +215,7 @@ pub fn run(tier: &str) -> ScaleReport {
             .collect(),
         replan: Vec::new(),
         state: Vec::new(),
+        analyze: Vec::new(),
     }
 }
 
@@ -300,6 +306,7 @@ mod tests {
             points: vec![point],
             replan: Vec::new(),
             state: Vec::new(),
+            analyze: Vec::new(),
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: ScaleReport = serde_json::from_str(&json).unwrap();
@@ -329,6 +336,7 @@ mod tests {
             }],
             replan: Vec::new(),
             state: Vec::new(),
+            analyze: Vec::new(),
         };
         let base = mk(100.0);
         assert!(regressions(&base, &mk(110.0), 0.2, 5.0).is_empty());
@@ -345,6 +353,7 @@ mod tests {
             points: vec![],
             replan: Vec::new(),
             state: Vec::new(),
+            analyze: Vec::new(),
         };
         assert_eq!(regressions(&base, &empty, 0.2, 5.0).len(), 1);
     }

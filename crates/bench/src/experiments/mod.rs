@@ -10,6 +10,7 @@ pub mod e14_scale;
 pub mod e15_reconcile;
 pub mod e16_replan;
 pub mod e17_state;
+pub mod e18_concurrency;
 pub mod e1_deploy;
 pub mod e2_incremental;
 pub mod e3_locks;
@@ -111,5 +112,9 @@ pub fn all() -> String {
     // and `scripts/check_bench.sh`.
     out.push('\n');
     out.push_str(&e15_reconcile::run());
+    // E16/E17 (replan, state) are wall-clock sections of BENCH_*.json; the
+    // corpus half of E18 is seeded + deterministic, so it snapshots fine.
+    out.push('\n');
+    out.push_str(&e18_concurrency::run());
     out
 }

@@ -46,6 +46,7 @@ fn main() -> ExitCode {
         "init" => cmd_init(&rest),
         "validate" => cmd_validate(&rest),
         "lint" => cmd_lint(&rest),
+        "analyze" => cmd_analyze(&rest),
         "plan" => cmd_plan(&rest),
         "watch" => cmd_watch(&rest),
         "apply" => cmd_apply(&rest),
@@ -80,6 +81,15 @@ commands:
             [--deny warn]              fail on warnings, not just errors
             [--deny <rule>]            escalate a rule (id or name) to error
             [--allow <rule>]           suppress a rule entirely
+            [--format text|json|sarif] output format (default text)
+  analyze   <file.tf>                  whole-program concurrency analysis
+                                       (happens-before, aliasing, lock-order)
+                                       over the expanded manifest, plus lints
+            [--state <dir>]            rank blast radius of the pending edit
+                                       set against this session's state
+            [--blast]                  what-if blast-radius ranking (no state)
+            [--deny warn|<rule>]       as in lint
+            [--allow <rule>]           as in lint
             [--format text|json|sarif] output format (default text)
   plan      <dir> <file.tf> [--target <addr>]   show the execution plan
   watch     <dir> <file.tf>            poll the file and replan on each edit
@@ -200,6 +210,114 @@ fn cmd_lint(rest: &[&str]) -> Result<(), String> {
         "json" => println!("{}", report.to_json()),
         "sarif" => println!("{}", report.to_sarif()),
         _ => print!("{}", report.render_text(&sources)),
+    }
+    if report.fails(&config) {
+        Err(format!(
+            "{} deny-level finding(s)",
+            report.deny_level(&config)
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_analyze(rest: &[&str]) -> Result<(), String> {
+    let file = want(rest, 0, "program file")?;
+    let mut config = cloudless::LintConfig::default();
+    let mut format = "text";
+    let mut state_dir: Option<&str> = None;
+    let mut what_if = false;
+    let mut it = rest.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--deny" => {
+                let what = it.next().ok_or("--deny needs `warn` or a rule")?;
+                if *what == "warn" {
+                    config.fail_on = cloudless::hcl::Severity::Warning;
+                } else if cloudless::analyze::rule(what).is_some() {
+                    config.deny.push((*what).to_owned());
+                } else {
+                    return Err(format!("--deny: unknown rule {what:?}"));
+                }
+            }
+            "--allow" => {
+                let what = it.next().ok_or("--allow needs a rule id or name")?;
+                if cloudless::analyze::rule(what).is_none() {
+                    return Err(format!("--allow: unknown rule {what:?}"));
+                }
+                config.allow.push((*what).to_owned());
+            }
+            "--format" => {
+                format = it.next().ok_or("--format needs text, json or sarif")?;
+                if !matches!(format, "text" | "json" | "sarif") {
+                    return Err(format!("--format: unknown format {format:?}"));
+                }
+            }
+            "--state" => {
+                state_dir = Some(it.next().ok_or("--state needs a session directory")?);
+            }
+            "--blast" => what_if = true,
+            other => return Err(format!("unknown analyze option {other:?}\n{USAGE}")),
+        }
+    }
+    let source = read_program(file)?;
+    let sources = cloudless::hcl::SourceMap::single(file, &source);
+    // Program-level lints first; parse failures surface here.
+    let mut report = cloudless::analyze::lint_source(
+        &source,
+        file,
+        &cloudless::hcl::ModuleLibrary::new(),
+        &config,
+    )
+    .map_err(|d| format!("program rejected:\n{}", d.render_pretty(&sources)))?;
+    // Expand to the instance level (plan-time unknowns deferred) and run
+    // the whole-program concurrency passes over the sealed DAG.
+    let program = cloudless::hcl::load(&source, file)
+        .map_err(|d| format!("program rejected:\n{}", d.render_pretty(&sources)))?;
+    let manifest = cloudless::hcl::program::expand(
+        &program,
+        &std::collections::BTreeMap::new(),
+        &cloudless::hcl::ModuleLibrary::new(),
+        &cloudless::hcl::eval::DeferAll,
+    )
+    .map_err(|d| format!("program rejected:\n{}", d.render_pretty(&sources)))?;
+    // Blast radius is opt-in: --state derives the edit set from the
+    // session's pending plan; bare --blast ranks hypothetical edits.
+    let blast = if let Some(dir) = state_dir {
+        let session = Session::load(dir)?;
+        let engine = session.engine()?;
+        let session_manifest = engine
+            .load(&source)
+            .map_err(|d| format!("program rejected:\n{d}"))?;
+        let (plan, _) = engine.plan(&session_manifest);
+        let edits: Vec<cloudless::types::ResourceAddr> = plan
+            .graph
+            .iter()
+            .filter(|(_, node)| !node.change.action.is_noop())
+            .map(|(_, node)| node.change.addr.clone())
+            .collect();
+        Some(cloudless::analyze::BlastRequest::EditSet(edits))
+    } else if what_if {
+        Some(cloudless::analyze::BlastRequest::WhatIf { top: 8 })
+    } else {
+        None
+    };
+    let outcome = cloudless::analyze::analyze_manifest(&manifest, &config, blast.as_ref());
+    report.findings.extend(outcome.report.findings);
+    report.suppressed += outcome.report.suppressed;
+    match format {
+        "json" => println!("{}", report.to_json()),
+        "sarif" => println!("{}", report.to_sarif()),
+        _ => {
+            print!("{}", report.render_text(&sources));
+            eprintln!(
+                "analyzed {} instance(s), {} edge(s), {} pass(es) in {:?}",
+                outcome.stats.instances,
+                outcome.stats.edges,
+                outcome.stats.passes,
+                outcome.stats.wall
+            );
+        }
     }
     if report.fails(&config) {
         Err(format!(

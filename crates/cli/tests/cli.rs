@@ -258,6 +258,78 @@ resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }
     assert!(!out.status.success());
 }
 
+const DEADLOCK_PROGRAM: &str = r#"
+resource "aws_virtual_machine" "a0" { name = "lock-one" }
+resource "aws_virtual_machine" "a1" {
+  name       = "lock-two"
+  network_id = aws_virtual_machine.a0.id
+}
+resource "aws_virtual_machine" "b0" { name = "lock-two" }
+resource "aws_virtual_machine" "b1" {
+  name       = "lock-one"
+  network_id = aws_virtual_machine.b0.id
+}
+"#;
+
+#[test]
+fn analyze_detects_races_and_deadlocks() {
+    let t = TempSession::new("analyze-bad");
+    std::fs::create_dir_all(&t.dir).unwrap();
+    let tf = t.write("deadlock.tf", DEADLOCK_PROGRAM);
+    let out = run(&["analyze", &tf]);
+    assert!(!out.status.success(), "alias + deadlock are deny-level");
+    let text = stdout(&out);
+    assert!(text.contains("ANA502"), "{text}");
+    assert!(text.contains("ANA503"), "{text}");
+    assert!(
+        stderr(&out).contains("analyzed 4 instance(s)"),
+        "{}",
+        stderr(&out)
+    );
+
+    // SARIF carries the concurrency rules and results.
+    let out = run(&["analyze", &tf, "--format", "sarif"]);
+    let text = stdout(&out);
+    assert!(text.contains("\"$schema\""), "{text}");
+    assert!(text.contains("ANA503"), "{text}");
+
+    // --allow suppresses by name; the deadlock alone still gates.
+    let out = run(&["analyze", &tf, "--allow", "alias-write-write"]);
+    let text = stdout(&out);
+    assert!(!text.contains("ANA502"), "{text}");
+    assert!(text.contains("ANA503"), "{text}");
+}
+
+#[test]
+fn analyze_clean_program_is_quiet_and_blast_is_opt_in() {
+    let t = TempSession::new("analyze-clean");
+    std::fs::create_dir_all(&t.dir).unwrap();
+    let tf = t.write("good.tf", PROGRAM);
+    let out = run(&["analyze", &tf]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(!stdout(&out).contains("ANA505"), "{}", stdout(&out));
+
+    // --blast turns on the what-if ranking (informational notes only).
+    let out = run(&["analyze", &tf, "--blast", "--format", "json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("ANA505"), "{text}");
+    assert!(text.contains("what-if"), "{text}");
+}
+
+#[test]
+fn analyze_state_ranks_pending_edit_set() {
+    let t = TempSession::new("analyze-state");
+    run(&["init", t.path()]);
+    let tf = t.write("main.tf", PROGRAM);
+    // Nothing applied yet: the whole program is the pending edit set.
+    let out = run(&["analyze", &tf, "--state", t.path(), "--format", "json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("ANA505"), "{text}");
+    assert!(text.contains("replan"), "{text}");
+}
+
 #[test]
 fn apply_refuses_lint_errors_before_planning() {
     let t = TempSession::new("lint-gate");

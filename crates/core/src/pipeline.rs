@@ -58,10 +58,11 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
+use cloudless_analyze::alias::instance_claims;
 use cloudless_analyze::incremental::{
     block_claims, block_is_clean, block_refs, BlockRefs, LintEnv,
 };
-use cloudless_analyze::{lint_program, LintGate, LintReport};
+use cloudless_analyze::{analyze_manifest, lint_program, AnalysisOutcome, LintGate, LintReport};
 use cloudless_cloud::Catalog;
 use cloudless_deploy::diff::{dependency_order, diff, plan_one, render, Action, PlannedChange};
 use cloudless_graph::{DagBuilder, ImpactScope, NodeId};
@@ -255,6 +256,12 @@ struct Memo {
     count_zero: Vec<bool>,
     /// ANA402 identity-claims map: claim key → number of claiming blocks.
     claims: HashMap<(String, String, String), usize>,
+    /// ANA502 claims map over *expanded* instances: claim key → number of
+    /// claiming instances. This is the concurrency analyzer's aliasing
+    /// domain — finer than `claims`, because identities that fold only
+    /// under a concrete `count.index`/`each` binding are invisible at the
+    /// block level.
+    inst_claims: HashMap<(String, String, String), usize>,
     manifest: Manifest,
     /// Per-block `[start, end)` instance-position ranges.
     block_ranges: Vec<(usize, usize)>,
@@ -465,6 +472,37 @@ impl IncrementalPipeline {
                 }
             }
 
+            // Concurrency guards over the *expanded* instances: maintain
+            // the analyzer's identity-claims map so a warm replan cannot
+            // smuggle in an alias the block-level claims fold as Unknown
+            // (ANA502 under count/for_each), and refuse
+            // replace-self-race shapes (ANA504) outright — the cold gate
+            // re-runs the full analysis and reports both exactly.
+            if lint_cfg.is_some() {
+                for k in lo..hi {
+                    for key in instance_claims(&memo.manifest.instances[k]) {
+                        if let Some(n) = memo.inst_claims.get_mut(&key) {
+                            *n = n.saturating_sub(1);
+                        }
+                    }
+                }
+                for ni in &fresh {
+                    if ni.lifecycle.create_before_destroy && !instance_claims(ni).is_empty() {
+                        return Err(
+                            "create_before_destroy with plan-time identity (replace self-race)"
+                                .into(),
+                        );
+                    }
+                    for key in instance_claims(ni) {
+                        let n = memo.inst_claims.entry(key).or_insert(0);
+                        *n += 1;
+                        if *n > 1 {
+                            return Err("expanded identity claim collides (alias race)".into());
+                        }
+                    }
+                }
+            }
+
             // Validation aggregates: maintain VAL306/VAL307 claim maps.
             for k in lo..hi {
                 let old = &memo.manifest.instances[k];
@@ -514,6 +552,7 @@ impl IncrementalPipeline {
             trace.stage("lint", "cached", "report clean, source unchanged");
             trace.stage("expand", "cached", "manifest unchanged");
             trace.stage("validate", "cached", "report clean, manifest unchanged");
+            trace.stage("analyze", "cached", "report clean, manifest unchanged");
         } else {
             trace.stage(
                 "lint",
@@ -554,6 +593,13 @@ impl IncrementalPipeline {
                 format!(
                     "re-checked {} instance(s), aggregates maintained",
                     positions.len()
+                ),
+            );
+            trace.stage(
+                "analyze",
+                "incremental",
+                format!(
+                    "identity claims maintained over {respliced_instances} respliced instance(s)"
                 ),
             );
         }
@@ -680,6 +726,24 @@ impl IncrementalPipeline {
             return Err(PipelineError::Validation(validation));
         }
 
+        // ---- analyze: whole-program concurrency gate over the expanded
+        // manifest (happens-before, aliasing, lock-order) ----
+        let mut concurrency_clean = true;
+        if let Some(lint_cfg) = ctx.lint.config() {
+            trace.stage(
+                "analyze",
+                "full",
+                format!("{} instance(s), 3 passes", manifest.instances.len()),
+            );
+            let outcome = analyze_manifest(&manifest, &lint_cfg, None);
+            record_analysis(ctx.recorder.as_ref(), &outcome);
+            if outcome.report.fails(&lint_cfg) {
+                return Err(PipelineError::Lint(outcome.report));
+            }
+            concurrency_clean =
+                outcome.report.findings.is_empty() && outcome.report.suppressed == 0;
+        }
+
         trace.stage(
             "plan",
             "full",
@@ -691,6 +755,7 @@ impl IncrementalPipeline {
         // Memoize when the run is eligible for the clean-program fast path.
         let eligible = self.config.max_cache_bytes > 0
             && lint_clean
+            && concurrency_clean
             && validation.diagnostics.is_empty()
             && manifest.warnings.is_empty()
             && program.modules.is_empty()
@@ -727,6 +792,26 @@ impl IncrementalPipeline {
             plan_text,
             trace,
         })
+    }
+}
+
+/// Mirror one analysis run into `analyze.*` metrics: runs, passes,
+/// findings per rule, wall time. Counter names are static because the
+/// [`Recorder`] interns nothing.
+fn record_analysis(recorder: &dyn Recorder, outcome: &AnalysisOutcome) {
+    recorder.counter("analyze.runs", 1);
+    recorder.counter("analyze.passes", outcome.stats.passes as u64);
+    recorder.counter("analyze.wall_us", outcome.stats.wall.as_micros() as u64);
+    for f in &outcome.report.findings {
+        let name: &'static str = match f.diagnostic.code.as_str() {
+            "ANA501" => "analyze.findings.ANA501",
+            "ANA502" => "analyze.findings.ANA502",
+            "ANA503" => "analyze.findings.ANA503",
+            "ANA504" => "analyze.findings.ANA504",
+            "ANA505" => "analyze.findings.ANA505",
+            _ => "analyze.findings.other",
+        };
+        recorder.counter(name, 1);
     }
 }
 
@@ -874,6 +959,12 @@ impl Memo {
                 *claims.entry(key).or_insert(0) += 1;
             }
         }
+        let mut inst_claims: HashMap<(String, String, String), usize> = HashMap::new();
+        for inst in &manifest.instances {
+            for key in instance_claims(inst) {
+                *inst_claims.entry(key).or_insert(0) += 1;
+            }
+        }
 
         // Block-level DAG (dependency → dependent) from the expansion
         // dependency sets.
@@ -921,6 +1012,7 @@ impl Memo {
             refs,
             count_zero,
             claims,
+            inst_claims,
             manifest: manifest.clone(),
             block_ranges,
             mindex,

@@ -1,0 +1,12 @@
+# Defect: aliasing between a counted fleet and a solo block (ANA502).
+#
+# node-1 is claimed twice: by fleet[1] (folded from count.index) and by
+# the standalone block. Only the expanded-instance claims map catches it.
+resource "aws_virtual_machine" "fleet" {
+  count = 2
+  name  = "node-${count.index}"
+}
+
+resource "aws_virtual_machine" "solo" {
+  name = "node-1"
+}

@@ -1,0 +1,16 @@
+# Defect: aliasing via folded names (ANA502).
+#
+# The two blocks spell their identity differently, but constant folding
+# resolves both to the cloud-side object "svc-prod": a parallel apply is
+# a write-write race on one machine.
+variable "env" {
+  default = "prod"
+}
+
+resource "aws_virtual_machine" "blue" {
+  name = "svc-prod"
+}
+
+resource "aws_virtual_machine" "green" {
+  name = "svc-${var.env}"
+}

@@ -1,0 +1,14 @@
+# Defect: aliasing via for_each keys (ANA502).
+#
+# Two for_each expansions both mint the bucket "tenant-acme". Block-level
+# hazard checks cannot see this — the collision exists only between
+# *expanded* instances.
+resource "aws_s3_bucket" "tenant" {
+  for_each = ["acme", "globex"]
+  bucket   = "tenant-${each.key}"
+}
+
+resource "aws_s3_bucket" "archive" {
+  for_each = ["acme"]
+  bucket   = "tenant-${each.key}"
+}

@@ -1,0 +1,16 @@
+# False-positive guard: create_before_destroy with a *rotating* identity
+# is the correct zero-downtime pattern — the successor's name embeds a
+# computed value, so it cannot collide with its predecessor at plan time.
+resource "aws_network" "net" {
+  name       = "net"
+  cidr_block = "10.9.0.0/16"
+}
+
+resource "aws_virtual_machine" "web" {
+  name       = "web-${aws_network.net.id}"
+  network_id = aws_network.net.id
+
+  lifecycle {
+    create_before_destroy = true
+  }
+}

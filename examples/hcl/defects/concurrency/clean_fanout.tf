@@ -1,0 +1,14 @@
+# False-positive guard: a legitimate fan-out must analyze clean.
+#
+# Ten machines share one network; every read is ordered by a surviving
+# edge and every identity is distinct.
+resource "aws_network" "net" {
+  name       = "net"
+  cidr_block = "10.8.0.0/16"
+}
+
+resource "aws_virtual_machine" "web" {
+  count      = 10
+  name       = "web-${count.index}"
+  network_id = aws_network.net.id
+}

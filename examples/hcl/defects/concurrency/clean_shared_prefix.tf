@@ -1,0 +1,15 @@
+# False-positive guard: shared name *prefixes* are not aliases.
+#
+# "app-1" and "app-10" collide under naive prefix matching; identity
+# comparison must be exact-value.
+resource "aws_virtual_machine" "one" {
+  name = "app-1"
+}
+
+resource "aws_virtual_machine" "ten" {
+  name = "app-10"
+}
+
+resource "aws_s3_bucket" "app" {
+  bucket = "app-1"
+}

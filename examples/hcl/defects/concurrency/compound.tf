@@ -1,0 +1,12 @@
+# Defect: compound — a dropped ordering edge feeding an aliased identity
+# (ANA501 + ANA502). Exercises pass interaction: the cycle ties both
+# blocks into one estate, so no deadlock (ANA503) may be reported.
+resource "aws_virtual_machine" "reader" {
+  name       = "shared-object"
+  network_id = aws_virtual_machine.writer.id
+}
+
+resource "aws_virtual_machine" "writer" {
+  name       = "shared-object"
+  network_id = aws_virtual_machine.reader.id
+}

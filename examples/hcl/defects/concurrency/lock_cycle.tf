@@ -1,0 +1,24 @@
+# Defect: lock-order inversion across independent estates (ANA503).
+#
+# Estate A (a0 -> a1) locks "lock-one" at wave 0, then "lock-two" at
+# wave 1. Estate B (b0 -> b1) locks the same two objects in the opposite
+# order. Converging both estates concurrently is the classic
+# hold-and-wait deadlock; the aliases themselves are also write-write
+# races (ANA502).
+resource "aws_virtual_machine" "a0" {
+  name = "lock-one"
+}
+
+resource "aws_virtual_machine" "a1" {
+  name       = "lock-two"
+  network_id = aws_virtual_machine.a0.id
+}
+
+resource "aws_virtual_machine" "b0" {
+  name = "lock-two"
+}
+
+resource "aws_virtual_machine" "b1" {
+  name       = "lock-one"
+  network_id = aws_virtual_machine.b0.id
+}

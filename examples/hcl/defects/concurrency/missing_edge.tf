@@ -1,0 +1,14 @@
+# Defect: missing happens-before edge (ANA501).
+#
+# The two machines read each other's computed `id`, so the planner must
+# drop one ordering edge to stay acyclic. The surviving schedule may run
+# the reader before (or concurrently with) its writer.
+resource "aws_virtual_machine" "ingest" {
+  name       = "ingest"
+  network_id = aws_virtual_machine.index.id
+}
+
+resource "aws_virtual_machine" "index" {
+  name       = "index"
+  network_id = aws_virtual_machine.ingest.id
+}

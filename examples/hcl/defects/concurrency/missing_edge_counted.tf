@@ -1,0 +1,16 @@
+# Defect: missing happens-before edge across counted blocks (ANA501).
+#
+# Every instance of one fleet reads instance 0 of the other and vice
+# versa; sealing drops a cycle-closing edge per direction. The analyzer
+# reports once per (producer block, reader block) pair, not per instance.
+resource "aws_virtual_machine" "blue" {
+  count      = 3
+  name       = "blue-${count.index}"
+  network_id = aws_virtual_machine.green[0].id
+}
+
+resource "aws_virtual_machine" "green" {
+  count      = 3
+  name       = "green-${count.index}"
+  network_id = aws_virtual_machine.blue[0].id
+}

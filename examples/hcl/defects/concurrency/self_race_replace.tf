@@ -1,0 +1,12 @@
+# Defect: replace self-race (ANA504, warning).
+#
+# create_before_destroy with a plan-time-constant identity: every replace
+# creates the successor under the *same* name the doomed predecessor
+# still holds — a race of the resource against itself.
+resource "aws_virtual_machine" "pinned" {
+  name = "singleton"
+
+  lifecycle {
+    create_before_destroy = true
+  }
+}

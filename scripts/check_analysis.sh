@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Gate the whole-program concurrency analyzer:
+#
+#   1. every SARIF document the analyzer renders validates against the
+#      vendored SARIF 2.1.0 schema (corpus test suite);
+#   2. the seeded defect corpus is 100% caught — every defect file exits
+#      nonzero under `cloudless analyze --deny warn` with the expected
+#      rules pinned by the snapshot tests;
+#   3. the clean corpus produces 0 false positives — every guard file
+#      passes `--deny warn` with no findings;
+#   4. every statically flagged race is confirmed reachable by the
+#      schedule-fuzzing oracle (E18 test suite);
+#   5. the committed BENCH_pr.json keeps whole-program analysis within 2x
+#      of the plan stage at every measured size (incl. the 100k tier).
+#
+# Usage:
+#   scripts/check_analysis.sh            # full gate against BENCH_pr.json
+set -euo pipefail
+
+bench=${BENCH_PR:-BENCH_pr.json}
+corpus_dir=examples/hcl/defects/concurrency
+
+echo "== corpus snapshots + SARIF schema validation"
+cargo test --quiet -p cloudless-analyze --test concurrency_corpus
+
+echo "== oracle agreement (E18)"
+cargo test --quiet -p cloudless-bench --lib oracle
+cargo test --quiet -p cloudless-bench --lib e18
+
+cargo build --quiet --release -p cloudless-cli
+cli=./target/release/cloudless
+
+echo "== defect corpus: every file must be caught"
+for f in "$corpus_dir"/*.tf; do
+  case "$(basename "$f")" in
+    clean_*) continue ;;
+  esac
+  if "$cli" analyze "$f" --deny warn > /dev/null 2>&1; then
+    echo "MISSED: $f analyzed clean but seeds a concurrency defect" >&2
+    exit 1
+  fi
+  echo "   caught: $f"
+done
+
+echo "== clean corpus: zero false positives"
+for f in "$corpus_dir"/clean_*.tf; do
+  if ! out=$("$cli" analyze "$f" --deny warn 2>&1); then
+    echo "FALSE POSITIVE: $f flagged:" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  echo "   clean:  $f"
+done
+
+echo "== CLI SARIF is well-formed for a defect program"
+# (the analyze exit code is nonzero here by design — findings are deny-level)
+("$cli" analyze "$corpus_dir/lock_cycle.tf" --format sarif 2>/dev/null || true) \
+  | grep -q '"version": "2.1.0"' \
+  || { echo "SARIF output missing version marker" >&2; exit 1; }
+
+echo "== analyzer wall-time gate (committed $bench)"
+cargo run --quiet --release -p cloudless-bench --bin exp_concurrency -- \
+  --check-report "$bench"
+
+echo "analysis gate: all checks passed"

@@ -29,6 +29,10 @@ if [[ "${1:-}" == "--fresh" ]]; then
   # 1M-resource tier is the committed BENCH_pr.json's job)
   cargo run --release -p cloudless-bench --bin exp_state -- \
     --tier smoke --attach "$candidate"
+  # E18: analyzer wall time vs the plan stage, folded into the same report
+  # and gated at 2x immediately (the bound is a same-host ratio)
+  cargo run --release -p cloudless-bench --bin exp_concurrency -- \
+    --tier smoke --attach "$candidate" --check
 fi
 
 cargo run --release -p cloudless-bench --bin exp_scale -- \
